@@ -1,0 +1,204 @@
+// Package zmapgo_test is the benchmark harness: one testing.B target per
+// table and figure in "Ten Years of ZMap", plus end-to-end engine
+// benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks execute the same experiment code as
+// cmd/experiments (at reduced scale, so the suite stays fast) and report
+// the headline measurement as a custom metric; the experiment tests in
+// internal/experiments assert the paper-matching shapes at full scale.
+package zmapgo_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"zmapgo/internal/experiments"
+	"zmapgo/zmap"
+)
+
+// BenchmarkFig1AdoptionPipeline regenerates the Figure 1 adoption series
+// (scanner population -> telescope -> tool attribution).
+func BenchmarkFig1AdoptionPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1(nil, 30000, int64(i)+1)
+		b.ReportMetric(rows[len(rows)-1].Measured*100, "zmap-share-2024Q1-%")
+	}
+}
+
+// BenchmarkFig2And3TopPorts regenerates the port breakdowns.
+func BenchmarkFig2And3TopPorts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig23(nil, 60000, int64(i)+1)
+		b.ReportMetric(float64(res.AllScans[0].Port), "top-port")
+	}
+}
+
+// BenchmarkFig4CountryShares regenerates the per-country table.
+func BenchmarkFig4CountryShares(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(nil, 60000, int64(i)+1)
+		b.ReportMetric(rows[0].Measured*100, "max-country-share-%")
+	}
+}
+
+// BenchmarkFig5DedupWindow regenerates the sliding-window duplicate-rate
+// sweep.
+func BenchmarkFig5DedupWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(nil, 0.3, uint64(i)+1)
+		b.ReportMetric(rows[len(rows)-1].ResidualPct, "residual-dups-1e6-window-%")
+	}
+}
+
+// BenchmarkFig6Sharding regenerates the sharding-scheme comparison.
+func BenchmarkFig6Sharding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(nil, int64(i)+1)
+		b.ReportMetric(float64(rows[len(rows)-1].NaiveMissed), "naive-missed-targets")
+	}
+}
+
+// BenchmarkFig7TCPOptions regenerates the option-layout hitrate sweep.
+func BenchmarkFig7TCPOptions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(nil, 400000, uint64(i)+1)
+		var none, linux float64
+		for _, r := range rows {
+			switch r.Layout.String() {
+			case "none":
+				none = r.Hitrate
+			case "linux":
+				linux = r.Hitrate
+			}
+		}
+		b.ReportMetric((linux/none-1)*100, "option-lift-%")
+	}
+}
+
+// BenchmarkFig8PaperTable renders the Appendix B dataset.
+func BenchmarkFig8PaperTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topics := experiments.Fig8(nil)
+		b.ReportMetric(float64(len(topics)), "topics")
+	}
+}
+
+// BenchmarkTableLineRate regenerates the §4.3 wire-rate arithmetic.
+func BenchmarkTableLineRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.LineRate(nil)
+		b.ReportMetric(rows[0].Mpps1GbE, "mpps-1gbe-no-options")
+	}
+}
+
+// BenchmarkTableIPID regenerates the static-vs-random IP ID comparison.
+func BenchmarkTableIPID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.IPIDHitrate(nil, 100000, uint64(i)+1)
+		b.ReportMetric((rows[0].Hitrate-rows[1].Hitrate)*100, "hitrate-delta-%")
+	}
+}
+
+// BenchmarkTableGenerators regenerates the generator-search table.
+func BenchmarkTableGenerators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Generators(nil, 100, int64(i)+1)
+		b.ReportMetric(rows[len(rows)-1].AvgAttempts, "avg-attempts-2^48-group")
+	}
+}
+
+// BenchmarkTableDedupMemory regenerates the §4.1 memory table.
+func BenchmarkTableDedupMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DedupMem(nil)
+		b.ReportMetric(float64(rows[2].Bytes)/1e6, "window-memory-MB")
+	}
+}
+
+// BenchmarkTableMasscanCoverage regenerates the randomization-coverage
+// comparison.
+func BenchmarkTableMasscanCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Masscan(nil, 300_000, int64(i)+1)
+		b.ReportMetric(rows[2].MissRate*100, "biased-miss-%")
+	}
+}
+
+// BenchmarkTableL4L7 regenerates the §3 discrepancy analysis.
+func BenchmarkTableL4L7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.L4L7(nil, 120000, uint64(i)+1)
+		b.ReportMetric(res.SingleProbeMiss*100, "single-probe-miss-%")
+	}
+}
+
+// BenchmarkEndToEndScan measures the full engine over the simulated
+// Internet: cyclic generation, probe construction, link, validation,
+// dedup, and output.
+func BenchmarkEndToEndScan(b *testing.B) {
+	internet := zmap.NewInternet(zmap.SimOptions{Seed: 9, Lossless: true, DisableBlowback: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link := internet.NewLink(1<<16, 0)
+		scanner, err := zmap.Options{
+			Ranges:   []string{"10.0.0.0/17"},
+			Ports:    "80",
+			Seed:     int64(i) + 1,
+			Threads:  4,
+			Cooldown: 10 * time.Millisecond,
+		}.Compile(link)
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary, err := scanner.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		link.Close()
+		b.ReportMetric(summary.SendRatePPS, "probes/sec")
+	}
+}
+
+// BenchmarkEndToEndMultiport measures the multiport (IP, port) target
+// path through the 48-bit-capable space.
+func BenchmarkEndToEndMultiport(b *testing.B) {
+	internet := zmap.NewInternet(zmap.SimOptions{Seed: 10, Lossless: true, DisableBlowback: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link := internet.NewLink(1<<16, 0)
+		scanner, err := zmap.Options{
+			Ranges:   []string{"10.0.0.0/19"},
+			Ports:    "22,80,443,8080",
+			Seed:     int64(i) + 1,
+			Threads:  4,
+			Cooldown: 10 * time.Millisecond,
+		}.Compile(link)
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary, err := scanner.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		link.Close()
+		b.ReportMetric(summary.SendRatePPS, "probes/sec")
+	}
+}
+
+// BenchmarkTableFingerprint regenerates the Mazel et al. scan
+// identification analysis (§4.2).
+func BenchmarkTableFingerprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fingerprint(nil, 512, 4, int64(i)+1)
+		detected := 0.0
+		for _, r := range rows {
+			if r.Detected {
+				detected++
+			}
+		}
+		b.ReportMetric(detected, "streams-identified")
+	}
+}

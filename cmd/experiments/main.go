@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures. Run
+// with no arguments (or "all") for the full suite, or name individual
+// experiments:
+//
+//	experiments fig1 fig7 linerate
+//
+// Available: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 linerate ipid
+// generators dedupmem masscan l4l7 fingerprint all. Output is the same rows/series
+// the paper reports, with the paper's values quoted for comparison.
+// Scale knobs (-packets, -ips, -seconds) trade precision for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"zmapgo/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		packets = fs.Int("packets", 400000, "telescope packets per quarter (figs 1-4)")
+		ips     = fs.Int("ips", 3_000_000, "simulated addresses (fig 7, l4l7)")
+		seconds = fs.Float64("seconds", 1.2, "virtual scan duration (fig 5)")
+		domain  = fs.Uint64("domain", 1_000_000, "randomization domain (masscan)")
+		trials  = fs.Int("trials", 500, "generator-search trials per group")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+
+	w := stdout
+	run := map[string]func(){
+		"fig1":        func() { experiments.Fig1(w, *packets, *seed) },
+		"fig2":        func() { experiments.Fig23(w, *packets, *seed) },
+		"fig3":        func() { experiments.Fig23(w, *packets, *seed) },
+		"fig4":        func() { experiments.Fig4(w, *packets, *seed) },
+		"fig5":        func() { experiments.Fig5(w, *seconds, uint64(*seed)) },
+		"fig6":        func() { experiments.Fig6(w, *seed) },
+		"fig7":        func() { experiments.Fig7(w, *ips, uint64(*seed)) },
+		"fig8":        func() { experiments.Fig8(w) },
+		"linerate":    func() { experiments.LineRate(w) },
+		"ipid":        func() { experiments.IPIDHitrate(w, *ips/4, uint64(*seed)) },
+		"generators":  func() { experiments.Generators(w, *trials, *seed) },
+		"dedupmem":    func() { experiments.DedupMem(w) },
+		"masscan":     func() { experiments.Masscan(w, *domain, *seed) },
+		"l4l7":        func() { experiments.L4L7(w, *ips/6, uint64(*seed)) },
+		"fingerprint": func() { experiments.Fingerprint(w, 512, 4, *seed) },
+		"fig7e2e":     func() { experiments.Fig7EndToEnd(w, 15, uint64(*seed)) },
+		"topas":       func() { experiments.TopAS(w, *packets, *seed) },
+		"dedupablate": func() { experiments.DedupAblation(w, 14, uint64(*seed)) },
+	}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig7e2e", "topas", "dedupablate", "linerate", "ipid", "generators", "dedupmem", "masscan", "l4l7", "fingerprint"}
+
+	for _, name := range names {
+		if name == "all" {
+			seen := map[string]bool{}
+			for _, n := range order {
+				if !seen[n] {
+					seen[n] = true
+					run[n]()
+				}
+			}
+			continue
+		}
+		f, ok := run[name]
+		if !ok {
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q\n", name)
+			return 2
+		}
+		f()
+	}
+	return 0
+}

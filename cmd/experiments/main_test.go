@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsSelected(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-packets", "20000", "-ips", "100000", "-seconds", "0.05",
+		"-domain", "50000", "-trials", "30", "linerate", "fig6", "fingerprint", "dedupmem", "fig8"},
+		&out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"line rate", "Figure 6", "fingerprinting", "dedup memory", "Figure 8"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsUnknownName(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown experiment exit %d, want 2", code)
+	}
+}
+
+func TestExperimentsAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-packets", "30000", "-ips", "200000", "-seconds", "0.05",
+		"-domain", "60000", "-trials", "30", "all"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(out.String(), "===") < 13 {
+		t.Errorf("expected >= 13 experiment banners, got %d", strings.Count(out.String(), "==="))
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeHitlist(t *testing.T, n int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# synthetic hitlist\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "2001:db8:2::%x\n", i+1)
+	}
+	path := filepath.Join(t.TempDir(), "hitlist.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestXMapScan(t *testing.T) {
+	path := writeHitlist(t, 2000)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-hitlist", path, "-p", "443", "--seed", "5",
+		"--sim-lossless", "--cooldown-time", "150ms",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	lines := strings.Fields(stdout.String())
+	if len(lines) == 0 {
+		t.Fatal("no services found on a 2000-address hitlist")
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "2001:db8:2::") || !strings.HasSuffix(l, ",443") {
+			t.Errorf("malformed result line %q", l)
+		}
+	}
+	if !strings.Contains(stderr.String(), "2000 targets") {
+		t.Errorf("summary missing: %s", stderr.String())
+	}
+}
+
+func TestXMapErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{}, &out, &errBuf); code == 0 {
+		t.Error("missing hitlist accepted")
+	}
+	if code := run([]string{"-hitlist", "/nonexistent"}, &out, &errBuf); code == 0 {
+		t.Error("unreadable hitlist accepted")
+	}
+	path := writeHitlist(t, 4)
+	if code := run([]string{"-hitlist", path, "-p", "99999"}, &out, &errBuf); code == 0 {
+		t.Error("bad ports accepted")
+	}
+	if code := run([]string{"-hitlist", path, "--probe-tcp-options", "bogus"}, &out, &errBuf); code == 0 {
+		t.Error("bad layout accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Command zanalyze summarizes scan output — the "secondary tools for
+// investigation" end of the pipe that §5 says most researchers attach to
+// ZMap. It reads the scanner's JSON Lines records on stdin and prints
+// per-classification and per-port counts, a TTL histogram (a rough OS /
+// hop-distance signal), timeline buckets, and the duplicate/cooldown
+// fractions:
+//
+//	zmapgo -r 10.0.0.0/16 -p 80,443 -O jsonl --output-filter "" | zanalyze
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"zmapgo/zmap"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topPorts := fs.Int("top", 10, "ports to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		total, successes, repeats, cooldown int
+		byClass                             = map[string]int{}
+		byPort                              = map[uint16]int{}
+		ttlBuckets                          = map[int]int{} // bucketed by 32
+		firstTS, lastTS                     float64
+	)
+	scanner := bufio.NewScanner(stdin)
+	scanner.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r zmap.Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			fmt.Fprintf(stderr, "zanalyze: line %d: %v\n", lineNo, err)
+			return 1
+		}
+		total++
+		byClass[r.Classification]++
+		if r.Success && !r.Repeat {
+			successes++
+			byPort[r.Sport]++
+		}
+		if r.Repeat {
+			repeats++
+		}
+		if r.InCooldown {
+			cooldown++
+		}
+		ttlBuckets[int(r.TTL)/32*32]++
+		if total == 1 || r.Timestamp < firstTS {
+			firstTS = r.Timestamp
+		}
+		if r.Timestamp > lastTS {
+			lastTS = r.Timestamp
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(stderr, "zanalyze:", err)
+		return 1
+	}
+	if total == 0 {
+		fmt.Fprintln(stderr, "zanalyze: no records on stdin (use -O jsonl)")
+		return 1
+	}
+
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "records\t%d\n", total)
+	fmt.Fprintf(w, "unique successes\t%d\n", successes)
+	fmt.Fprintf(w, "duplicates\t%d (%.2f%%)\n", repeats, pct(repeats, total))
+	fmt.Fprintf(w, "cooldown arrivals\t%d (%.2f%%)\n", cooldown, pct(cooldown, total))
+	fmt.Fprintf(w, "response window\t%.2fs - %.2fs\n", firstTS, lastTS)
+	w.Flush()
+
+	fmt.Fprintln(stdout, "\nclassifications:")
+	for _, k := range sortedKeys(byClass) {
+		fmt.Fprintf(stdout, "  %-14s %d\n", k, byClass[k])
+	}
+
+	fmt.Fprintln(stdout, "\ntop ports (unique successes):")
+	type pc struct {
+		port uint16
+		n    int
+	}
+	var ports []pc
+	for p, n := range byPort {
+		ports = append(ports, pc{p, n})
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		if ports[i].n != ports[j].n {
+			return ports[i].n > ports[j].n
+		}
+		return ports[i].port < ports[j].port
+	})
+	for i, p := range ports {
+		if i == *topPorts {
+			break
+		}
+		fmt.Fprintf(stdout, "  %-6d %d\n", p.port, p.n)
+	}
+
+	fmt.Fprintln(stdout, "\nttl distribution (initial-TTL/hop-distance signal):")
+	for _, b := range sortedKeys(ttlBuckets) {
+		fmt.Fprintf(stdout, "  %3d-%3d %d\n", b, b+31, ttlBuckets[b])
+	}
+	return 0
+}
+
+func pct(n, total int) float64 { return float64(n) / float64(total) * 100 }
+
+func sortedKeys[K int | string](m map[K]int) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"zmapgo/zmap"
+)
+
+// scanJSONL runs a real scan and returns its JSONL output (all records,
+// not just successes).
+func scanJSONL(t *testing.T) string {
+	t.Helper()
+	internet := zmap.NewInternet(zmap.SimOptions{Seed: 700, Lossless: true})
+	link := internet.NewLink(1<<16, 0)
+	defer link.Close()
+	var out bytes.Buffer
+	s, err := zmap.Options{
+		Ranges:   []string{"10.0.0.0/19"},
+		Ports:    "80,443",
+		Seed:     3,
+		Threads:  4,
+		Format:   "jsonl",
+		Filter:   "success = 1 || success = 0", // keep everything
+		Cooldown: 200 * time.Millisecond,
+		Results:  &out,
+	}.Compile(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestZAnalyzeSummarizesScan(t *testing.T) {
+	jsonl := scanJSONL(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-top", "5"}, strings.NewReader(jsonl), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"records", "unique successes", "classifications:",
+		"synack", "top ports", "ttl distribution"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "80") || !strings.Contains(out, "443") {
+		t.Error("scanned ports missing from the port table")
+	}
+}
+
+func TestZAnalyzeErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &out, &errBuf); code == 0 {
+		t.Error("empty input accepted")
+	}
+	if code := run(nil, strings.NewReader("not-json\n"), &out, &errBuf); code == 0 {
+		t.Error("malformed input accepted")
+	}
+}

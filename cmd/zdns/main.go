@@ -1,0 +1,109 @@
+// Command zdns is the DNS half of the tool ecosystem the paper's
+// conclusion highlights: it reads names from stdin (one per line), fans
+// them out over a worker pool against simulated recursive resolvers, and
+// writes one JSON result per line — composing with the other tools over
+// pipes, per the Unix-philosophy lesson of §5.
+//
+//	printf 'example.com\nfoo.test\n' | zdns -t A -workers 8
+//
+// Resolvers are discovered by scanning the simulated Internet for UDP/53
+// services unless given explicitly with -resolvers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"zmapgo/internal/dnswire"
+	"zmapgo/internal/netsim"
+	"zmapgo/internal/target"
+	"zmapgo/internal/zdns"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zdns", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		qtypeName = fs.String("t", "A", "query type: A or TXT")
+		workers   = fs.Int("workers", 4, "concurrent lookup workers")
+		resolvers = fs.String("resolvers", "", "comma-separated resolver IPs (default: discover by scanning)")
+		retries   = fs.Int("retries", 3, "per-name attempt budget across resolvers")
+		simSeed   = fs.Uint64("sim-seed", 1, "simulated-Internet population seed")
+		seed      = fs.Int64("seed", 1, "query-ID randomness seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var qtype uint16
+	switch strings.ToUpper(*qtypeName) {
+	case "A":
+		qtype = dnswire.TypeA
+	case "TXT":
+		qtype = dnswire.TypeTXT
+	default:
+		fmt.Fprintf(stderr, "zdns: unsupported query type %q\n", *qtypeName)
+		return 2
+	}
+
+	cfg := netsim.DefaultConfig(*simSeed)
+	in := netsim.New(cfg)
+
+	var servers []uint32
+	if *resolvers != "" {
+		for _, s := range strings.Split(*resolvers, ",") {
+			ip, err := target.ParseIPv4(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(stderr, "zdns:", err)
+				return 2
+			}
+			servers = append(servers, ip)
+		}
+	} else {
+		servers = zdns.DiscoverServers(in, 0, 10_000_000, 8)
+		if len(servers) == 0 {
+			fmt.Fprintln(stderr, "zdns: no resolvers discovered")
+			return 1
+		}
+		fmt.Fprintf(stderr, "zdns: discovered %d resolvers\n", len(servers))
+	}
+
+	r, err := zdns.New(in, servers, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "zdns:", err)
+		return 1
+	}
+	r.Retries = *retries
+
+	var names []string
+	scanner := bufio.NewScanner(stdin)
+	for scanner.Scan() {
+		name := strings.TrimSpace(scanner.Text())
+		if name == "" || strings.HasPrefix(name, "#") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(stderr, "zdns:", err)
+		return 1
+	}
+
+	enc := json.NewEncoder(stdout)
+	statuses := map[string]int{}
+	r.LookupAll(names, qtype, *workers, func(res zdns.Result) {
+		statuses[res.Status]++
+		enc.Encode(res)
+	})
+	fmt.Fprintf(stderr, "zdns: %d names: %v\n", len(names), statuses)
+	return 0
+}

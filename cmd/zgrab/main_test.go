@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"zmapgo/internal/target"
+	"zmapgo/zmap"
+)
+
+// findTargets returns one real HTTP service, one dead host, and one
+// middlebox-only address under the given sim seed.
+func findTargets(t *testing.T, seed uint64) (service, dead, middlebox string) {
+	t.Helper()
+	in := zmap.NewInternet(zmap.SimOptions{Seed: seed, Lossless: true})
+	var haveS, haveD, haveM bool
+	for i := uint32(0); i < 1_000_000 && !(haveS && haveD && haveM); i++ {
+		ip := i * 65543
+		switch {
+		case !haveS && in.ServiceOpen(ip, 80) && in.Grab(ip, 80).ServiceDetected:
+			service, haveS = target.FormatIPv4(ip), true
+		case !haveD && !in.Live(ip) && !in.Middlebox(ip):
+			dead, haveD = target.FormatIPv4(ip), true
+		case !haveM && in.Middlebox(ip) && !in.ServiceOpen(ip, 80):
+			middlebox, haveM = target.FormatIPv4(ip), true
+		}
+	}
+	if !haveS || !haveD || !haveM {
+		t.Fatal("could not find all target classes")
+	}
+	return service, dead, middlebox
+}
+
+func TestZGrabPipeline(t *testing.T) {
+	service, dead, middlebox := findTargets(t, 1)
+	stdin := strings.NewReader(strings.Join([]string{
+		service,
+		dead,
+		middlebox + ":80",
+		"# comment",
+		"",
+		"not-an-address",
+		service + ":badport",
+	}, "\n"))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-p", "80"}, stdin, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d output records, want 5: %s", len(lines), stdout.String())
+	}
+	var recs []grabRecord
+	for _, l := range lines {
+		var r grabRecord
+		if err := json.Unmarshal([]byte(l), &r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if !recs[0].Success || recs[0].Protocol == "" || recs[0].Banner == "" {
+		t.Errorf("service record %+v", recs[0])
+	}
+	if recs[1].Success || recs[1].Error != "connection refused" {
+		t.Errorf("dead record %+v", recs[1])
+	}
+	if recs[2].Success || !recs[2].Middlebox {
+		t.Errorf("middlebox record %+v", recs[2])
+	}
+	if recs[3].Error != "bad address" {
+		t.Errorf("garbage record %+v", recs[3])
+	}
+	if recs[4].Error != "bad port" {
+		t.Errorf("bad-port record %+v", recs[4])
+	}
+}
+
+func TestZGrabBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-p", "99999"}, strings.NewReader(""), &out, &errBuf); code == 0 {
+		t.Error("out-of-range port accepted")
+	}
+	if code := run([]string{"-badflag"}, strings.NewReader(""), &out, &errBuf); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}
+
+func TestZGrabStructuredFields(t *testing.T) {
+	service, _, _ := findTargets(t, 1)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-p", "80", "-m", "http"}, strings.NewReader(service+"\n"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var r grabRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(stdout.String())), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fields["status_code"] != "200" || r.Fields["server"] == "" {
+		t.Errorf("structured fields %v", r.Fields)
+	}
+	// Explicit wrong module yields an error record, not a crash.
+	stdout.Reset()
+	code = run([]string{"-p", "80", "-m", "ssh"}, strings.NewReader(service+"\n"), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "does not match module") {
+		t.Errorf("mismatched module output: %s", stdout.String())
+	}
+}

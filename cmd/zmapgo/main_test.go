@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run the CLI end-to-end against the simulator, capturing files.
+func TestCLIScanToFiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.csv")
+	meta := filepath.Join(dir, "meta.json")
+	status := filepath.Join(dir, "status.csv")
+	code := run([]string{
+		"-r", "10.0.0.0/20",
+		"-p", "80,443",
+		"--seed", "5",
+		"--sim-lossless",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "200ms",
+		"-O", "csv",
+		"-o", out,
+		"--metadata-file", meta,
+		"--status-updates-file", status,
+		"-T", "2",
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	results, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(results), "saddr,sport,") {
+		t.Errorf("csv header missing: %q", string(results[:40]))
+	}
+	if lines := strings.Count(string(results), "\n"); lines < 10 {
+		t.Errorf("only %d result lines", lines)
+	}
+	metadata, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tool": "zmapgo"`, `"ports": "80,443"`, `"cyclic_group_prime"`} {
+		if !strings.Contains(string(metadata), want) {
+			t.Errorf("metadata missing %s", want)
+		}
+	}
+}
+
+func TestCLIBlocklistFile(t *testing.T) {
+	code := run([]string{
+		"-r", "10.0.0.0/24",
+		"-b", "../../conf/blocklist.conf", // blocks 10/8 entirely
+		"-p", "80",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "10ms",
+		"-o", os.DevNull,
+	})
+	// All of 10/8 is blocklisted, so the scan has no targets and must
+	// fail with a clear error.
+	if code == 0 {
+		t.Error("scan of fully-blocklisted range should fail")
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-p", "99999"},
+		{"-r", "nonsense"},
+		{"-M", "bogus"},
+		{"--probe-tcp-options", "bogus"},
+		{"-b", "/nonexistent/blocklist"},
+		{"-o", "/nonexistent-dir/file"},
+	}
+	for _, args := range cases {
+		args = append(args, "--sim-time-scale", "0", "--cooldown-time", "1ms")
+		if code := run(args); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestCLISynAckScanModule(t *testing.T) {
+	code := run([]string{
+		"-r", "10.0.0.0/22",
+		"-p", "80",
+		"-M", "tcp_synackscan",
+		"--seed", "5",
+		"--sim-lossless",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "100ms",
+		"-o", os.DevNull,
+	})
+	if code != 0 {
+		t.Fatalf("synackscan exit code %d", code)
+	}
+}
+
+func TestCLISchemaFlag(t *testing.T) {
+	// --schema prints the record schema and exits 0 without scanning.
+	if code := run([]string{"--schema"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestCLIOptOutFile(t *testing.T) {
+	dir := t.TempDir()
+	optFile := filepath.Join(dir, "optouts.conf")
+	// A recent request covering half the range, plus an ancient one that
+	// must expire and leave its prefix scannable.
+	content := "10.0.8.0/21 added=2099-01-01 future-proof request\n" +
+		"10.0.0.0/21 added=2001-01-01 long-expired request\n"
+	if err := os.WriteFile(optFile, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.txt")
+	code := run([]string{
+		"-r", "10.0.0.0/20",
+		"-p", "80",
+		"--seed", "5",
+		"--opt-out-file", optFile,
+		"--sim-lossless",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "100ms",
+		"-o", out,
+	})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10.0.8.0-10.0.15.255 is opted out; 10.0.0.0/21 is scannable again.
+	sawLow := false
+	for _, addr := range strings.Fields(string(data)) {
+		if strings.HasPrefix(addr, "10.0.8.") || strings.HasPrefix(addr, "10.0.12.") {
+			t.Fatalf("opted-out address %s probed", addr)
+		}
+		if strings.HasPrefix(addr, "10.0.0.") || strings.HasPrefix(addr, "10.0.1.") ||
+			strings.HasPrefix(addr, "10.0.2.") || strings.HasPrefix(addr, "10.0.3.") {
+			sawLow = true
+		}
+	}
+	if !sawLow {
+		t.Error("expired opt-out range yielded no results; expiry not applied")
+	}
+}
+
+func TestCLIStateFileResume(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "scan.state")
+	out1 := filepath.Join(dir, "half1.txt")
+	out2 := filepath.Join(dir, "half2.txt")
+	common := []string{
+		"-r", "10.0.0.0/20", "-p", "80", "--seed", "9", "-T", "2",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "100ms",
+	}
+	// First half: cap at 2000 targets, save state.
+	args := append(append([]string{}, common...),
+		"--max-targets", "2000", "--state-file", state, "-o", out1)
+	if code := run(args); code != 0 {
+		t.Fatalf("first half exit %d", code)
+	}
+	// Second half: resume from state.
+	args = append(append([]string{}, common...),
+		"--resume", state, "-o", out2)
+	if code := run(args); code != 0 {
+		t.Fatalf("resume exit %d", code)
+	}
+	a, _ := os.ReadFile(out1)
+	b, _ := os.ReadFile(out2)
+	seen := map[string]bool{}
+	for _, addr := range strings.Fields(string(a)) {
+		seen[addr] = true
+	}
+	for _, addr := range strings.Fields(string(b)) {
+		if seen[addr] {
+			t.Fatalf("%s found by both halves", addr)
+		}
+	}
+	// Resuming with mismatched flags must be rejected.
+	bad := append(append([]string{}, common...), "--resume", state, "-T", "3", "-o", os.DevNull)
+	if code := run(bad); code == 0 {
+		t.Error("resume with mismatched thread count accepted")
+	}
+}
+
+func TestCLIVersionFlag(t *testing.T) {
+	if code := run([]string{"--version"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+}

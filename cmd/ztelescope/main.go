@@ -1,0 +1,100 @@
+// Command ztelescope runs the network-telescope analysis pipeline of §2
+// against synthetic scanner traffic: it generates the 2014–2024 scanner
+// population, ingests it like ORION would, fingerprints tools by IP ID,
+// and prints the adoption series plus the port and country breakdowns.
+//
+// Example:
+//
+//	ztelescope -packets 200000 -quarter 2024Q1 -top 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"zmapgo/internal/scanpop"
+	"zmapgo/internal/telescope"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ztelescope", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		packets = fs.Int("packets", 200000, "packets to generate per quarter")
+		quarter = fs.String("quarter", "", "analyze a single quarter (e.g. 2024Q1); empty = full timeline")
+		top     = fs.Int("top", 10, "top ports to print")
+		seed    = fs.Int64("seed", 1, "traffic generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	gen := scanpop.NewGenerator(*seed)
+	tel := telescope.New()
+	quarters := scanpop.Timeline
+	if *quarter != "" {
+		quarters = nil
+		for _, q := range scanpop.Timeline {
+			if q.Label == *quarter {
+				quarters = []scanpop.Quarter{q}
+			}
+		}
+		if quarters == nil {
+			fmt.Fprintf(stderr, "ztelescope: unknown quarter %q\n", *quarter)
+			return 1
+		}
+	}
+	for _, q := range quarters {
+		gen.GenerateQuarter(q, *packets, tel.Ingest)
+	}
+
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "== ZMap share by quarter (Figure 1) ==")
+	fmt.Fprintln(w, "quarter\tpackets\tzmap\tmasscan\tunknown")
+	shares := tel.ShareByPeriod()
+	for _, q := range quarters {
+		ts := shares[q.Label]
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.1f%%\n", q.Label, ts.Total,
+			ts.Share(telescope.ToolZMap)*100,
+			ts.Share(telescope.ToolMasscan)*100,
+			ts.Share(telescope.ToolUnknown)*100)
+	}
+	w.Flush()
+
+	fmt.Fprintln(stdout, "\n== Top ports, all scans (Figure 2) ==")
+	printPorts(stdout, tel.TopPorts(*top, ""))
+	fmt.Fprintln(stdout, "\n== Top ports, ZMap scans (Figure 3) ==")
+	printPorts(stdout, tel.TopPorts(*top, telescope.ToolZMap))
+
+	fmt.Fprintln(stdout, "\n== ZMap share by country (Figure 4) ==")
+	byCountry := tel.CountryShare(scanpop.Geo)
+	cw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(cw, "country\tpackets\tzmap-share")
+	for _, c := range scanpop.Countries {
+		ts, ok := byCountry[c.Code]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(cw, "%s\t%d\t%.2f%%\n", c.Code, ts.Total, ts.Share(telescope.ToolZMap)*100)
+	}
+	cw.Flush()
+	fmt.Fprintf(stdout, "\nsessions: %d scan, %d background sources discarded (<%d dst IPs)\n",
+		len(tel.Sessions()), tel.DiscardedSources(), telescope.ScanSessionThreshold)
+	return 0
+}
+
+func printPorts(stdout io.Writer, ports []telescope.PortCount) {
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tport\tpackets\tzmap-share")
+	for i, pc := range ports {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1f%%\n", i+1, pc.Port, pc.Packets, pc.ZMapShare*100)
+	}
+	w.Flush()
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTelescopeSingleQuarter(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-packets", "60000", "-quarter", "2024Q1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "Figure 4", "2024Q1", "US", "sessions:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The headline share should print in the 30-40% neighborhood.
+	if !strings.Contains(s, "2024Q1") {
+		t.Error("quarter row missing")
+	}
+}
+
+func TestTelescopeFullTimeline(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-packets", "5000"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "2014Q1") || !strings.Contains(out.String(), "2024Q1") {
+		t.Error("timeline endpoints missing")
+	}
+}
+
+func TestTelescopeUnknownQuarter(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-quarter", "1999Q9"}, &out, &errBuf); code == 0 {
+		t.Error("unknown quarter accepted")
+	}
+}

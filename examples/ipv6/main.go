@@ -1,0 +1,80 @@
+// Ipv6: hitlist scanning, the capability that lived in the XMap/ZMapv6
+// forks (§4). IPv6 cannot be enumerated, so the workflow starts from a
+// curated candidate list; the scan permutes (hitlist-index, port) with
+// the same cyclic-group machinery as a v4 scan and probes with real
+// IPv6/TCP frames.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"zmapgo/internal/netsim"
+	"zmapgo/internal/packet"
+	"zmapgo/internal/target"
+	"zmapgo/internal/v6scan"
+)
+
+func main() {
+	// A synthetic hitlist: 8k addresses under a documentation prefix, the
+	// shape a DNS/CT-derived candidate list would have.
+	addrs := make([][16]byte, 8192)
+	for i := range addrs {
+		var a [16]byte
+		a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x0d, 0xb8
+		a[7] = 0x42
+		a[13] = byte(i >> 16)
+		a[14] = byte(i >> 8)
+		a[15] = byte(i)
+		addrs[i] = a
+	}
+	hitlist, err := v6scan.NewHitlist(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	simCfg := netsim.DefaultConfig(2016) // the year of the ZMapv6 paper
+	simCfg.ProbeLoss, simCfg.ResponseLoss, simCfg.PathBadFraction = 0, 0, 0
+	in := netsim.New(simCfg)
+	link := netsim.NewLink(in, 1<<16, 0)
+	defer link.Close()
+
+	ports, err := target.ParsePorts("80,443")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex
+	perPort := map[uint16]int{}
+	scanner, err := v6scan.New(v6scan.Config{
+		Hitlist:  hitlist,
+		Ports:    ports,
+		Seed:     6,
+		Threads:  4,
+		Cooldown: 300 * time.Millisecond,
+		Options:  packet.LayoutMSS,
+		Emit: func(r v6scan.Result) {
+			if r.Success && !r.Repeat {
+				mu.Lock()
+				perPort[r.Port]++
+				if perPort[80]+perPort[443] <= 5 {
+					fmt.Printf("  %s port %d\n", r.Addr, r.Port)
+				}
+				mu.Unlock()
+			}
+		},
+	}, link)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := scanner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hitlist %d addresses x 2 ports = %d targets, %d probes\n",
+		hitlist.Len(), sum.Targets, sum.Sent)
+	fmt.Printf("services: %d on port 80, %d on port 443 (first few shown above)\n",
+		perPort[80], perPort[443])
+}

@@ -1,0 +1,62 @@
+// Telescope: the defender's view. A darknet ingests unsolicited traffic,
+// groups it into scan sessions (>= 10 distinct destinations), and
+// fingerprints the scanning tool from the IP ID — exactly the §2
+// methodology behind the paper's adoption measurements. The example
+// fabricates traffic from three scanners and shows the pipeline
+// attributing it.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zmapgo/internal/telescope"
+)
+
+func main() {
+	tel := telescope.New()
+	rng := rand.New(rand.NewSource(11))
+
+	// Scanner 1: classic ZMap (static IP ID 54321), scanning port 80.
+	for i := 0; i < 5000; i++ {
+		tel.Ingest(telescope.Packet{
+			Period: "now", SrcIP: 0x08080101, DstIP: rng.Uint32(),
+			DstPort: 80, IPID: telescope.ZMapIPID, TCPSeq: rng.Uint32(),
+		})
+	}
+	// Scanner 2: masscan (IP ID = stateless cookie), scanning telnet.
+	for i := 0; i < 3000; i++ {
+		dst, seq := rng.Uint32(), rng.Uint32()
+		tel.Ingest(telescope.Packet{
+			Period: "now", SrcIP: 0x0A141E28, DstIP: dst,
+			DstPort: 23, IPID: telescope.MasscanIPID(dst, 23, seq), TCPSeq: seq,
+		})
+	}
+	// Scanner 3: a modern ZMap fork with random IP IDs — unattributable,
+	// exactly the undercount the paper warns about.
+	for i := 0; i < 2000; i++ {
+		tel.Ingest(telescope.Packet{
+			Period: "now", SrcIP: 0x0B0B0B0B, DstIP: rng.Uint32(),
+			DstPort: 443, IPID: uint16(rng.Intn(65536)), TCPSeq: rng.Uint32(),
+		})
+	}
+	// Background radiation: sources that never reach 10 destinations.
+	for s := 0; s < 50; s++ {
+		src := rng.Uint32()
+		for i := 0; i < 3; i++ {
+			tel.Ingest(telescope.Packet{
+				Period: "now", SrcIP: src, DstIP: rng.Uint32(),
+				DstPort: uint16(rng.Intn(1024)), IPID: uint16(rng.Intn(65536)),
+			})
+		}
+	}
+
+	fmt.Printf("scan sessions: %d (background sources discarded: %d)\n\n",
+		len(tel.Sessions()), tel.DiscardedSources())
+	for _, s := range tel.Sessions() {
+		fmt.Printf("source %08x -> tool=%-8s packets=%d\n", s.SrcIP, s.Tool, s.Packets)
+	}
+	share := tel.ShareByPeriod()["now"]
+	fmt.Printf("\nZMap-attributed share: %.1f%% of %d scan packets", share.Share(telescope.ToolZMap)*100, share.Total)
+	fmt.Println(" (the random-IP-ID fork is invisible, so this is a floor)")
+}

@@ -1,0 +1,3 @@
+module zmapgo
+
+go 1.22

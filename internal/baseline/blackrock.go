@@ -1,0 +1,141 @@
+// Package baseline implements masscan-style target randomization as the
+// comparison point §3 references: Adrian et al. observed that masscan
+// "finds notably fewer hosts than ZMap, likely due to biases in its
+// randomization algorithm."
+//
+// Masscan shuffles indices with "Blackrock", an unbalanced Feistel cipher
+// over an arbitrary-size domain. Done correctly — with cycle-walking to
+// stay inside the domain — it is a bijection, like ZMap's cyclic groups.
+// Early versions cut that corner by reducing out-of-domain outputs modulo
+// the range, which collides indices and silently skips targets. Both
+// variants are implemented here so the coverage experiment can measure
+// who wins and by how much.
+package baseline
+
+import "math"
+
+// Blackrock is a correct unbalanced-Feistel permutation of [0, Range).
+type Blackrock struct {
+	// Range is the domain size.
+	Range uint64
+	a, b  uint64
+	seed  uint64
+	// Rounds is the Feistel round count (masscan uses 3–4).
+	Rounds int
+}
+
+// NewBlackrock builds a permutation of [0, rang) with the given seed.
+// rang must be at least 2.
+func NewBlackrock(rang uint64, seed uint64, rounds int) *Blackrock {
+	if rang < 2 {
+		panic("baseline: range must be >= 2")
+	}
+	if rounds <= 0 {
+		rounds = 4
+	}
+	a := uint64(math.Sqrt(float64(rang)))
+	if a < 1 {
+		a = 1
+	}
+	for a*a < rang {
+		a++
+	}
+	b := rang/a + 1
+	for a*b < rang {
+		b++
+	}
+	return &Blackrock{Range: rang, a: a, b: b, seed: seed, Rounds: rounds}
+}
+
+// f is the Feistel round function: a splitmix-style mix of round index,
+// half-block, and seed.
+func (br *Blackrock) f(round int, right uint64) uint64 {
+	x := right ^ (br.seed + uint64(round)*0x9E3779B97F4A7C15)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// encrypt applies the Feistel network once over the a x b rectangle; the
+// output lies in [0, a*b), which may exceed Range.
+func (br *Blackrock) encrypt(m uint64) uint64 {
+	left, right := m%br.a, m/br.a
+	for j := 1; j <= br.Rounds; j++ {
+		var tmp uint64
+		if j&1 == 1 {
+			tmp = (left + br.f(j, right)) % br.a
+		} else {
+			tmp = (left + br.f(j, right)) % br.b
+		}
+		left, right = right, tmp
+	}
+	if br.Rounds&1 == 1 {
+		return br.a*left + right
+	}
+	return br.a*right + left
+}
+
+// Shuffle maps index m in [0, Range) to its shuffled position, walking
+// the cipher until the output re-enters the domain (cycle-walking keeps
+// the map bijective).
+func (br *Blackrock) Shuffle(m uint64) uint64 {
+	c := br.encrypt(m)
+	for c >= br.Range {
+		c = br.encrypt(c)
+	}
+	return c
+}
+
+// BiasedShuffle reproduces the shortcut of early masscan-era shuffles:
+// run the cipher over a power-of-two rectangle covering the range (cheap
+// masking instead of exact-domain arithmetic) and fold out-of-domain
+// outputs back with a modulo instead of cycle-walking. The result is NOT
+// a bijection — folded outputs collide with direct ones, so some targets
+// are visited twice and others never — which is the coverage-deficit bug
+// class the §3 comparison attributes to masscan. The deficit grows with
+// the gap between the range and the next power of two.
+func (br *Blackrock) BiasedShuffle(m uint64) uint64 {
+	pow2 := nextPow2(br.Range)
+	half := uint64(1)
+	for half*half < pow2 {
+		half <<= 1
+	}
+	biased := Blackrock{Range: pow2, a: half, b: pow2 / half, seed: br.seed, Rounds: br.Rounds}
+	c := biased.encrypt(m)
+	return c % br.Range
+}
+
+func nextPow2(n uint64) uint64 {
+	p := uint64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// CoverageResult summarizes a full-domain walk of a shuffle.
+type CoverageResult struct {
+	Domain  uint64
+	Visited uint64 // distinct outputs
+	Missed  uint64 // domain values never produced
+}
+
+// MissRate is the fraction of the domain never visited.
+func (c CoverageResult) MissRate() float64 {
+	return float64(c.Missed) / float64(c.Domain)
+}
+
+// Coverage walks the entire domain through shuffle and counts distinct
+// outputs. Intended for domains that fit in memory (<= 2^27 or so).
+func Coverage(domain uint64, shuffle func(uint64) uint64) CoverageResult {
+	seen := make([]bool, domain)
+	var visited uint64
+	for m := uint64(0); m < domain; m++ {
+		v := shuffle(m)
+		if !seen[v] {
+			seen[v] = true
+			visited++
+		}
+	}
+	return CoverageResult{Domain: domain, Visited: visited, Missed: domain - visited}
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlackrockIsPermutation(t *testing.T) {
+	for _, rang := range []uint64{2, 10, 100, 1000, 65537, 1 << 16} {
+		br := NewBlackrock(rang, 12345, 4)
+		seen := make([]bool, rang)
+		for m := uint64(0); m < rang; m++ {
+			v := br.Shuffle(m)
+			if v >= rang {
+				t.Fatalf("range %d: output %d out of domain", rang, v)
+			}
+			if seen[v] {
+				t.Fatalf("range %d: output %d repeated", rang, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBlackrockPermutationProperty(t *testing.T) {
+	f := func(rangRaw uint16, seed uint64, roundsRaw uint8) bool {
+		rang := uint64(rangRaw%5000) + 2
+		rounds := int(roundsRaw%5) + 2
+		br := NewBlackrock(rang, seed, rounds)
+		cov := Coverage(rang, br.Shuffle)
+		return cov.Missed == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlackrockDifferentSeedsDifferentOrders(t *testing.T) {
+	a := NewBlackrock(1000, 1, 4)
+	b := NewBlackrock(1000, 2, 4)
+	same := true
+	for m := uint64(0); m < 1000; m++ {
+		if a.Shuffle(m) != b.Shuffle(m) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical shuffles")
+	}
+}
+
+func TestBiasedShuffleLosesCoverage(t *testing.T) {
+	// The pre-fix behavior: modulo folding loses targets on any domain
+	// where a*b > range (nearly all non-square domains).
+	br := NewBlackrock(100000, 7, 4)
+	biased := Coverage(br.Range, br.BiasedShuffle)
+	if biased.Missed == 0 {
+		t.Fatal("biased shuffle achieved full coverage; bias not reproduced")
+	}
+	correct := Coverage(br.Range, br.Shuffle)
+	if correct.Missed != 0 {
+		t.Fatal("correct shuffle missed targets")
+	}
+	rate := biased.MissRate()
+	if rate <= 0 || rate > 0.25 {
+		t.Errorf("biased miss rate %.4f outside plausible (0, 0.25]", rate)
+	}
+}
+
+func TestBlackrockPanicsOnTinyRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("range 1 should panic")
+		}
+	}()
+	NewBlackrock(1, 0, 4)
+}
+
+func TestCoverageCountsExactly(t *testing.T) {
+	// Identity shuffle covers everything; constant shuffle covers one.
+	c := Coverage(50, func(m uint64) uint64 { return m })
+	if c.Visited != 50 || c.Missed != 0 {
+		t.Errorf("identity coverage %+v", c)
+	}
+	c = Coverage(50, func(m uint64) uint64 { return 7 })
+	if c.Visited != 1 || c.Missed != 49 {
+		t.Errorf("constant coverage %+v", c)
+	}
+	if c.MissRate() != 49.0/50 {
+		t.Errorf("miss rate %f", c.MissRate())
+	}
+}
+
+func TestDefaultRounds(t *testing.T) {
+	br := NewBlackrock(100, 1, 0)
+	if br.Rounds != 4 {
+		t.Errorf("default rounds = %d, want 4", br.Rounds)
+	}
+}
+
+func BenchmarkBlackrockShuffle(b *testing.B) {
+	br := NewBlackrock(1<<32, 9, 4)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = br.Shuffle(uint64(i) & (1<<32 - 1))
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

@@ -1,0 +1,503 @@
+// Package core is the scan engine: it wires target generation (cyclic),
+// sharding, probe modules, rate limiting, response validation,
+// deduplication, and the four output streams into ZMap's send/receive
+// architecture.
+//
+// Concurrency model (unchanged since "Zippier ZMap", modulo the pizza
+// sharding switch): N sender goroutines each own a disjoint subshard of
+// the cyclic permutation and share nothing but atomic counters; one
+// receiver goroutine parses, validates, deduplicates, and writes results
+// as they arrive; the main goroutine waits for senders, then holds the
+// receiver open through a cooldown window for stragglers.
+//
+// The engine is stateless per target: probes carry validator-derived
+// fields, so the receiver needs no probe table. Configuration, data,
+// metadata and status updates are kept on separate streams (§5).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zmapgo/internal/cyclic"
+	"zmapgo/internal/dedup"
+	"zmapgo/internal/monitor"
+	"zmapgo/internal/output"
+	"zmapgo/internal/packet"
+	"zmapgo/internal/probe"
+	"zmapgo/internal/ratelimit"
+	"zmapgo/internal/shard"
+	"zmapgo/internal/target"
+	"zmapgo/internal/validate"
+)
+
+// Version is reported in scan metadata. Per §5's release-discipline
+// lesson, it follows semantic versioning and changes with every release.
+const Version = "1.0.0"
+
+// Transport is the wire the scanner sends probes into and receives
+// responses from. netsim.Link implements it for the simulated Internet; a
+// raw-socket implementation would satisfy it on a real network.
+type Transport interface {
+	Send(frame []byte)
+	Recv() <-chan []byte
+	Stats() (sent, received, dropped uint64)
+}
+
+// Config describes one scan. Zero values get ZMap's defaults where a
+// default exists; Validate reports what cannot be defaulted.
+type Config struct {
+	// ProbeModule is a registry name: tcp_synscan, icmp_echoscan, udp.
+	ProbeModule string
+
+	// Targets: eligible addresses (allowlist minus blocklist) and ports.
+	Constraint *target.Constraint
+	Ports      *target.PortSet
+
+	// Seed fixes the permutation (generator and offset); shards of the
+	// same scan must share it. Zero means "derive from entropy" — pass
+	// an explicit seed for reproducible scans.
+	Seed int64
+
+	// Sharding.
+	Shards     int // total shards (machines), default 1
+	ShardIndex int // this machine's shard, default 0
+	Threads    int // sender goroutines, default 1
+	ShardMode  shard.Mode
+
+	// Rate is the aggregate packets-per-second budget (0 = unlimited).
+	Rate float64
+
+	// ProbesPerTarget sends each probe k times (ZMap --probes).
+	ProbesPerTarget int
+
+	// MaxTargets caps targets probed by this shard (0 = no cap). The
+	// multiport design tracks (IP, port) targets, not hosts: a "max
+	// hosts" option is no longer expressible without extra state (§4.1).
+	MaxTargets uint64
+
+	// Cooldown is how long to keep receiving after sending completes.
+	Cooldown time.Duration
+
+	// MaxRuntime stops sending after this duration (0 = no limit); the
+	// cooldown still runs afterward. Mirrors ZMap's --max-runtime.
+	MaxRuntime time.Duration
+
+	// ResumeProgress restores an interrupted scan: element counts
+	// consumed per sender thread, as reported in the previous run's
+	// metadata (ThreadProgress). Length must equal Threads, and Seed,
+	// Shards, ShardIndex, ShardMode, Ports, and the constraint must be
+	// identical to the original scan or coverage guarantees are void.
+	ResumeProgress []uint64
+
+	// DedupWindow sizes the sliding window (0 = ZMap default 10^6;
+	// negative disables dedup). Deduper overrides it when non-nil (e.g.
+	// the legacy full bitmap).
+	DedupWindow int
+	Deduper     dedup.Deduper
+
+	// Probe construction.
+	SourceIP        uint32
+	SourceMAC       packet.MAC
+	GatewayMAC      packet.MAC
+	SourcePortBase  uint16 // default 32768
+	SourcePortCount uint16 // default 256
+	OptionLayout    packet.OptionLayout
+	RandomIPID      bool // 2024 default behavior when true
+	TTL             byte
+
+	// Output streams.
+	Results      output.Writer // required (use CountingWriter to discard)
+	StatusWriter io.Writer     // optional 1 Hz status CSV
+	Logger       *slog.Logger  // optional; defaults to a no-op logger
+	MetadataOut  io.Writer     // optional end-of-scan JSON
+
+	// Clock is for tests; nil uses the wall clock.
+	Clock ratelimit.Clock
+}
+
+func (c *Config) setDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.ProbesPerTarget == 0 {
+		c.ProbesPerTarget = 1
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 8 * time.Second
+	}
+	if c.SourcePortBase == 0 {
+		c.SourcePortBase = 32768
+	}
+	if c.SourcePortCount == 0 {
+		c.SourcePortCount = 256
+	}
+	if c.TTL == 0 {
+		c.TTL = packet.DefaultProbeTTL
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Clock == nil {
+		c.Clock = ratelimit.RealClock{}
+	}
+	if c.ProbeModule == "" {
+		c.ProbeModule = "tcp_synscan"
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Constraint == nil {
+		return errors.New("core: Constraint is required")
+	}
+	if c.Ports == nil || c.Ports.Len() == 0 {
+		return errors.New("core: Ports is required")
+	}
+	if c.Results == nil {
+		return errors.New("core: Results writer is required")
+	}
+	if c.ShardIndex < 0 || c.Shards <= c.ShardIndex {
+		return fmt.Errorf("core: shard index %d outside [0, %d)", c.ShardIndex, c.Shards)
+	}
+	if _, err := probe.Lookup(c.ProbeModule); err != nil {
+		return err
+	}
+	if c.ResumeProgress != nil && len(c.ResumeProgress) != c.Threads {
+		return fmt.Errorf("core: ResumeProgress has %d entries for %d threads", len(c.ResumeProgress), c.Threads)
+	}
+	return nil
+}
+
+// Scanner executes one scan.
+type Scanner struct {
+	cfg       Config
+	module    probe.Module
+	transport Transport
+	space     *cyclic.Space
+	cycle     cyclic.Cycle
+	probeCtx  *probe.Context
+	counters  monitor.Counters
+	deduper   dedup.Deduper
+	sentCount atomic.Uint64 // targets probed (for MaxTargets)
+	progress  []atomic.Uint64
+	start     time.Time
+}
+
+// New prepares a scanner: it finalizes the constraint, sizes the cyclic
+// group, runs the generator search, and builds the probe context.
+func New(cfg Config, transport Transport) (*Scanner, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if transport == nil {
+		return nil, errors.New("core: transport is required")
+	}
+	mod, err := probe.Lookup(cfg.ProbeModule)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Constraint.Finalize()
+	numIPs := cfg.Constraint.Count()
+	if numIPs == 0 {
+		return nil, errors.New("core: no eligible addresses after blocklist")
+	}
+	space, err := cyclic.NewSpace(numIPs, uint64(cfg.Ports.Len()))
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	cfg.Seed = seed
+	rng := rand.New(rand.NewSource(seed))
+	cycle := cyclic.NewCycle(space.Group(), rng)
+
+	var key [validate.KeySize]byte
+	rng.Read(key[:])
+	validator := validate.New(key)
+
+	deduper := cfg.Deduper
+	if deduper == nil && cfg.DedupWindow >= 0 {
+		size := cfg.DedupWindow
+		if size == 0 {
+			size = dedup.DefaultWindowSize
+		}
+		deduper = dedup.NewWindow(size)
+	}
+
+	return &Scanner{
+		cfg:       cfg,
+		module:    mod,
+		transport: transport,
+		space:     space,
+		cycle:     cycle,
+		deduper:   deduper,
+		progress:  make([]atomic.Uint64, cfg.Threads),
+		probeCtx: &probe.Context{
+			SrcIP:           cfg.SourceIP,
+			SrcMAC:          cfg.SourceMAC,
+			GwMAC:           cfg.GatewayMAC,
+			Validator:       validator,
+			SourcePortBase:  cfg.SourcePortBase,
+			SourcePortCount: cfg.SourcePortCount,
+			Options:         cfg.OptionLayout,
+			RandomIPID:      cfg.RandomIPID,
+			TTL:             cfg.TTL,
+			TimestampValue:  uint32(seed),
+		},
+	}, nil
+}
+
+// Space exposes the target space (for tests and tooling).
+func (s *Scanner) Space() *cyclic.Space { return s.space }
+
+// Cycle exposes the permutation (generator, offset) used by this scan.
+func (s *Scanner) Cycle() cyclic.Cycle { return s.cycle }
+
+// Counters exposes live scan counters for external monitoring.
+func (s *Scanner) Counters() *monitor.Counters { return &s.counters }
+
+// Progress returns the per-thread count of permutation elements consumed
+// so far. Feed it back via Config.ResumeProgress (with an identical
+// configuration) to continue an interrupted scan without re-probing.
+func (s *Scanner) Progress() []uint64 {
+	out := make([]uint64, len(s.progress))
+	for i := range s.progress {
+		out[i] = s.progress[i].Load()
+	}
+	return out
+}
+
+// Run executes the scan to completion (or ctx cancellation) and returns
+// the metadata summary. Run may be called once.
+func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
+	cfg := &s.cfg
+	s.start = time.Now()
+	log := cfg.Logger
+	excluded, excludedFrac := cfg.Constraint.Excluded()
+	log.Info("scan starting",
+		"module", s.module.Name(),
+		"targets", s.space.Targets(),
+		"excluded_addrs", excluded,
+		"excluded_pct", fmt.Sprintf("%.2f%%", excludedFrac*100),
+		"group", s.space.Group().P,
+		"generator", s.cycle.Generator,
+		"shard", cfg.ShardIndex, "shards", cfg.Shards,
+		"threads", cfg.Threads, "rate", cfg.Rate)
+
+	var status *monitor.StatusWriter
+	if cfg.StatusWriter != nil {
+		status = monitor.NewStatusWriter(cfg.StatusWriter, &s.counters, time.Second)
+	}
+
+	// Senders. MaxRuntime bounds the sending phase via a derived context.
+	sendCtx := ctx
+	var cancelSend context.CancelFunc
+	if cfg.MaxRuntime > 0 {
+		sendCtx, cancelSend = context.WithTimeout(ctx, cfg.MaxRuntime)
+		defer cancelSend()
+	}
+	var wg sync.WaitGroup
+	order := s.space.Group().Order()
+	for t := 0; t < cfg.Threads; t++ {
+		a := shard.Plan(cfg.ShardMode, order, cfg.Shards, cfg.Threads, cfg.ShardIndex, t)
+		if cfg.ResumeProgress != nil {
+			done := cfg.ResumeProgress[t]
+			if done > a.Count {
+				done = a.Count
+			}
+			a.Start += done * a.Stride
+			a.Count -= done
+			s.progress[t].Store(done)
+		}
+		wg.Add(1)
+		go func(t int, a shard.Assignment) {
+			defer wg.Done()
+			s.sendLoop(sendCtx, t, a)
+		}(t, a)
+	}
+
+	// Receiver.
+	recvDone := make(chan struct{})
+	stopRecv := make(chan struct{})
+	var cooldownAt atomic.Int64 // unix nanos when cooldown began; 0 while sending
+	go func() {
+		defer close(recvDone)
+		s.recvLoop(ctx, stopRecv, &cooldownAt)
+	}()
+
+	wg.Wait()
+	log.Debug("senders finished; entering cooldown", "cooldown", cfg.Cooldown)
+	cooldownAt.Store(time.Now().UnixNano())
+	select {
+	case <-ctx.Done():
+	case <-time.After(cfg.Cooldown):
+	}
+	close(stopRecv)
+	<-recvDone
+	if status != nil {
+		status.Stop()
+	}
+
+	meta := s.buildMetadata()
+	if cfg.MetadataOut != nil {
+		if err := meta.Emit(cfg.MetadataOut); err != nil {
+			return meta, fmt.Errorf("core: writing metadata: %w", err)
+		}
+	}
+	if err := cfg.Results.Close(); err != nil {
+		return meta, fmt.Errorf("core: closing results: %w", err)
+	}
+	log.Info("scan complete",
+		"sent", meta.PacketsSent, "received", meta.PacketsRecv,
+		"successes", meta.UniqueSucc, "hitrate", meta.HitRate)
+	return meta, nil
+}
+
+// sendLoop walks one subshard, emitting probes under the per-thread rate
+// share. It owns its iterator and probe buffer; nothing is shared except
+// the per-thread progress counter, which makes the scan resumable.
+func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) {
+	cfg := &s.cfg
+	limiter := ratelimit.New(cfg.Rate/float64(cfg.Threads), cfg.Clock)
+	it := a.Iterator(s.cycle)
+	buf := make([]byte, 0, 128)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		elem, ok := it.Next()
+		if !ok {
+			return
+		}
+		s.progress[thread].Add(1)
+		ipIdx, portIdx, ok := s.space.Decode(elem)
+		if !ok {
+			continue // element outside the target space; skip
+		}
+		if n := s.sentCount.Add(1); cfg.MaxTargets > 0 && n > cfg.MaxTargets {
+			// The element was consumed but not probed; give it back so
+			// resumed scans cover it.
+			s.progress[thread].Add(^uint64(0))
+			return
+		}
+		ip := cfg.Constraint.At(ipIdx)
+		port := cfg.Ports.At(int(portIdx))
+		for p := 0; p < cfg.ProbesPerTarget; p++ {
+			limiter.Wait()
+			buf = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
+			s.transport.Send(buf)
+			s.counters.Sent()
+		}
+	}
+}
+
+// recvLoop parses, validates, deduplicates, and writes responses until
+// stop closes (end of cooldown) or the context dies.
+func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt *atomic.Int64) {
+	cfg := &s.cfg
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case frame := <-s.transport.Recv():
+			s.counters.Recv()
+			f, err := packet.Parse(frame)
+			if err != nil {
+				cfg.Logger.Debug("unparseable frame", "err", err)
+				continue
+			}
+			res, ok := s.module.Classify(s.probeCtx, f)
+			if !ok {
+				continue
+			}
+			s.counters.Valid()
+			repeat := false
+			if s.deduper != nil {
+				repeat = s.deduper.Seen(res.IP, res.Port)
+			}
+			if repeat {
+				s.counters.Duplicate()
+			}
+			if res.Success {
+				s.counters.Success(!repeat)
+			}
+			inCooldown := cooldownAt.Load() != 0
+			rec := output.NewRecord(res.IP, res.Port, res.Class, res.Success, repeat, inCooldown, res.TTL, time.Since(s.start))
+			if err := cfg.Results.Write(rec); err != nil {
+				cfg.Logger.Error("result write failed", "err", err)
+			}
+		}
+	}
+}
+
+func (s *Scanner) buildMetadata() *output.Metadata {
+	cfg := &s.cfg
+	snap := s.counters.Snapshot()
+	_, _, dropped := s.transport.Stats()
+	end := time.Now()
+	dur := end.Sub(s.start).Seconds()
+	hitRate := 0.0
+	if snap.Sent > 0 {
+		hitRate = float64(snap.UniqueSucc) * float64(cfg.ProbesPerTarget) / float64(snap.Sent)
+	}
+	targets := s.sentCount.Load()
+	if cfg.MaxTargets > 0 && targets > cfg.MaxTargets {
+		targets = cfg.MaxTargets
+	}
+	return &output.Metadata{
+		Tool:           "zmapgo",
+		Version:        Version,
+		ProbeModule:    s.module.Name(),
+		Seed:           cfg.Seed,
+		Shards:         cfg.Shards,
+		ShardIndex:     cfg.ShardIndex,
+		SenderThreads:  cfg.Threads,
+		RatePPS:        cfg.Rate,
+		Ports:          cfg.Ports.String(),
+		OptionLayout:   cfg.OptionLayout.String(),
+		RandomIPID:     cfg.RandomIPID,
+		MaxTargets:     cfg.MaxTargets,
+		CooldownSecs:   cfg.Cooldown.Seconds(),
+		Allowlisted:    cfg.Constraint.Count(),
+		Blocklisted:    excludedCount(cfg.Constraint),
+		Group:          s.space.Group().P,
+		Generator:      s.cycle.Generator,
+		StartTime:      s.start,
+		EndTime:        end,
+		Duration:       dur,
+		TargetsScanned: targets,
+		PacketsSent:    snap.Sent,
+		PacketsRecv:    snap.Recv,
+		ValidResponses: snap.Valid,
+		Successes:      snap.Success,
+		UniqueSucc:     snap.UniqueSucc,
+		Duplicates:     snap.Duplicates,
+		RecvDrops:      dropped,
+		HitRate:        hitRate,
+		SendRatePPS:    float64(snap.Sent) / dur,
+		ThreadProgress: s.Progress(),
+	}
+}
+
+func excludedCount(c *target.Constraint) uint64 {
+	n, _ := c.Excluded()
+	return n
+}

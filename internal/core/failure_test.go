@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zmapgo/internal/netsim"
+	"zmapgo/internal/output"
+)
+
+// failingWriter errors on every write after the first n.
+type failingWriter struct {
+	mu       sync.Mutex
+	okLeft   int
+	writes   int
+	failures int
+}
+
+func (f *failingWriter) Write(output.Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.okLeft > 0 {
+		f.okLeft--
+		return nil
+	}
+	f.failures++
+	return errors.New("disk full")
+}
+
+func (f *failingWriter) Close() error { return nil }
+
+func TestScanSurvivesResultWriteFailures(t *testing.T) {
+	// A failing output sink must not kill the scan: the engine logs and
+	// keeps receiving (results are best-effort streams, §5).
+	in, cfg, _ := testbed(t, 200, "80")
+	fw := &failingWriter{okLeft: 3}
+	cfg.Results = fw
+	var logBuf safeBuffer
+	logBuf.buf = &bytes.Buffer{}
+	cfg.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
+	link := netsim.NewLink(in, 1<<16, 0)
+	defer link.Close()
+	s, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("scan failed outright: %v", err)
+	}
+	if meta.PacketsSent != 16384 {
+		t.Errorf("scan stopped early: sent %d", meta.PacketsSent)
+	}
+	fw.mu.Lock()
+	failures := fw.failures
+	fw.mu.Unlock()
+	if failures == 0 {
+		t.Fatal("writer never failed; test is vacuous")
+	}
+	if !strings.Contains(logBuf.String(), "result write failed") {
+		t.Error("write failures not logged")
+	}
+}
+
+func TestScanCountsReceiveDrops(t *testing.T) {
+	// A 1-slot receive ring under a burst must record drops in metadata,
+	// like ZMap's recv-drop counter.
+	in, cfg, _ := testbed(t, 201, "80")
+	link := netsim.NewLink(in, 1, 0) // pathological ring
+	defer link.Close()
+	s, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.RecvDrops == 0 {
+		t.Error("no receive drops recorded despite 1-slot ring")
+	}
+	if meta.UniqueSucc == 0 {
+		t.Error("scan should still classify some responses")
+	}
+}
+
+func TestScanImmediateCancel(t *testing.T) {
+	in, cfg, _ := testbed(t, 202, "80")
+	link := netsim.NewLink(in, 1<<16, 0)
+	defer link.Close()
+	s, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before Run
+	start := time.Now()
+	if _, err := s.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("pre-cancelled scan did not exit promptly")
+	}
+}
+
+func TestScanWithLossyNetworkUndercounts(t *testing.T) {
+	// With default transient loss, the engine should find slightly fewer
+	// services than lossless ground truth (the Wan et al. effect),
+	// never more. Reuse the testbed config but run against a lossy sim.
+	_, cfg, sink := testbed(t, 203, "80")
+	simCfg := netsim.DefaultConfig(203)
+	simCfg.BlowbackFraction = 0
+	lossy := netsim.New(simCfg)
+	link := netsim.NewLink(lossy, 1<<16, 0)
+	defer link.Close()
+	s, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	losslessCfg := simCfg
+	losslessCfg.ProbeLoss, losslessCfg.ResponseLoss, losslessCfg.PathBadFraction = 0, 0, 0
+	truth := expectedHits(netsim.New(losslessCfg), []uint16{80}, cfg.OptionLayout)
+	if int(meta.UniqueSucc) > truth {
+		t.Errorf("lossy scan found %d > ground truth %d", meta.UniqueSucc, truth)
+	}
+	missRate := 1 - float64(meta.UniqueSucc)/float64(truth)
+	if missRate < 0.005 || missRate > 0.08 {
+		t.Errorf("loss-induced miss rate %.4f, want ~0.027", missRate)
+	}
+	_ = sink
+}

@@ -1,0 +1,444 @@
+package cyclic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zmapgo/internal/mathx"
+)
+
+func TestGroupTableIsPrimeWithCorrectFactors(t *testing.T) {
+	for _, g := range Groups() {
+		if !mathx.IsPrime(g.P) {
+			t.Errorf("group modulus %d is not prime", g.P)
+		}
+		want := mathx.DistinctPrimes(g.P - 1)
+		if len(want) != len(g.PM1Factors) {
+			t.Errorf("group %d: factor count %d, want %d", g.P, len(g.PM1Factors), len(want))
+			continue
+		}
+		for i := range want {
+			if want[i] != g.PM1Factors[i] {
+				t.Errorf("group %d: factor[%d] = %d, want %d", g.P, i, g.PM1Factors[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGroupForOrder(t *testing.T) {
+	cases := []struct {
+		n     uint64
+		wantP uint64
+	}{
+		{1, (1 << 8) + 1},
+		{256, (1 << 8) + 1},
+		{257, (1 << 16) + 1},
+		{1 << 16, (1 << 16) + 1},
+		{(1 << 16) + 1, (1 << 24) + 43},
+		{1 << 32, (1 << 32) + 15},
+		{1 << 48, (1 << 48) + 21},
+	}
+	for _, c := range cases {
+		g, err := GroupForOrder(c.n)
+		if err != nil {
+			t.Fatalf("GroupForOrder(%d): %v", c.n, err)
+		}
+		if g.P != c.wantP {
+			t.Errorf("GroupForOrder(%d).P = %d, want %d", c.n, g.P, c.wantP)
+		}
+	}
+	if _, err := GroupForOrder((1 << 48) + 21); err == nil {
+		t.Error("GroupForOrder beyond 2^48+20 should fail")
+	}
+}
+
+func TestFindGeneratorProducesGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range Groups() {
+		gen, attempts := FindGenerator(g, rng)
+		if !mathx.IsGeneratorOfMultiplicativeGroup(gen, g.P, g.PM1Factors) {
+			t.Errorf("group %d: %d is not a generator", g.P, gen)
+		}
+		if gen >= MaxGeneratorCandidate && g.P > MaxGeneratorCandidate {
+			t.Errorf("group %d: generator %d exceeds 16-bit bound", g.P, gen)
+		}
+		if attempts <= 0 {
+			t.Errorf("group %d: nonpositive attempt count %d", g.P, attempts)
+		}
+	}
+}
+
+func TestFindGeneratorAverageAttempts(t *testing.T) {
+	// §4.1: the modern search averages about four attempts, because the
+	// density of generators among candidates is phi(p-1)/(p-1) ~ 1/4.
+	rng := rand.New(rand.NewSource(7))
+	g, _ := GroupForOrder(1 << 32)
+	const trials = 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		_, attempts := FindGenerator(g, rng)
+		total += attempts
+	}
+	avg := float64(total) / trials
+	want := float64(g.P-1) / float64(mathx.EulerPhi(g.P-1))
+	if avg < want*0.85 || avg > want*1.15 {
+		t.Errorf("average attempts %.2f, want within 15%% of %.2f", avg, want)
+	}
+	if want < 3 || want > 5 {
+		t.Errorf("analytic expected attempts %.2f, paper says ~4", want)
+	}
+}
+
+func TestFindGeneratorAdditiveWorksForSmallBound(t *testing.T) {
+	// The 2013 approach is fine when the usable bound (2^32) is large
+	// relative to the modulus, as with the 2^24 group.
+	rng := rand.New(rand.NewSource(3))
+	g, _ := GroupForOrder(1 << 24)
+	root := SmallestPrimitiveRoot(g)
+	gen, _, ok := FindGeneratorAdditive(g, root, 1<<32, rng, 1000)
+	if !ok {
+		t.Fatal("additive search failed with generous bound")
+	}
+	if !mathx.IsGeneratorOfMultiplicativeGroup(gen, g.P, g.PM1Factors) {
+		t.Errorf("additive search returned non-generator %d", gen)
+	}
+}
+
+func TestFindGeneratorAdditiveFailsFor48BitGroup(t *testing.T) {
+	// §4.1: for the 2^48 group only 1/2^32 of additive candidates map
+	// below 2^16, so the old approach effectively never succeeds.
+	rng := rand.New(rand.NewSource(4))
+	g, _ := GroupForOrder(1 << 48)
+	// Use a known small generator as the root (search would be slow).
+	root := uint64(0)
+	for c := uint64(2); c < 100; c++ {
+		if mathx.IsGeneratorOfMultiplicativeGroup(c, g.P, g.PM1Factors) {
+			root = c
+			break
+		}
+	}
+	if root == 0 {
+		t.Fatal("no small primitive root found for 2^48+21")
+	}
+	_, attempts, ok := FindGeneratorAdditive(g, root, MaxGeneratorCandidate, rng, 20000)
+	if ok {
+		t.Error("additive search succeeded against 2^-32 odds; suspicious")
+	}
+	if attempts != 20000 {
+		t.Errorf("attempts = %d, want exhaustion at 20000", attempts)
+	}
+}
+
+func TestSmallestPrimitiveRoot(t *testing.T) {
+	g := Group{P: 7, PM1Factors: []uint64{2, 3}}
+	if r := SmallestPrimitiveRoot(g); r != 3 {
+		t.Errorf("SmallestPrimitiveRoot(7) = %d, want 3", r)
+	}
+}
+
+// fullWalk iterates an entire cycle and returns the visited elements.
+func fullWalk(c Cycle) []uint64 {
+	it := c.Iterate(0, c.Group.Order(), 1)
+	out := make([]uint64, 0, c.Group.Order())
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestCycleIsPermutation(t *testing.T) {
+	// Walking the full cycle must visit every element of [1, P-1] exactly
+	// once — the core statelessness guarantee.
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := GroupForOrder(256)
+		c := NewCycle(g, rng)
+		seen := make(map[uint64]bool)
+		for _, e := range fullWalk(c) {
+			if e < 1 || e >= g.P {
+				t.Fatalf("element %d out of range [1, %d)", e, g.P)
+			}
+			if seen[e] {
+				t.Fatalf("element %d visited twice (seed %d, gen %d)", e, seed, c.Generator)
+			}
+			seen[e] = true
+		}
+		if uint64(len(seen)) != g.Order() {
+			t.Fatalf("visited %d elements, want %d", len(seen), g.Order())
+		}
+	}
+}
+
+func TestCyclePermutationProperty(t *testing.T) {
+	// Property: for the 2^16 group and arbitrary seeds, a full walk is a
+	// bijection.
+	g, _ := GroupForOrder(1 << 16)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCycle(g, rng)
+		seen := make([]bool, g.P)
+		n := uint64(0)
+		it := c.Iterate(0, g.Order(), 1)
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			if seen[e] {
+				return false
+			}
+			seen[e] = true
+			n++
+		}
+		return n == g.Order()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentSeedsDifferentOrders(t *testing.T) {
+	g, _ := GroupForOrder(256)
+	c1 := NewCycle(g, rand.New(rand.NewSource(1)))
+	c2 := NewCycle(g, rand.New(rand.NewSource(2)))
+	w1, w2 := fullWalk(c1), fullWalk(c2)
+	same := true
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two different seeds produced identical permutations")
+	}
+}
+
+func TestElementMatchesIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, _ := GroupForOrder(1 << 16)
+	c := NewCycle(g, rng)
+	it := c.Iterate(0, 1000, 1)
+	for i := uint64(0); i < 1000; i++ {
+		e, ok := it.Next()
+		if !ok {
+			t.Fatal("iterator exhausted early")
+		}
+		if want := c.Element(i); e != want {
+			t.Fatalf("position %d: iterator %d, Element %d", i, e, want)
+		}
+	}
+}
+
+func TestElementOffsetWraps(t *testing.T) {
+	g, _ := GroupForOrder(256)
+	c := Cycle{Group: g, Generator: SmallestPrimitiveRoot(g), Offset: g.Order() - 1}
+	// Position 1 wraps to exponent 0 => element 1? No: exponent
+	// (order-1+1) mod order = 0 => g^0 = 1.
+	if e := c.Element(1); e != 1 {
+		t.Errorf("wrapped element = %d, want 1 (g^0)", e)
+	}
+}
+
+func TestIterateStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := GroupForOrder(256)
+	c := NewCycle(g, rng)
+	// A stride-3 walk must equal every third element of the stride-1 walk.
+	full := fullWalk(c)
+	it := c.Iterate(2, 50, 3)
+	for i := 0; i < 50; i++ {
+		e, ok := it.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		want := full[(2+3*i)%len(full)]
+		if e != want {
+			t.Fatalf("stride walk[%d] = %d, want %d", i, e, want)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("iterator should be exhausted after count elements")
+	}
+}
+
+func TestIteratorZeroCount(t *testing.T) {
+	g, _ := GroupForOrder(256)
+	c := NewCycle(g, rand.New(rand.NewSource(1)))
+	it := c.Iterate(0, 0, 1)
+	if _, ok := it.Next(); ok {
+		t.Error("zero-count iterator returned an element")
+	}
+	if it.Remaining() != 0 {
+		t.Error("zero-count iterator has nonzero Remaining")
+	}
+}
+
+func TestNewSpaceGroupSelection(t *testing.T) {
+	cases := []struct {
+		ips, ports uint64
+		wantP      uint64
+	}{
+		{256, 1, (1 << 8) + 1},
+		{1 << 16, 1, (1 << 16) + 1},
+		{1 << 32, 1, (1 << 32) + 15},
+		{1 << 32, 2, (1 << 34) + 25},   // 33 bits -> 2^34 group
+		{1 << 32, 3, (1 << 34) + 25},   // 32+2=34 bits
+		{1 << 32, 100, (1 << 40) + 15}, // 32+7=39 bits -> 2^40
+		{1 << 32, 1 << 16, (1 << 48) + 21},
+	}
+	for _, c := range cases {
+		s, err := NewSpace(c.ips, c.ports)
+		if err != nil {
+			t.Fatalf("NewSpace(%d,%d): %v", c.ips, c.ports, err)
+		}
+		if s.Group().P != c.wantP {
+			t.Errorf("NewSpace(%d,%d) chose group %d, want %d", c.ips, c.ports, s.Group().P, c.wantP)
+		}
+	}
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	if _, err := NewSpace(0, 1); err == nil {
+		t.Error("NewSpace(0,1) should fail")
+	}
+	if _, err := NewSpace(1, 0); err == nil {
+		t.Error("NewSpace(1,0) should fail")
+	}
+	if _, err := NewSpace(1<<33, 1<<16); err == nil {
+		t.Error("NewSpace beyond 48 bits should fail")
+	}
+}
+
+func TestSpaceDecodeEncodeRoundTrip(t *testing.T) {
+	s, err := NewSpace(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ip := uint64(0); ip < 300; ip += 7 {
+		for port := uint64(0); port < 5; port++ {
+			elem := s.Encode(ip, port)
+			gotIP, gotPort, ok := s.Decode(elem)
+			if !ok || gotIP != ip || gotPort != port {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d,%v)", ip, port, elem, gotIP, gotPort, ok)
+			}
+		}
+	}
+}
+
+func TestSpaceDecodeRejectsOutOfRange(t *testing.T) {
+	s, err := NewSpace(300, 5) // 9+3=12 bits, group 2^16+1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element encoding port index 5..7 must be rejected.
+	elem := (uint64(0)<<3 | 5) + 1
+	if _, _, ok := s.Decode(elem); ok {
+		t.Error("port index 5 of 5 accepted")
+	}
+	// Element encoding IP index 300 must be rejected.
+	elem = (uint64(300)<<3 | 0) + 1
+	if _, _, ok := s.Decode(elem); ok {
+		t.Error("IP index 300 of 300 accepted")
+	}
+}
+
+func TestSpaceFullCoverage(t *testing.T) {
+	// Iterating the full cycle and decoding must hit every (ip, port)
+	// target exactly once — the multiport generalization of the
+	// permutation property.
+	s, err := NewSpace(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCycle(s.Group(), rand.New(rand.NewSource(11)))
+	seen := make(map[[2]uint64]int)
+	it := c.Iterate(0, s.Group().Order(), 1)
+	skipped := uint64(0)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		ip, port, ok := s.Decode(e)
+		if !ok {
+			skipped++
+			continue
+		}
+		seen[[2]uint64{ip, port}]++
+	}
+	if uint64(len(seen)) != s.Targets() {
+		t.Fatalf("covered %d targets, want %d", len(seen), s.Targets())
+	}
+	for k, v := range seen {
+		if v != 1 {
+			t.Fatalf("target %v visited %d times", k, v)
+		}
+	}
+	if skipped != s.Group().Order()-s.Targets() {
+		t.Errorf("skipped %d, want %d", skipped, s.Group().Order()-s.Targets())
+	}
+}
+
+func TestEncodePanicsOutOfRange(t *testing.T) {
+	s, _ := NewSpace(10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode out of range did not panic")
+		}
+	}()
+	s.Encode(10, 0)
+}
+
+func BenchmarkIteratorNext(b *testing.B) {
+	g, _ := GroupForOrder(1 << 32)
+	c := NewCycle(g, rand.New(rand.NewSource(1)))
+	it := c.Iterate(0, ^uint64(0), 1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e, _ := it.Next()
+		sink = e
+	}
+	benchSink = sink
+}
+
+func BenchmarkIteratorNext48BitGroup(b *testing.B) {
+	g, _ := GroupForOrder(1 << 48)
+	c := NewCycle(g, rand.New(rand.NewSource(1)))
+	it := c.Iterate(0, ^uint64(0), 1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e, _ := it.Next()
+		sink = e
+	}
+	benchSink = sink
+}
+
+func BenchmarkFindGenerator(b *testing.B) {
+	g, _ := GroupForOrder(1 << 48)
+	rng := rand.New(rand.NewSource(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		gen, _ := FindGenerator(g, rng)
+		sink = gen
+	}
+	benchSink = sink
+}
+
+func BenchmarkSpaceDecode(b *testing.B) {
+	s, _ := NewSpace(1<<32, 100)
+	var a, c uint64
+	for i := 0; i < b.N; i++ {
+		a, c, _ = s.Decode(uint64(i)%(s.Group().P-1) + 1)
+	}
+	benchSink = a + c
+}
+
+var benchSink uint64

@@ -1,0 +1,179 @@
+// Package dedup filters repeated scan responses.
+//
+// Hosts frequently answer a single probe more than once — retransmitted
+// SYN-ACKs, broken stacks, and "blowback" hosts that send tens of
+// thousands of responses (Goldblatt et al.). ZMap has used two
+// deduplication designs, both implemented here:
+//
+//   - Bitmap: a paged 2^32-bit map keyed by source IP. It guarantees zero
+//     duplicates but costs 512 MB when fully touched and cannot extend to
+//     the 48-bit (IP, port) multiport space (that would be 35 TB), which
+//     is why it was retired (§4.1).
+//
+//   - Window: a sliding window of the last n (IP, port) responses — the
+//     modern design. The C implementation indexes the window with a Judy
+//     array; the property Figure 5 depends on is O(1) membership with
+//     memory proportional to occupancy, which a hash index provides
+//     identically, so that is what backs Window here. A ring buffer
+//     provides FIFO expiry.
+//
+// Deduplicators are not safe for concurrent use; ZMap dedupes on the
+// single receive thread.
+package dedup
+
+// Deduper records (IP, port) response keys and reports repeats.
+type Deduper interface {
+	// Seen records the key and reports whether it was already present.
+	Seen(ip uint32, port uint16) bool
+	// Len returns the number of keys currently tracked.
+	Len() int
+	// MemoryBytes estimates current memory consumption.
+	MemoryBytes() uint64
+}
+
+// DefaultWindowSize is ZMap's default sliding-window size (10^6), which
+// Figure 5 shows eliminates nearly all duplicates at 1 Gbps scan rates.
+const DefaultWindowSize = 1_000_000
+
+// pageBits is the size of one bitmap page (2^16 bits = 8 KB), paged so an
+// untouched address space costs nothing.
+const pageBits = 16
+
+// Bitmap is the original single-port deduplicator: one bit per IPv4
+// address, allocated in pages on first touch. Ports are ignored.
+type Bitmap struct {
+	pages     [1 << (32 - pageBits)][]uint64
+	count     int
+	allocated int
+}
+
+// NewBitmap returns an empty paged bitmap.
+func NewBitmap() *Bitmap { return &Bitmap{} }
+
+// Seen implements Deduper. The port argument is ignored: the bitmap
+// design predates multiport scanning, which is exactly its limitation.
+func (b *Bitmap) Seen(ip uint32, _ uint16) bool {
+	page := ip >> pageBits
+	if b.pages[page] == nil {
+		b.pages[page] = make([]uint64, (1<<pageBits)/64)
+		b.allocated++
+	}
+	offset := ip & (1<<pageBits - 1)
+	word, bit := offset/64, offset%64
+	mask := uint64(1) << bit
+	if b.pages[page][word]&mask != 0 {
+		return true
+	}
+	b.pages[page][word] |= mask
+	b.count++
+	return false
+}
+
+// Len implements Deduper.
+func (b *Bitmap) Len() int { return b.count }
+
+// MemoryBytes implements Deduper: 8 KB per allocated page.
+func (b *Bitmap) MemoryBytes() uint64 {
+	return uint64(b.allocated) * (1 << pageBits) / 8
+}
+
+// FullBitmapBytes returns the memory a non-paged bitmap over the given key
+// width would need; FullBitmapBytes(32) is the 512 MB figure and
+// FullBitmapBytes(48) the 35 TB figure from §4.1.
+func FullBitmapBytes(bits uint) uint64 { return (uint64(1) << bits) / 8 }
+
+// Window is the modern sliding-window deduplicator over 48-bit (IP, port)
+// keys: a hash membership index (the Judy-array equivalent) plus a ring
+// buffer that evicts the oldest key once the window is full.
+type Window struct {
+	size  int
+	ring  []uint64 // keys in insertion order
+	head  int      // next slot to overwrite
+	used  int
+	index map[uint64]struct{}
+}
+
+// NewWindow returns a sliding-window deduplicator remembering the last
+// size responses. Size must be positive.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("dedup: window size must be positive")
+	}
+	return &Window{
+		size:  size,
+		ring:  make([]uint64, size),
+		index: make(map[uint64]struct{}, size),
+	}
+}
+
+func key(ip uint32, port uint16) uint64 { return uint64(ip)<<16 | uint64(port) }
+
+// Seen implements Deduper over the 48-bit key space.
+func (w *Window) Seen(ip uint32, port uint16) bool {
+	k := key(ip, port)
+	if _, dup := w.index[k]; dup {
+		return true
+	}
+	if w.used == w.size {
+		delete(w.index, w.ring[w.head])
+	} else {
+		w.used++
+	}
+	w.ring[w.head] = k
+	w.head = (w.head + 1) % w.size
+	w.index[k] = struct{}{}
+	return false
+}
+
+// Len implements Deduper.
+func (w *Window) Len() int { return w.used }
+
+// MemoryBytes implements Deduper: the ring plus an estimate of the hash
+// index (Go maps cost roughly 48 bytes per uint64 key entry including
+// bucket overhead at typical load factors).
+func (w *Window) MemoryBytes() uint64 {
+	const perEntry = 48
+	return uint64(len(w.ring))*8 + uint64(len(w.index))*perEntry
+}
+
+// KeyedWindow is the sliding-window deduplicator generalized over any
+// comparable key type. Window specializes it to packed 48-bit (IP, port)
+// keys; the IPv6 hitlist scanner uses [18]byte (address, port) keys.
+type KeyedWindow[K comparable] struct {
+	size  int
+	ring  []K
+	head  int
+	used  int
+	index map[K]struct{}
+}
+
+// NewKeyedWindow returns a window remembering the last size keys.
+func NewKeyedWindow[K comparable](size int) *KeyedWindow[K] {
+	if size <= 0 {
+		panic("dedup: window size must be positive")
+	}
+	return &KeyedWindow[K]{
+		size:  size,
+		ring:  make([]K, size),
+		index: make(map[K]struct{}, size),
+	}
+}
+
+// Seen records k and reports whether it was already in the window.
+func (w *KeyedWindow[K]) Seen(k K) bool {
+	if _, dup := w.index[k]; dup {
+		return true
+	}
+	if w.used == w.size {
+		delete(w.index, w.ring[w.head])
+	} else {
+		w.used++
+	}
+	w.ring[w.head] = k
+	w.head = (w.head + 1) % w.size
+	w.index[k] = struct{}{}
+	return false
+}
+
+// Len returns the number of keys currently tracked.
+func (w *KeyedWindow[K]) Len() int { return w.used }

@@ -1,0 +1,288 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasic(t *testing.T) {
+	b := NewBitmap()
+	if b.Seen(1234, 80) {
+		t.Error("fresh IP reported seen")
+	}
+	if !b.Seen(1234, 80) {
+		t.Error("repeat IP not reported")
+	}
+	// The bitmap ignores ports: same IP different port is still a dup.
+	if !b.Seen(1234, 443) {
+		t.Error("bitmap should ignore ports (single-port design)")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBitmapExtremes(t *testing.T) {
+	b := NewBitmap()
+	for _, ip := range []uint32{0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF} {
+		if b.Seen(ip, 0) {
+			t.Errorf("ip %d: fresh reported seen", ip)
+		}
+		if !b.Seen(ip, 0) {
+			t.Errorf("ip %d: repeat missed", ip)
+		}
+	}
+}
+
+func TestBitmapPagedMemory(t *testing.T) {
+	b := NewBitmap()
+	if b.MemoryBytes() != 0 {
+		t.Error("untouched bitmap should use no page memory")
+	}
+	b.Seen(0, 0)
+	b.Seen(1, 0) // same page
+	if b.MemoryBytes() != 8192 {
+		t.Errorf("one page = %d bytes, want 8192", b.MemoryBytes())
+	}
+	b.Seen(1<<31, 0) // distant page
+	if b.MemoryBytes() != 16384 {
+		t.Errorf("two pages = %d bytes, want 16384", b.MemoryBytes())
+	}
+}
+
+func TestFullBitmapBytesPaperFigures(t *testing.T) {
+	// §4.1: 2^32 bits = 512 MB; the 48-bit space would need 35 TB.
+	if got := FullBitmapBytes(32); got != 512<<20 {
+		t.Errorf("FullBitmapBytes(32) = %d, want 512 MB", got)
+	}
+	if got := FullBitmapBytes(48) / (1 << 40); got != 32 { // 32 TiB ~ "35 TB" decimal
+		t.Errorf("FullBitmapBytes(48) = %d TiB, want 32", got)
+	}
+	if got := float64(FullBitmapBytes(48)) / 1e12; got < 35 || got > 35.3 {
+		t.Errorf("FullBitmapBytes(48) = %.1f TB decimal, want ~35.2", got)
+	}
+}
+
+func TestWindowBasic(t *testing.T) {
+	w := NewWindow(10)
+	if w.Seen(1, 80) {
+		t.Error("fresh key reported seen")
+	}
+	if !w.Seen(1, 80) {
+		t.Error("repeat key missed")
+	}
+	if w.Seen(1, 443) {
+		t.Error("same IP different port should be fresh (multiport keys)")
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	w.Seen(1, 1)
+	w.Seen(2, 1)
+	w.Seen(3, 1)
+	w.Seen(4, 1) // evicts (1,1)
+	if w.Seen(1, 1) {
+		t.Error("evicted key still reported seen")
+	}
+	// (1,1) reinserted; (2,1) now evicted.
+	if w.Seen(2, 1) {
+		t.Error("second-oldest key should have been evicted")
+	}
+	if !w.Seen(4, 1) {
+		t.Error("recent key lost")
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d, want 3", w.Len())
+	}
+}
+
+func TestWindowNoFalseNegativesWithinWindow(t *testing.T) {
+	// Invariant: a key is always detected as duplicate if fewer than
+	// size distinct keys arrived since its insertion.
+	w := NewWindow(100)
+	for i := uint32(0); i < 100; i++ {
+		w.Seen(i, uint16(i))
+	}
+	for i := uint32(0); i < 100; i++ {
+		if !w.Seen(i, uint16(i)) {
+			t.Fatalf("key %d within window not detected", i)
+		}
+	}
+}
+
+func TestWindowDuplicateDoesNotEvict(t *testing.T) {
+	// Re-seeing an in-window key must not consume a slot.
+	w := NewWindow(2)
+	w.Seen(1, 1)
+	w.Seen(2, 2)
+	for i := 0; i < 10; i++ {
+		if !w.Seen(1, 1) || !w.Seen(2, 2) {
+			t.Fatal("repeated in-window keys must stay duplicates")
+		}
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestWindowMatchesNaiveModel(t *testing.T) {
+	// Property: the window behaves exactly like a naive FIFO-set model
+	// under random workloads.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(20) + 1
+		w := NewWindow(size)
+		var fifo []uint64
+		inSet := make(map[uint64]bool)
+		for op := 0; op < 500; op++ {
+			ip := uint32(rng.Intn(30))
+			port := uint16(rng.Intn(3))
+			k := uint64(ip)<<16 | uint64(port)
+			want := inSet[k]
+			got := w.Seen(ip, port)
+			if got != want {
+				return false
+			}
+			if !want {
+				if len(fifo) == size {
+					delete(inSet, fifo[0])
+					fifo = fifo[1:]
+				}
+				fifo = append(fifo, k)
+				inSet[k] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMemoryProportional(t *testing.T) {
+	small := NewWindow(100)
+	big := NewWindow(DefaultWindowSize)
+	for i := uint32(0); i < 100; i++ {
+		small.Seen(i*2654435761, uint16(i))
+	}
+	for i := uint32(0); i < 100_000; i++ {
+		big.Seen(i*2654435761, uint16(i))
+	}
+	if small.MemoryBytes() >= big.MemoryBytes() {
+		t.Error("memory not proportional to occupancy")
+	}
+	// The window must stay far below the full 48-bit bitmap cost.
+	if big.MemoryBytes() >= FullBitmapBytes(48)/1000 {
+		t.Error("window memory not dramatically below 48-bit bitmap")
+	}
+}
+
+func TestWindowIndexReclamation(t *testing.T) {
+	// Filling and fully cycling the window must not grow the index: the
+	// memory-proportional-to-occupancy property (the Judy-array role).
+	w := NewWindow(10)
+	for i := uint32(0); i < 10; i++ {
+		w.Seen(i<<20, 1)
+	}
+	memAtFull := w.MemoryBytes()
+	for i := uint32(100); i < 10000; i++ {
+		w.Seen(i<<20, 1)
+	}
+	if w.MemoryBytes() != memAtFull {
+		t.Errorf("memory grew from %d to %d across eviction churn", memAtFull, w.MemoryBytes())
+	}
+	if len(w.index) != 10 {
+		t.Errorf("index holds %d keys, want 10", len(w.index))
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestWindowSize1(t *testing.T) {
+	w := NewWindow(1)
+	if w.Seen(1, 1) {
+		t.Error("fresh seen")
+	}
+	if !w.Seen(1, 1) {
+		t.Error("immediate repeat missed")
+	}
+	w.Seen(2, 2)
+	if w.Seen(1, 1) {
+		t.Error("evicted key remembered by size-1 window")
+	}
+}
+
+func TestDeduperInterfaces(t *testing.T) {
+	var _ Deduper = NewBitmap()
+	var _ Deduper = NewWindow(1)
+}
+
+func BenchmarkBitmapSeen(b *testing.B) {
+	m := NewBitmap()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = m.Seen(uint32(i)*2654435761, 80)
+	}
+	benchBool = sink
+}
+
+func BenchmarkWindowSeenFresh(b *testing.B) {
+	w := NewWindow(DefaultWindowSize)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = w.Seen(uint32(i)*2654435761, uint16(i))
+	}
+	benchBool = sink
+}
+
+func BenchmarkWindowSeenDuplicate(b *testing.B) {
+	w := NewWindow(DefaultWindowSize)
+	w.Seen(42, 80)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = w.Seen(42, 80)
+	}
+	benchBool = sink
+}
+
+var benchBool bool
+
+func TestKeyedWindowV6StyleKeys(t *testing.T) {
+	w := NewKeyedWindow[[18]byte](2)
+	k := func(b byte) [18]byte { var a [18]byte; a[0] = b; return a }
+	if w.Seen(k(1)) {
+		t.Error("fresh key seen")
+	}
+	if !w.Seen(k(1)) {
+		t.Error("repeat missed")
+	}
+	w.Seen(k(2))
+	w.Seen(k(3)) // evicts k(1)
+	if w.Seen(k(1)) {
+		t.Error("evicted key remembered")
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestKeyedWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewKeyedWindow[int](0)
+}

@@ -1,0 +1,300 @@
+// Package dnswire implements the slice of the DNS wire format (RFC 1035)
+// that the ZDNS-style resolver toolkit needs: query construction and
+// strict response parsing for A and TXT lookups, with compression-pointer
+// handling. Like internal/packet, parsers treat input as hostile: every
+// access is bounds checked, compression loops are capped, and malformed
+// messages return errors rather than panicking.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Record types and classes supported by the toolkit.
+const (
+	TypeA   uint16 = 1
+	TypeNS  uint16 = 2
+	TypeTXT uint16 = 16
+
+	ClassIN uint16 = 1
+)
+
+// RCodes surfaced to callers.
+const (
+	RCodeNoError  = 0
+	RCodeFormErr  = 1
+	RCodeServFail = 2
+	RCodeNXDomain = 3
+	RCodeRefused  = 5
+)
+
+// HeaderLen is the fixed DNS header size.
+const HeaderLen = 12
+
+// Query is a parsed question.
+type Query struct {
+	ID    uint16
+	Name  string
+	Type  uint16
+	Class uint16
+	// RecursionDesired mirrors the RD bit.
+	RecursionDesired bool
+}
+
+// Answer is one resource record from a response.
+type Answer struct {
+	Name string
+	Type uint16
+	TTL  uint32
+	// A holds the address for TypeA records; Text the string for TXT.
+	A    [4]byte
+	Text string
+}
+
+// Message is a parsed DNS response.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	RecursionAvailable bool
+	RCode              int
+	Question           Query
+	Answers            []Answer
+}
+
+// Parse errors.
+var (
+	ErrTruncated = errors.New("dnswire: truncated message")
+	ErrMalformed = errors.New("dnswire: malformed message")
+)
+
+// AppendQuery encodes a query for name/qtype with the given ID and the
+// RD bit set. Name labels are validated (non-empty, <= 63 bytes).
+func AppendQuery(buf []byte, id uint16, name string, qtype uint16) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, 0x0100) // RD
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // QDCOUNT
+	buf = append(buf, 0, 0, 0, 0, 0, 0)              // AN/NS/AR
+	var err error
+	buf, err = appendName(buf, name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, qtype)
+	buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+	return buf, nil
+}
+
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	if len(name) > 253 {
+		return nil, fmt.Errorf("%w: name too long", ErrMalformed)
+	}
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: bad label %q", ErrMalformed, label)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// AppendResponse encodes a response to q with the given rcode and
+// answers. TXT strings longer than 255 bytes are rejected.
+func AppendResponse(buf []byte, q Query, rcode int, answers []Answer) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, q.ID)
+	flags := uint16(0x8000) // QR
+	if q.RecursionDesired {
+		flags |= 0x0100 // echo RD
+	}
+	flags |= 0x0080 // RA: the simulated resolvers are recursive
+	flags |= uint16(rcode & 0x0F)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(answers)))
+	buf = append(buf, 0, 0, 0, 0)
+	var err error
+	buf, err = appendName(buf, q.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, q.Type)
+	buf = binary.BigEndian.AppendUint16(buf, q.Class)
+	for _, a := range answers {
+		buf, err = appendName(buf, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, a.Type)
+		buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+		buf = binary.BigEndian.AppendUint32(buf, a.TTL)
+		switch a.Type {
+		case TypeA:
+			buf = binary.BigEndian.AppendUint16(buf, 4)
+			buf = append(buf, a.A[:]...)
+		case TypeTXT:
+			if len(a.Text) > 255 {
+				return nil, fmt.Errorf("%w: TXT too long", ErrMalformed)
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Text)+1))
+			buf = append(buf, byte(len(a.Text)))
+			buf = append(buf, a.Text...)
+		default:
+			return nil, fmt.Errorf("%w: unsupported answer type %d", ErrMalformed, a.Type)
+		}
+	}
+	return buf, nil
+}
+
+// ParseQuery decodes the first question of a query message.
+func ParseQuery(data []byte) (Query, error) {
+	var q Query
+	if len(data) < HeaderLen {
+		return q, ErrTruncated
+	}
+	q.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	if flags&0x8000 != 0 {
+		return q, fmt.Errorf("%w: QR set on query", ErrMalformed)
+	}
+	q.RecursionDesired = flags&0x0100 != 0
+	if binary.BigEndian.Uint16(data[4:6]) == 0 {
+		return q, fmt.Errorf("%w: no question", ErrMalformed)
+	}
+	name, off, err := parseName(data, HeaderLen)
+	if err != nil {
+		return q, err
+	}
+	if off+4 > len(data) {
+		return q, ErrTruncated
+	}
+	q.Name = name
+	q.Type = binary.BigEndian.Uint16(data[off : off+2])
+	q.Class = binary.BigEndian.Uint16(data[off+2 : off+4])
+	return q, nil
+}
+
+// ParseResponse decodes a response message: header, question, answers.
+func ParseResponse(data []byte) (Message, error) {
+	var m Message
+	if len(data) < HeaderLen {
+		return m, ErrTruncated
+	}
+	m.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&0x8000 != 0
+	m.RecursionAvailable = flags&0x0080 != 0
+	m.RCode = int(flags & 0x0F)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	if qd > 1 || an > 64 {
+		return m, fmt.Errorf("%w: implausible counts qd=%d an=%d", ErrMalformed, qd, an)
+	}
+	off := HeaderLen
+	if qd == 1 {
+		name, n, err := parseName(data, off)
+		if err != nil {
+			return m, err
+		}
+		if n+4 > len(data) {
+			return m, ErrTruncated
+		}
+		m.Question = Query{
+			ID:    m.ID,
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[n : n+2]),
+			Class: binary.BigEndian.Uint16(data[n+2 : n+4]),
+		}
+		off = n + 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := parseName(data, off)
+		if err != nil {
+			return m, err
+		}
+		if n+10 > len(data) {
+			return m, ErrTruncated
+		}
+		a := Answer{
+			Name: name,
+			Type: binary.BigEndian.Uint16(data[n : n+2]),
+			TTL:  binary.BigEndian.Uint32(data[n+4 : n+8]),
+		}
+		rdLen := int(binary.BigEndian.Uint16(data[n+8 : n+10]))
+		rdStart := n + 10
+		if rdStart+rdLen > len(data) {
+			return m, ErrTruncated
+		}
+		rdata := data[rdStart : rdStart+rdLen]
+		switch a.Type {
+		case TypeA:
+			if rdLen != 4 {
+				return m, fmt.Errorf("%w: A rdata %d bytes", ErrMalformed, rdLen)
+			}
+			copy(a.A[:], rdata)
+		case TypeTXT:
+			if rdLen < 1 || int(rdata[0]) != rdLen-1 {
+				return m, fmt.Errorf("%w: TXT length", ErrMalformed)
+			}
+			a.Text = string(rdata[1:])
+		}
+		m.Answers = append(m.Answers, a)
+		off = rdStart + rdLen
+	}
+	return m, nil
+}
+
+// parseName decodes a possibly-compressed name starting at off, returning
+// the name and the offset just past its in-place encoding. Compression
+// pointer chains are capped to prevent loops.
+func parseName(data []byte, off int) (string, int, error) {
+	var labels []string
+	jumps := 0
+	end := -1 // offset after the name at the original position
+	pos := off
+	for {
+		if pos >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		b := data[pos]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			name := strings.Join(labels, ".")
+			if name == "" {
+				name = "."
+			}
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			if jumps++; jumps > 16 {
+				return "", 0, fmt.Errorf("%w: compression loop", ErrMalformed)
+			}
+			if end < 0 {
+				end = pos + 2
+			}
+			pos = int(binary.BigEndian.Uint16(data[pos:pos+2]) & 0x3FFF)
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrMalformed)
+		default:
+			if pos+1+int(b) > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if len(labels) > 128 {
+				return "", 0, fmt.Errorf("%w: too many labels", ErrMalformed)
+			}
+			labels = append(labels, string(data[pos+1:pos+1+int(b)]))
+			pos += 1 + int(b)
+		}
+	}
+}

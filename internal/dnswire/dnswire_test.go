@@ -1,0 +1,297 @@
+package dnswire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	buf, err := AppendQuery(nil, 0xBEEF, "www.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 0xBEEF || q.Name != "www.example.com" || q.Type != TypeA || q.Class != ClassIN {
+		t.Errorf("parsed %+v", q)
+	}
+	if !q.RecursionDesired {
+		t.Error("RD not set")
+	}
+}
+
+func TestQueryNameValidation(t *testing.T) {
+	bad := []string{
+		strings.Repeat("a", 64) + ".com",        // label too long
+		strings.Repeat("abcdefgh.", 33) + "com", // name too long
+		"a..b",                                  // empty label
+	}
+	for _, name := range bad {
+		if _, err := AppendQuery(nil, 1, name, TypeA); err == nil {
+			t.Errorf("AppendQuery(%q) succeeded, want error", name)
+		}
+	}
+	// Trailing dot and root are fine.
+	if _, err := AppendQuery(nil, 1, "example.com.", TypeA); err != nil {
+		t.Errorf("trailing dot rejected: %v", err)
+	}
+	if _, err := AppendQuery(nil, 1, "", TypeA); err != nil {
+		t.Errorf("root query rejected: %v", err)
+	}
+}
+
+func TestResponseRoundTripA(t *testing.T) {
+	q := Query{ID: 77, Name: "example.com", Type: TypeA, Class: ClassIN, RecursionDesired: true}
+	answers := []Answer{
+		{Name: "example.com", Type: TypeA, TTL: 300, A: [4]byte{93, 184, 216, 34}},
+		{Name: "example.com", Type: TypeA, TTL: 300, A: [4]byte{93, 184, 216, 35}},
+	}
+	buf, err := AppendResponse(nil, q, RCodeNoError, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Response || m.ID != 77 || m.RCode != RCodeNoError {
+		t.Errorf("header %+v", m)
+	}
+	if !m.RecursionAvailable {
+		t.Error("RA not set")
+	}
+	if m.Question.Name != "example.com" || m.Question.Type != TypeA {
+		t.Errorf("question %+v", m.Question)
+	}
+	if len(m.Answers) != 2 {
+		t.Fatalf("%d answers", len(m.Answers))
+	}
+	if m.Answers[0].A != [4]byte{93, 184, 216, 34} || m.Answers[0].TTL != 300 {
+		t.Errorf("answer %+v", m.Answers[0])
+	}
+}
+
+func TestResponseRoundTripTXT(t *testing.T) {
+	q := Query{ID: 9, Name: "txt.example", Type: TypeTXT, Class: ClassIN}
+	buf, err := AppendResponse(nil, q, RCodeNoError, []Answer{
+		{Name: "txt.example", Type: TypeTXT, TTL: 60, Text: "v=sim1 hello"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Text != "v=sim1 hello" {
+		t.Errorf("answers %+v", m.Answers)
+	}
+}
+
+func TestResponseNXDomain(t *testing.T) {
+	q := Query{ID: 5, Name: "nope.example", Type: TypeA, Class: ClassIN}
+	buf, err := AppendResponse(nil, q, RCodeNXDomain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RCode != RCodeNXDomain || len(m.Answers) != 0 {
+		t.Errorf("message %+v", m)
+	}
+}
+
+func TestAppendResponseRejects(t *testing.T) {
+	q := Query{ID: 1, Name: "x.example", Type: TypeA, Class: ClassIN}
+	if _, err := AppendResponse(nil, q, 0, []Answer{{Name: "x.example", Type: TypeNS}}); err == nil {
+		t.Error("NS answer should be unsupported")
+	}
+	if _, err := AppendResponse(nil, q, 0, []Answer{{Name: "x.example", Type: TypeTXT, Text: strings.Repeat("x", 300)}}); err == nil {
+		t.Error("oversize TXT accepted")
+	}
+}
+
+func TestParseCompressedName(t *testing.T) {
+	// Hand-build a response where the answer name is a pointer to the
+	// question name (the standard compression pattern).
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, 42)     // id
+	buf = binary.BigEndian.AppendUint16(buf, 0x8180) // QR RD RA
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // qd
+	buf = binary.BigEndian.AppendUint16(buf, 1)      // an
+	buf = append(buf, 0, 0, 0, 0)
+	nameOff := len(buf)
+	buf = append(buf, 3, 'w', 'w', 'w', 4, 't', 'e', 's', 't', 0)
+	buf = binary.BigEndian.AppendUint16(buf, TypeA)
+	buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+	// Answer: pointer to nameOff.
+	buf = append(buf, 0xC0, byte(nameOff))
+	buf = binary.BigEndian.AppendUint16(buf, TypeA)
+	buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+	buf = binary.BigEndian.AppendUint32(buf, 60)
+	buf = binary.BigEndian.AppendUint16(buf, 4)
+	buf = append(buf, 1, 2, 3, 4)
+
+	m, err := ParseResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Question.Name != "www.test" {
+		t.Errorf("question name %q", m.Question.Name)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Name != "www.test" || m.Answers[0].A != [4]byte{1, 2, 3, 4} {
+		t.Errorf("answer %+v", m.Answers)
+	}
+}
+
+func TestParseCompressionLoopRejected(t *testing.T) {
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = binary.BigEndian.AppendUint16(buf, 0x8000)
+	buf = binary.BigEndian.AppendUint16(buf, 1)
+	buf = append(buf, 0, 0, 0, 0, 0, 0)
+	// Question name: pointer to itself.
+	self := len(buf)
+	buf = append(buf, 0xC0, byte(self))
+	buf = append(buf, 0, 1, 0, 1)
+	if _, err := ParseResponse(buf); err == nil {
+		t.Error("self-referential compression accepted")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	good, _ := AppendResponse(nil,
+		Query{ID: 1, Name: "fuzz.example", Type: TypeA, Class: ClassIN},
+		RCodeNoError,
+		[]Answer{{Name: "fuzz.example", Type: TypeA, TTL: 1, A: [4]byte{1, 2, 3, 4}}})
+	for i := 0; i < 5000; i++ {
+		var data []byte
+		switch i % 3 {
+		case 0:
+			data = make([]byte, rng.Intn(80))
+			rng.Read(data)
+		case 1:
+			data = append([]byte{}, good[:rng.Intn(len(good)+1)]...)
+		case 2:
+			data = append([]byte{}, good...)
+			for j := 0; j < 3; j++ {
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			}
+		}
+		ParseResponse(data)
+		ParseQuery(data)
+	}
+}
+
+func FuzzParseResponse(f *testing.F) {
+	good, _ := AppendResponse(nil,
+		Query{ID: 1, Name: "seed.example", Type: TypeTXT, Class: ClassIN},
+		RCodeNoError,
+		[]Answer{{Name: "seed.example", Type: TypeTXT, TTL: 1, Text: "seed"}})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ParseResponse(data)
+		ParseQuery(data)
+	})
+}
+
+func TestQueryResponseBytesDiffer(t *testing.T) {
+	// A query must never parse as a response and vice versa (QR bit).
+	qbuf, _ := AppendQuery(nil, 3, "a.b", TypeA)
+	if m, err := ParseResponse(qbuf); err == nil && m.Response {
+		t.Error("query parsed as response with QR set")
+	}
+	rbuf, _ := AppendResponse(nil, Query{ID: 3, Name: "a.b", Type: TypeA, Class: ClassIN}, 0, nil)
+	if _, err := ParseQuery(rbuf); err == nil {
+		t.Error("response accepted as query")
+	}
+	if bytes.Equal(qbuf, rbuf) {
+		t.Error("query and response encodings identical")
+	}
+}
+
+func BenchmarkAppendQuery(b *testing.B) {
+	buf := make([]byte, 0, 64)
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendQuery(buf[:0], uint16(i), "bench.example.com", TypeA)
+	}
+	benchLen = len(buf)
+}
+
+func BenchmarkParseResponse(b *testing.B) {
+	buf, _ := AppendResponse(nil,
+		Query{ID: 1, Name: "bench.example.com", Type: TypeA, Class: ClassIN},
+		RCodeNoError,
+		[]Answer{{Name: "bench.example.com", Type: TypeA, TTL: 60, A: [4]byte{1, 2, 3, 4}}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseResponse(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchLen int
+
+func TestResponseRoundTripProperty(t *testing.T) {
+	// Property: encode->parse is the identity for arbitrary well-formed
+	// questions and A answers.
+	f := func(id uint16, l1, l2 uint8, ttl uint32, a, b, c, d byte, twoAnswers bool) bool {
+		name := strings.Repeat("a", int(l1%30)+1) + "." + strings.Repeat("b", int(l2%30)+1)
+		q := Query{ID: id, Name: name, Type: TypeA, Class: ClassIN}
+		answers := []Answer{{Name: name, Type: TypeA, TTL: ttl, A: [4]byte{a, b, c, d}}}
+		if twoAnswers {
+			answers = append(answers, Answer{Name: name, Type: TypeA, TTL: ttl + 1, A: [4]byte{d, c, b, a}})
+		}
+		buf, err := AppendResponse(nil, q, RCodeNoError, answers)
+		if err != nil {
+			return false
+		}
+		m, err := ParseResponse(buf)
+		if err != nil {
+			return false
+		}
+		if m.ID != id || m.Question.Name != name || len(m.Answers) != len(answers) {
+			return false
+		}
+		for i := range answers {
+			got := m.Answers[i]
+			if got.Name != name || got.TTL != answers[i].TTL || got.A != answers[i].A {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(id uint16, l uint8, useTXT bool) bool {
+		name := strings.Repeat("x", int(l%60)+1) + ".example"
+		qtype := TypeA
+		if useTXT {
+			qtype = TypeTXT
+		}
+		buf, err := AppendQuery(nil, id, name, qtype)
+		if err != nil {
+			return false
+		}
+		q, err := ParseQuery(buf)
+		return err == nil && q.ID == id && q.Name == name && q.Type == qtype
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

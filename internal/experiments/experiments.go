@@ -1,0 +1,29 @@
+// Package experiments regenerates every table and figure in the
+// evaluation of "Ten Years of ZMap". Each exported function runs one
+// experiment against the deterministic substrates (netsim, scanpop,
+// telescope, ...), prints the same rows/series the paper reports, and
+// returns a typed result so tests and the benchmark harness can assert on
+// the shape: who wins, by roughly what factor, and where crossovers fall.
+//
+// Absolute numbers differ from the paper where the substrate is a
+// simulator rather than the authors' telescope and testbed; DESIGN.md and
+// EXPERIMENTS.md record the paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// printf writes to w when non-nil, so experiments can run silently in
+// tests and benchmarks.
+func printf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// header prints a figure banner.
+func header(w io.Writer, id, title string) {
+	printf(w, "\n=== %s: %s ===\n", id, title)
+}

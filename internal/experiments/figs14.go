@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+
+	"zmapgo/internal/papers"
+	"zmapgo/internal/scanpop"
+	"zmapgo/internal/telescope"
+)
+
+// Fig1Row is one point of the ZMap-adoption time series.
+type Fig1Row struct {
+	Quarter  string
+	Measured float64 // telescope-measured ZMap packet share
+	Expected float64 // analytic share from the population model
+}
+
+// Fig1 regenerates Figure 1 (and the §2.1 headline number): the
+// ZMap-attributed share of Internet-wide TCP scan packets per quarter,
+// measured by running synthetic scanner traffic through the telescope
+// pipeline. packetsPerQuarter sizes each quarter's sample.
+func Fig1(w io.Writer, packetsPerQuarter int, seed int64) []Fig1Row {
+	header(w, "Figure 1", "ZMap-attributed TCP scan traffic, 2014Q1-2024Q1")
+	gen := scanpop.NewGenerator(seed)
+	tel := telescope.New()
+	for _, q := range scanpop.Timeline {
+		gen.GenerateQuarter(q, packetsPerQuarter, tel.Ingest)
+	}
+	shares := tel.ShareByPeriod()
+	rows := make([]Fig1Row, 0, len(scanpop.Timeline))
+	printf(w, "%-8s %10s %10s\n", "quarter", "measured", "expected")
+	for _, q := range scanpop.Timeline {
+		row := Fig1Row{
+			Quarter:  q.Label,
+			Measured: shares[q.Label].Share(telescope.ToolZMap),
+			Expected: scanpop.ExpectedGlobalShare(q),
+		}
+		rows = append(rows, row)
+		printf(w, "%-8s %9.1f%% %9.1f%%\n", row.Quarter, row.Measured*100, row.Expected*100)
+	}
+	last := rows[len(rows)-1]
+	printf(w, "paper: 35.4%% in 2024Q1; measured %.1f%%\n", last.Measured*100)
+	return rows
+}
+
+// Fig23Row is one port row of Figures 2/3.
+type Fig23Row struct {
+	Rank      int
+	Port      uint16
+	Packets   uint64
+	ZMapShare float64
+}
+
+// Fig23Result carries both figures, which share one traffic sample.
+type Fig23Result struct {
+	AllScans  []Fig23Row // Figure 2: top ports across all scan traffic
+	ZMapScans []Fig23Row // Figure 3: top ports among ZMap-attributed traffic
+}
+
+// Fig23 regenerates Figures 2 and 3 plus the §2.1 per-port shares, from
+// one 2024Q1 traffic sample.
+func Fig23(w io.Writer, packets int, seed int64) Fig23Result {
+	gen := scanpop.NewGenerator(seed)
+	tel := telescope.New()
+	q := scanpop.Timeline[len(scanpop.Timeline)-1]
+	gen.GenerateQuarter(q, packets, tel.Ingest)
+
+	mk := func(pcs []telescope.PortCount) []Fig23Row {
+		rows := make([]Fig23Row, len(pcs))
+		for i, pc := range pcs {
+			rows[i] = Fig23Row{Rank: i + 1, Port: pc.Port, Packets: pc.Packets, ZMapShare: pc.ZMapShare}
+		}
+		return rows
+	}
+	res := Fig23Result{
+		AllScans:  mk(tel.TopPorts(10, "")),
+		ZMapScans: mk(tel.TopPorts(10, telescope.ToolZMap)),
+	}
+	header(w, "Figure 2", "All TCP scans: top ports by packet")
+	printf(w, "%4s %7s %12s %11s\n", "rank", "port", "packets", "zmap-share")
+	for _, r := range res.AllScans {
+		printf(w, "%4d %7d %12d %10.1f%%\n", r.Rank, r.Port, r.Packets, r.ZMapShare*100)
+	}
+	header(w, "Figure 3", "ZMap scans: top ports by packet")
+	for _, r := range res.ZMapScans {
+		printf(w, "%4d %7d %12d %10.1f%%\n", r.Rank, r.Port, r.Packets, r.ZMapShare*100)
+	}
+	printf(w, "paper: zmap share of 80=69%%, 8080=73%%, 23=12%%, 8728=99.5%% (6th most-scanned)\n")
+	printf(w, "measured: 80=%.1f%% 8080=%.1f%% 23=%.1f%% 8728=%.1f%%\n",
+		tel.ZMapShareForPort(80)*100, tel.ZMapShareForPort(8080)*100,
+		tel.ZMapShareForPort(23)*100, tel.ZMapShareForPort(8728)*100)
+	return res
+}
+
+// Fig4Row is one country of Figure 4.
+type Fig4Row struct {
+	Country  string
+	Measured float64
+	Paper    float64
+}
+
+// Fig4 regenerates Figure 4: ZMap share by source country in 2024Q1.
+func Fig4(w io.Writer, packets int, seed int64) []Fig4Row {
+	header(w, "Figure 4", "ZMap share by country, 2024Q1")
+	gen := scanpop.NewGenerator(seed)
+	tel := telescope.New()
+	q := scanpop.Timeline[len(scanpop.Timeline)-1]
+	gen.GenerateQuarter(q, packets, tel.Ingest)
+	byCountry := tel.CountryShare(scanpop.Geo)
+	rows := make([]Fig4Row, 0, len(scanpop.Countries))
+	printf(w, "%-4s %10s %10s\n", "cc", "measured", "paper")
+	for _, c := range scanpop.Countries {
+		if c.Code == "XX" {
+			continue
+		}
+		row := Fig4Row{
+			Country:  c.Code,
+			Measured: byCountry[c.Code].Share(telescope.ToolZMap),
+			Paper:    c.ZMapShare,
+		}
+		rows = append(rows, row)
+		printf(w, "%-4s %9.2f%% %9.2f%%\n", row.Country, row.Measured*100, row.Paper*100)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Measured > rows[j].Measured })
+	return rows
+}
+
+// Fig8 prints the Appendix B topic table and returns the topic list.
+func Fig8(w io.Writer) []papers.Topic {
+	header(w, "Figure 8", "Academic papers built on ZMap data (Appendix B)")
+	if w != nil {
+		papers.Render(w)
+	}
+	return papers.Topics
+}

@@ -1,0 +1,142 @@
+// Package l7 is the application-layer follow-up stage — the ZGrab/LZR
+// stand-in the paper's §3 leans on: "these differences fundamentally
+// limit ZMap's utility (as a standalone L4 tool) to discovering potential
+// services, requiring most work to be completed in follow-up L7 scans."
+//
+// A Grabber performs the second phase of two-phase scanning against the
+// simulated Internet: complete the handshake on an L4-responsive target
+// and try to obtain an application banner (waiting first, then sending a
+// protocol trigger, as LZR does). Middleboxes accept the handshake but
+// never produce data, so the grabber is what separates real services
+// from L4 illusions.
+package l7
+
+import (
+	"strings"
+
+	"zmapgo/internal/netsim"
+)
+
+// Result is the outcome of one L7 grab.
+type Result struct {
+	IP   uint32
+	Port uint16
+	// HandshakeOK is L4 liveness: the SYN-ACK arrived and the handshake
+	// completed.
+	HandshakeOK bool
+	// ServiceDetected is L7 truth: a banner or protocol response came
+	// back. Middleboxes and bannerless sockets leave this false.
+	ServiceDetected bool
+	// Protocol is the identified protocol when ServiceDetected.
+	Protocol netsim.Protocol
+	// Banner is the raw banner (possibly truncated).
+	Banner string
+	// Middlebox marks L4-open-but-no-service targets that sit in a
+	// middlebox prefix — the LZR-style diagnosis.
+	Middlebox bool
+}
+
+// Grabber performs follow-up grabs against a simulated Internet.
+type Grabber struct {
+	in *netsim.Internet
+	// MaxBanner truncates captured banners.
+	MaxBanner int
+}
+
+// NewGrabber wraps a simulated Internet.
+func NewGrabber(in *netsim.Internet) *Grabber {
+	return &Grabber{in: in, MaxBanner: 256}
+}
+
+// Grab connects to (ip, port) and attempts service identification. The
+// L4 phase uses ZMap's default options (MSS-only), mirroring a ZMap->
+// ZGrab pipeline; transient loss is not modeled here because the grab
+// phase retries connections (TCP does that for free).
+func (g *Grabber) Grab(ip uint32, port uint16) Result {
+	r := Result{IP: ip, Port: port}
+	opts := defaultSYNOptions
+	if !g.in.ExpectedSYNACK(ip, port, opts) {
+		return r
+	}
+	r.HandshakeOK = true
+	banner := g.in.Banner(ip, port)
+	if banner == "" {
+		// LZR step: no banner after connect; send a protocol trigger
+		// (e.g. an HTTP GET). In the simulation, services that would
+		// respond to a trigger already expose a banner, so silence here
+		// is a genuine no-service signal.
+		r.Middlebox = g.in.Middlebox(ip) && !g.in.ServiceOpen(ip, port)
+		return r
+	}
+	if g.MaxBanner > 0 && len(banner) > g.MaxBanner {
+		banner = banner[:g.MaxBanner]
+	}
+	r.ServiceDetected = true
+	r.Banner = banner
+	r.Protocol = g.in.ServiceProtocol(ip, port)
+	return r
+}
+
+var defaultSYNOptions = mssOnlyOptions()
+
+func mssOnlyOptions() []byte {
+	// MSS 1460: kind 2, len 4.
+	return []byte{2, 4, 0x05, 0xB4}
+}
+
+// IdentifyProtocol guesses a protocol from a banner string, the way a
+// ZGrab pipeline tags results. It is intentionally simple: the simulated
+// banners are unambiguous.
+func IdentifyProtocol(banner string) netsim.Protocol {
+	switch {
+	case strings.HasPrefix(banner, "HTTP/"):
+		return netsim.ProtoHTTP
+	case strings.HasPrefix(banner, "TLSv"):
+		return netsim.ProtoTLS
+	case strings.HasPrefix(banner, "SSH-"):
+		return netsim.ProtoSSH
+	case strings.HasPrefix(banner, "login:"):
+		return netsim.ProtoTelnet
+	case strings.HasPrefix(banner, "!done"):
+		return netsim.ProtoMikrotikAPI
+	default:
+		return netsim.ProtoNone
+	}
+}
+
+// SurveyStats aggregates a two-phase survey over a target list.
+type SurveyStats struct {
+	Probed          int
+	L4Open          int
+	ServiceDetected int
+	MiddleboxOnly   int
+	BannerlessOpen  int
+	ByProtocol      map[netsim.Protocol]int
+}
+
+// Survey grabs every (ip, port) pair produced by next (which returns
+// ok=false at the end) and aggregates the L4-vs-L7 discrepancy stats.
+func (g *Grabber) Survey(next func() (uint32, uint16, bool)) SurveyStats {
+	stats := SurveyStats{ByProtocol: make(map[netsim.Protocol]int)}
+	for {
+		ip, port, ok := next()
+		if !ok {
+			return stats
+		}
+		stats.Probed++
+		r := g.Grab(ip, port)
+		if !r.HandshakeOK {
+			continue
+		}
+		stats.L4Open++
+		switch {
+		case r.ServiceDetected:
+			stats.ServiceDetected++
+			stats.ByProtocol[r.Protocol]++
+		case r.Middlebox:
+			stats.MiddleboxOnly++
+		default:
+			stats.BannerlessOpen++
+		}
+	}
+}

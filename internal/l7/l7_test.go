@@ -1,0 +1,287 @@
+package l7
+
+import (
+	"strings"
+	"testing"
+
+	"zmapgo/internal/netsim"
+)
+
+func sim(seed uint64) *netsim.Internet {
+	cfg := netsim.DefaultConfig(seed)
+	cfg.ProbeLoss, cfg.ResponseLoss, cfg.PathBadFraction = 0, 0, 0
+	return netsim.New(cfg)
+}
+
+func TestGrabRealService(t *testing.T) {
+	in := sim(60)
+	g := NewGrabber(in)
+	var ip uint32
+	for ; ; ip++ {
+		if in.ServiceOpen(ip, 80) && in.ServiceProtocol(ip, 80) == netsim.ProtoHTTP &&
+			in.AcceptsSYN(ip, 80, mssOnlyOptions()) {
+			break
+		}
+	}
+	r := g.Grab(ip, 80)
+	if !r.HandshakeOK || !r.ServiceDetected {
+		t.Fatalf("real HTTP service: %+v", r)
+	}
+	if r.Protocol != netsim.ProtoHTTP || !strings.HasPrefix(r.Banner, "HTTP/1.1") {
+		t.Errorf("protocol %v banner %q", r.Protocol, r.Banner)
+	}
+	if r.Middlebox {
+		t.Error("real service flagged as middlebox")
+	}
+}
+
+func TestGrabMiddlebox(t *testing.T) {
+	in := sim(61)
+	g := NewGrabber(in)
+	var ip uint32
+	for ; ; ip++ {
+		if in.Middlebox(ip) && !in.ServiceOpen(ip, 81) {
+			break
+		}
+	}
+	r := g.Grab(ip, 81)
+	if !r.HandshakeOK {
+		t.Fatal("middlebox did not complete handshake")
+	}
+	if r.ServiceDetected {
+		t.Fatal("middlebox produced a service")
+	}
+	if !r.Middlebox {
+		t.Error("middlebox not diagnosed")
+	}
+}
+
+func TestGrabClosed(t *testing.T) {
+	in := sim(62)
+	g := NewGrabber(in)
+	var ip uint32
+	for ; ; ip++ {
+		if !in.Live(ip) && !in.Middlebox(ip) {
+			break
+		}
+	}
+	r := g.Grab(ip, 80)
+	if r.HandshakeOK || r.ServiceDetected {
+		t.Errorf("dead host grabbed: %+v", r)
+	}
+}
+
+func TestBannerTruncation(t *testing.T) {
+	in := sim(63)
+	g := NewGrabber(in)
+	g.MaxBanner = 4
+	var ip uint32
+	for ; ; ip++ {
+		if in.ServiceOpen(ip, 80) && in.Banner(ip, 80) != "" &&
+			in.AcceptsSYN(ip, 80, mssOnlyOptions()) {
+			break
+		}
+	}
+	r := g.Grab(ip, 80)
+	if len(r.Banner) > 4 {
+		t.Errorf("banner not truncated: %q", r.Banner)
+	}
+}
+
+func TestIdentifyProtocol(t *testing.T) {
+	cases := map[string]netsim.Protocol{
+		"HTTP/1.1 200 OK": netsim.ProtoHTTP,
+		"TLSv1.3 sim":     netsim.ProtoTLS,
+		"SSH-2.0-OpenSSH": netsim.ProtoSSH,
+		"login: ":         netsim.ProtoTelnet,
+		"!done mikrotik":  netsim.ProtoMikrotikAPI,
+		"220 ftp ready":   netsim.ProtoNone,
+		"":                netsim.ProtoNone,
+	}
+	for banner, want := range cases {
+		if got := IdentifyProtocol(banner); got != want {
+			t.Errorf("IdentifyProtocol(%q) = %v, want %v", banner, got, want)
+		}
+	}
+}
+
+func TestSurveyL4L7Gap(t *testing.T) {
+	// Over a block with middleboxes, L4-open must exceed L7 services —
+	// the central §3 discrepancy.
+	in := sim(64)
+	g := NewGrabber(in)
+	i := uint32(0)
+	const n = 120000
+	stats := g.Survey(func() (uint32, uint16, bool) {
+		if i >= n {
+			return 0, 0, false
+		}
+		i++
+		// Stride across /16 prefixes so middlebox prefixes are sampled.
+		return (i - 1) * 4099, 80, true
+	})
+	if stats.Probed != n {
+		t.Fatalf("probed %d, want %d", stats.Probed, n)
+	}
+	if stats.L4Open == 0 || stats.ServiceDetected == 0 {
+		t.Fatalf("empty survey: %+v", stats)
+	}
+	if stats.L4Open <= stats.ServiceDetected {
+		t.Errorf("no L4/L7 gap: open %d, services %d", stats.L4Open, stats.ServiceDetected)
+	}
+	if stats.MiddleboxOnly == 0 {
+		t.Error("no middlebox-only targets diagnosed")
+	}
+	if stats.ByProtocol[netsim.ProtoHTTP] == 0 {
+		t.Error("no HTTP identified on port 80")
+	}
+	// Consistency: categories partition L4Open.
+	if stats.ServiceDetected+stats.MiddleboxOnly+stats.BannerlessOpen != stats.L4Open {
+		t.Errorf("L4 categories do not partition: %+v", stats)
+	}
+}
+
+func BenchmarkGrab(b *testing.B) {
+	in := sim(65)
+	g := NewGrabber(in)
+	var r Result
+	for i := 0; i < b.N; i++ {
+		r = g.Grab(uint32(i), 80)
+	}
+	benchResult = r
+}
+
+var benchResult Result
+
+func TestModuleRegistry(t *testing.T) {
+	names := ModuleNames()
+	want := []string{"banner", "http", "ssh", "tls"}
+	if len(names) != len(want) {
+		t.Fatalf("modules %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("modules %v, want %v", names, want)
+		}
+	}
+	if _, err := LookupModule("nope"); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestRegisterModuleDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register did not panic")
+		}
+	}()
+	RegisterModule(HTTPModule{})
+}
+
+func TestHTTPModuleParse(t *testing.T) {
+	m := HTTPModule{}
+	banner := "HTTP/1.1 200 OK\r\nServer: simhttpd/123\r\n\r\n"
+	if !m.Matches(banner) || m.Matches("SSH-2.0-x") {
+		t.Error("Matches wrong")
+	}
+	out := m.Parse(banner)
+	if out["version"] != "1.1" || out["status_code"] != "200" || out["server"] != "simhttpd/123" {
+		t.Errorf("parsed %v", out)
+	}
+}
+
+func TestTLSModuleParse(t *testing.T) {
+	out := (TLSModule{}).Parse("TLSv1.3 sim certificate cn=host-42.example")
+	if out["version"] != "1.3" || out["certificate_cn"] != "host-42.example" {
+		t.Errorf("parsed %v", out)
+	}
+}
+
+func TestSSHModuleParse(t *testing.T) {
+	out := (SSHModule{}).Parse("SSH-2.0-OpenSSH_sim7")
+	if out["version"] != "2.0" || out["software"] != "OpenSSH_sim7" {
+		t.Errorf("parsed %v", out)
+	}
+	out = (SSHModule{}).Parse("SSH-2.0-OpenSSH_9.6 Ubuntu-3")
+	if out["software"] != "OpenSSH_9.6" {
+		t.Errorf("comment handling: %v", out)
+	}
+}
+
+func TestBannerModuleTruncates(t *testing.T) {
+	long := strings.Repeat("x", 300)
+	out := (BannerModule{}).Parse(long)
+	if len(out["banner"]) != 128 {
+		t.Errorf("banner length %d", len(out["banner"]))
+	}
+	if !(BannerModule{}).Matches("anything") {
+		t.Error("banner module must match everything")
+	}
+}
+
+func TestStructuredGrabAutoDetect(t *testing.T) {
+	in := sim(66)
+	g := NewGrabber(in)
+	found := map[string]bool{}
+	ports := []uint16{80, 443, 22}
+	for ip := uint32(0); ip < 2_000_000 && len(found) < 3; ip++ {
+		for _, port := range ports {
+			if !in.ServiceOpen(ip, port) {
+				continue
+			}
+			r, fields, err := g.StructuredGrab(ip, port, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.ServiceDetected {
+				continue
+			}
+			proto := fields["protocol"]
+			if proto == "http" || proto == "tls" || proto == "ssh" {
+				found[proto] = true
+			}
+		}
+	}
+	for _, p := range []string{"http", "tls", "ssh"} {
+		if !found[p] {
+			t.Errorf("auto-detect never identified %s", p)
+		}
+	}
+}
+
+func TestStructuredGrabExplicitModule(t *testing.T) {
+	in := sim(67)
+	g := NewGrabber(in)
+	var httpIP uint32
+	for ip := uint32(0); ; ip++ {
+		if in.ServiceOpen(ip, 80) && in.ServiceProtocol(ip, 80) == netsim.ProtoHTTP &&
+			in.AcceptsSYN(ip, 80, mssOnlyOptions()) {
+			httpIP = ip
+			break
+		}
+	}
+	_, fields, err := g.StructuredGrab(httpIP, 80, "http")
+	if err != nil || fields["status_code"] != "200" {
+		t.Errorf("explicit http grab: %v, %v", fields, err)
+	}
+	// Wrong module for the banner must error.
+	if _, _, err := g.StructuredGrab(httpIP, 80, "ssh"); err == nil {
+		t.Error("ssh module accepted an HTTP banner")
+	}
+	// Unknown module must error.
+	if _, _, err := g.StructuredGrab(httpIP, 80, "nope"); err == nil {
+		t.Error("unknown module accepted")
+	}
+	// Closed target: no fields, no error.
+	var dead uint32
+	for ip := uint32(0); ; ip++ {
+		if !in.Live(ip) && !in.Middlebox(ip) {
+			dead = ip
+			break
+		}
+	}
+	r, fields, err := g.StructuredGrab(dead, 80, "")
+	if err != nil || fields != nil || r.ServiceDetected {
+		t.Errorf("dead grab: %+v %v %v", r, fields, err)
+	}
+}

@@ -1,0 +1,184 @@
+package l7
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ProtocolModule parses a raw banner into structured, statically-typed
+// fields — the zgrab2 module pattern: each protocol scanner owns its
+// output schema, and a registry maps names to modules so callers select
+// them like CLI subcommands.
+type ProtocolModule interface {
+	// Name is the registry key ("http", "tls", "ssh", "banner").
+	Name() string
+	// Matches reports whether the banner looks like this protocol.
+	Matches(banner string) bool
+	// Parse extracts structured fields. Only called when Matches.
+	Parse(banner string) map[string]string
+}
+
+var moduleRegistry = map[string]ProtocolModule{}
+
+// RegisterModule adds a protocol module; duplicate names panic.
+func RegisterModule(m ProtocolModule) {
+	if _, dup := moduleRegistry[m.Name()]; dup {
+		panic("l7: duplicate module " + m.Name())
+	}
+	moduleRegistry[m.Name()] = m
+}
+
+// LookupModule retrieves a module by name.
+func LookupModule(name string) (ProtocolModule, error) {
+	m, ok := moduleRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("l7: unknown module %q (have %v)", name, ModuleNames())
+	}
+	return m, nil
+}
+
+// ModuleNames lists registered modules, sorted.
+func ModuleNames() []string {
+	out := make([]string, 0, len(moduleRegistry))
+	for n := range moduleRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterModule(HTTPModule{})
+	RegisterModule(TLSModule{})
+	RegisterModule(SSHModule{})
+	RegisterModule(BannerModule{})
+}
+
+// StructuredGrab runs the L7 follow-up and, when a banner arrives,
+// dispatches it to the best-matching protocol module for structured
+// parsing. module may name a specific module ("http") or be empty for
+// auto-detection across the registry.
+func (g *Grabber) StructuredGrab(ip uint32, port uint16, module string) (Result, map[string]string, error) {
+	r := g.Grab(ip, port)
+	if !r.ServiceDetected {
+		return r, nil, nil
+	}
+	if module != "" {
+		m, err := LookupModule(module)
+		if err != nil {
+			return r, nil, err
+		}
+		if !m.Matches(r.Banner) {
+			return r, nil, fmt.Errorf("l7: banner does not match module %q", module)
+		}
+		return r, m.Parse(r.Banner), nil
+	}
+	// Auto-detect: specific modules first, generic banner last.
+	for _, name := range []string{"http", "tls", "ssh"} {
+		m := moduleRegistry[name]
+		if m.Matches(r.Banner) {
+			return r, m.Parse(r.Banner), nil
+		}
+	}
+	return r, (BannerModule{}).Parse(r.Banner), nil
+}
+
+// HTTPModule parses HTTP response banners.
+type HTTPModule struct{}
+
+// Name implements ProtocolModule.
+func (HTTPModule) Name() string { return "http" }
+
+// Matches implements ProtocolModule.
+func (HTTPModule) Matches(banner string) bool { return strings.HasPrefix(banner, "HTTP/") }
+
+// Parse implements ProtocolModule: status line + headers.
+func (HTTPModule) Parse(banner string) map[string]string {
+	out := map[string]string{"protocol": "http"}
+	lines := strings.Split(banner, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) >= 2 {
+		out["version"] = strings.TrimPrefix(parts[0], "HTTP/")
+		if _, err := strconv.Atoi(parts[1]); err == nil {
+			out["status_code"] = parts[1]
+		}
+	}
+	for _, line := range lines[1:] {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			key := strings.ToLower(strings.TrimSpace(k))
+			if key == "server" {
+				out["server"] = strings.TrimSpace(v)
+			}
+		}
+	}
+	return out
+}
+
+// TLSModule parses the simulated TLS greeting.
+type TLSModule struct{}
+
+// Name implements ProtocolModule.
+func (TLSModule) Name() string { return "tls" }
+
+// Matches implements ProtocolModule.
+func (TLSModule) Matches(banner string) bool { return strings.HasPrefix(banner, "TLSv") }
+
+// Parse implements ProtocolModule: version and certificate CN.
+func (TLSModule) Parse(banner string) map[string]string {
+	out := map[string]string{"protocol": "tls"}
+	fields := strings.Fields(banner)
+	if len(fields) > 0 {
+		out["version"] = strings.TrimPrefix(fields[0], "TLSv")
+	}
+	for _, f := range fields {
+		if cn, ok := strings.CutPrefix(f, "cn="); ok {
+			out["certificate_cn"] = cn
+		}
+	}
+	return out
+}
+
+// SSHModule parses SSH identification strings (RFC 4253 §4.2).
+type SSHModule struct{}
+
+// Name implements ProtocolModule.
+func (SSHModule) Name() string { return "ssh" }
+
+// Matches implements ProtocolModule.
+func (SSHModule) Matches(banner string) bool { return strings.HasPrefix(banner, "SSH-") }
+
+// Parse implements ProtocolModule: protocol version and software.
+func (SSHModule) Parse(banner string) map[string]string {
+	out := map[string]string{"protocol": "ssh"}
+	// SSH-protoversion-softwareversion [comments]
+	rest := strings.TrimPrefix(banner, "SSH-")
+	if version, software, ok := strings.Cut(rest, "-"); ok {
+		out["version"] = version
+		if sw, _, hasSpace := strings.Cut(software, " "); hasSpace {
+			out["software"] = sw
+		} else {
+			out["software"] = software
+		}
+	}
+	return out
+}
+
+// BannerModule is the generic fallback: it matches anything and reports
+// the raw banner truncated to a fixed budget.
+type BannerModule struct{}
+
+// Name implements ProtocolModule.
+func (BannerModule) Name() string { return "banner" }
+
+// Matches implements ProtocolModule.
+func (BannerModule) Matches(string) bool { return true }
+
+// Parse implements ProtocolModule.
+func (BannerModule) Parse(banner string) map[string]string {
+	if len(banner) > 128 {
+		banner = banner[:128]
+	}
+	return map[string]string{"protocol": "unknown", "banner": banner}
+}

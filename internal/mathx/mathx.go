@@ -1,0 +1,288 @@
+// Package mathx provides the 64-bit modular arithmetic, primality testing,
+// and integer factorization routines that underpin ZMap's cyclic-group
+// target generation. Everything here is deterministic and allocation-free
+// on the hot paths.
+//
+// ZMap iterates multiplicative groups (Z/pZ)* for primes p slightly larger
+// than a power of two. Group elements fit in 48 bits and generators are
+// constrained below 2^16 so that products fit in 64-bit arithmetic, but the
+// routines in this package are written for full-width uint64 operands using
+// 128-bit intermediates so that callers never need to reason about overflow.
+package mathx
+
+import "math/bits"
+
+// MulMod returns (a * b) mod m using a 128-bit intermediate product.
+// m must be nonzero.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi == 0 {
+		return lo % m
+	}
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// PowMod returns (base ^ exp) mod m by square-and-multiply.
+// m must be nonzero. PowMod(b, 0, m) == 1 % m.
+func PowMod(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod(result, base, m)
+		}
+		base = MulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Coprime reports whether a and b share no common factor other than 1.
+func Coprime(a, b uint64) bool { return GCD(a, b) == 1 }
+
+// millerRabinBases is a deterministic witness set for all n < 2^64
+// (Sinclair 2011). Testing against these seven bases is a proof, not a
+// probabilistic argument, within the uint64 range.
+var millerRabinBases = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+
+// IsPrime reports whether n is prime. Deterministic for all uint64 values.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	// Write n-1 as d * 2^r with d odd.
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+witness:
+	for _, a := range millerRabinBases {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. Panics if the search would
+// overflow uint64 (no prime exists in range), which cannot happen for the
+// group sizes used by this module.
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n&1 == 0 {
+		n++
+	}
+	for {
+		if IsPrime(n) {
+			return n
+		}
+		if n > n+2 {
+			panic("mathx: NextPrime overflow")
+		}
+		n += 2
+	}
+}
+
+// pollardRho finds a non-trivial factor of composite odd n using Brent's
+// cycle-finding variant of Pollard's rho with the polynomial x^2 + c.
+func pollardRho(n uint64) uint64 {
+	if n&1 == 0 {
+		return 2
+	}
+	// Deterministic sequence of increment constants: rho can fail for a
+	// particular c (cycle without a factor), so walk c upward until a
+	// factor appears. Termination is guaranteed for composite n because
+	// some c always works and c stays tiny in practice.
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 {
+			return (MulMod(x, x, n) + c) % n
+		}
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				d = n // cycle without factor; try next c
+				break
+			}
+			d = GCD(diff, n)
+		}
+		if d != n {
+			return d
+		}
+	}
+}
+
+// Factor returns the prime factorization of n as a sorted slice of
+// (prime, exponent) pairs. Factor(0) and Factor(1) return nil.
+func Factor(n uint64) []PrimePower {
+	if n < 2 {
+		return nil
+	}
+	counts := make(map[uint64]uint)
+	factorInto(n, counts)
+	out := make([]PrimePower, 0, len(counts))
+	for p, e := range counts {
+		out = append(out, PrimePower{P: p, E: e})
+	}
+	sortPrimePowers(out)
+	return out
+}
+
+// PrimePower is one term p^e of a factorization.
+type PrimePower struct {
+	P uint64 // prime
+	E uint
+	// E is the exponent; P^E divides the factored value exactly.
+}
+
+func factorInto(n uint64, counts map[uint64]uint) {
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47} {
+		for n%p == 0 {
+			counts[p]++
+			n /= p
+		}
+	}
+	if n == 1 {
+		return
+	}
+	if IsPrime(n) {
+		counts[n]++
+		return
+	}
+	d := pollardRho(n)
+	factorInto(d, counts)
+	factorInto(n/d, counts)
+}
+
+func sortPrimePowers(pp []PrimePower) {
+	// Insertion sort: factor lists are tiny (<= 15 entries for uint64).
+	for i := 1; i < len(pp); i++ {
+		for j := i; j > 0 && pp[j].P < pp[j-1].P; j-- {
+			pp[j], pp[j-1] = pp[j-1], pp[j]
+		}
+	}
+}
+
+// DistinctPrimes returns just the distinct prime factors of n, sorted.
+func DistinctPrimes(n uint64) []uint64 {
+	pp := Factor(n)
+	out := make([]uint64, len(pp))
+	for i, f := range pp {
+		out[i] = f.P
+	}
+	return out
+}
+
+// EulerPhi returns Euler's totient of n computed from its factorization.
+func EulerPhi(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	phi := n
+	for _, f := range Factor(n) {
+		phi = phi / f.P * (f.P - 1)
+	}
+	return phi
+}
+
+// IsGeneratorOfMultiplicativeGroup reports whether g generates (Z/pZ)* for
+// prime p, given the distinct prime factors of p-1. This is the
+// factorization-based check the paper describes for the modern generator
+// search: g is a generator iff g^((p-1)/k) != 1 (mod p) for every distinct
+// prime k dividing p-1.
+func IsGeneratorOfMultiplicativeGroup(g, p uint64, pm1Factors []uint64) bool {
+	if g <= 1 || g >= p {
+		return false
+	}
+	for _, k := range pm1Factors {
+		if PowMod(g, (p-1)/k, p) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// InvMod returns the multiplicative inverse of a modulo m, i.e. x with
+// a*x ≡ 1 (mod m), and ok=false when gcd(a, m) != 1. It runs the extended
+// Euclidean algorithm in int64 space, so m must be below 2^63 (true for
+// every scanning group; moduli top out at 2^48+21).
+func InvMod(a, m uint64) (uint64, bool) {
+	if m == 0 || m >= 1<<63 {
+		return 0, false
+	}
+	a %= m
+	if a == 0 {
+		return 0, false
+	}
+	// Iterative extended Euclid on (old_r, r) and (old_s, s).
+	oldR, r := int64(a), int64(m)
+	oldS, s := int64(1), int64(0)
+	for r != 0 {
+		q := oldR / r
+		oldR, r = r, oldR-q*r
+		oldS, s = s, oldS-q*s
+	}
+	if oldR != 1 {
+		return 0, false
+	}
+	if oldS < 0 {
+		oldS += int64(m)
+	}
+	return uint64(oldS), true
+}
+
+// MulDiv64 returns floor(a*b/d) using a 128-bit intermediate product.
+// d must be nonzero and the quotient must fit in 64 bits; callers in this
+// module only use it to compute proportional chunk boundaries (b <= d), for
+// which the quotient never exceeds a.
+func MulDiv64(a, b, d uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	q, _ := bits.Div64(hi, lo, d)
+	return q
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func Log2Ceil(n uint64) uint {
+	if n <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(n - 1))
+}

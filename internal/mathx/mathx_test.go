@@ -1,0 +1,408 @@
+package mathx
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModMatchesBigInt(t *testing.T) {
+	f := func(a, b uint64, mRaw uint64) bool {
+		m := mRaw
+		if m == 0 {
+			m = 1
+		}
+		got := MulMod(a, b, m)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, new(big.Int).SetUint64(m))
+		return got == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModEdgeCases(t *testing.T) {
+	cases := []struct{ a, b, m, want uint64 }{
+		{0, 0, 1, 0},
+		{^uint64(0), ^uint64(0), ^uint64(0), 0},
+		{^uint64(0), ^uint64(0), 2, 1},
+		{1 << 32, 1 << 32, (1 << 32) + 15, (1 << 32) % ((1 << 32) + 15) * (1 << 32) % ((1 << 32) + 15) % ((1 << 32) + 15)},
+		{7, 9, 5, 3},
+	}
+	for _, c := range cases {
+		if got := MulMod(c.a, c.b, c.m); got != c.want {
+			// recompute want via big for the shifted case
+			want := new(big.Int).Mul(new(big.Int).SetUint64(c.a), new(big.Int).SetUint64(c.b))
+			want.Mod(want, new(big.Int).SetUint64(c.m))
+			if got != want.Uint64() {
+				t.Errorf("MulMod(%d,%d,%d) = %d, want %d", c.a, c.b, c.m, got, want.Uint64())
+			}
+		}
+	}
+}
+
+func TestPowModMatchesBigInt(t *testing.T) {
+	f := func(base, exp uint64, mRaw uint64) bool {
+		m := mRaw
+		if m == 0 {
+			m = 1
+		}
+		exp %= 1 << 20 // keep big.Exp cheap
+		got := PowMod(base, exp, m)
+		want := new(big.Int).Exp(
+			new(big.Int).SetUint64(base),
+			new(big.Int).SetUint64(exp),
+			new(big.Int).SetUint64(m))
+		return got == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowModZeroExponent(t *testing.T) {
+	if got := PowMod(12345, 0, 97); got != 1 {
+		t.Errorf("PowMod(12345,0,97) = %d, want 1", got)
+	}
+	if got := PowMod(5, 0, 1); got != 0 {
+		t.Errorf("PowMod(5,0,1) = %d, want 0", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{12, 18, 6},
+		{17, 13, 1},
+		{1 << 40, 1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDCommutes(t *testing.T) {
+	f := func(a, b uint64) bool { return GCD(a, b) == GCD(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDDivides(t *testing.T) {
+	f := func(a, b uint64) bool {
+		g := GCD(a, b)
+		if g == 0 {
+			return a == 0 && b == 0
+		}
+		return a%g == 0 && b%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		4: false, 6: false, 9: false, 15: false, 21: false, 25: false,
+		0: false, 1: false,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeSieveAgreement(t *testing.T) {
+	const limit = 20000
+	sieve := make([]bool, limit)
+	for i := 2; i < limit; i++ {
+		sieve[i] = true
+	}
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for n := uint64(0); n < limit; n++ {
+		if IsPrime(n) != sieve[n] {
+			t.Fatalf("IsPrime(%d) = %v disagrees with sieve", n, IsPrime(n))
+		}
+	}
+}
+
+func TestIsPrimeZMapGroupModuli(t *testing.T) {
+	// The prime moduli ZMap uses for its cyclic groups. Note the paper's
+	// text says 2^48+23, but that value is composite (divisible by small
+	// primes); the actual ZMap group modulus is 2^48+21.
+	primes := []uint64{
+		(1 << 16) + 1,
+		(1 << 24) + 43,
+		(1 << 28) + 3,
+		(1 << 32) + 15,
+		(1 << 34) + 25,
+		(1 << 36) + 31,
+		(1 << 40) + 15,
+		(1 << 44) + 7,
+		(1 << 48) + 21,
+	}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	if IsPrime((1 << 48) + 23) {
+		t.Error("2^48+23 should be composite (paper typo)")
+	}
+}
+
+func TestIsPrimeStrongPseudoprimes(t *testing.T) {
+	// Carmichael numbers and strong pseudoprimes to base 2.
+	composites := []uint64{561, 1105, 1729, 2047, 3215031751, 3825123056546413051}
+	for _, n := range composites {
+		if IsPrime(n) {
+			t.Errorf("IsPrime(%d) = true for composite", n)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {14, 17}, {1 << 16, 65537},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.n); got != c.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFactorReconstructs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint64(rng.Int63n(1<<40)) + 2
+		prod := uint64(1)
+		for _, pp := range Factor(n) {
+			if !IsPrime(pp.P) {
+				return false
+			}
+			for i := uint(0); i < pp.E; i++ {
+				prod *= pp.P
+			}
+		}
+		return prod == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorKnownValues(t *testing.T) {
+	// Factorizations of p-1 for ZMap's group moduli (used by the modern
+	// generator search). Cross-checked externally.
+	cases := []struct {
+		n    uint64
+		want []PrimePower
+	}{
+		{(1 << 16), []PrimePower{{2, 16}}},
+		{(1 << 24) + 42, []PrimePower{{2, 1}, {23, 1}, {103, 1}, {3541, 1}}},
+		{(1 << 32) + 14, []PrimePower{{2, 1}, {3, 2}, {5, 1}, {131, 1}, {364289, 1}}},
+		{(1 << 48) + 20, []PrimePower{{2, 2}, {3, 1}, {7, 1}, {1361, 1}, {2462081249, 1}}},
+		{12, []PrimePower{{2, 2}, {3, 1}}},
+		{1, nil},
+		{0, nil},
+	}
+	for _, c := range cases {
+		got := Factor(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Factor(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Factor(%d)[%d] = %v, want %v", c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestFactorSortedAscending(t *testing.T) {
+	f := func(n uint64) bool {
+		n %= 1 << 44
+		pp := Factor(n)
+		for i := 1; i < len(pp); i++ {
+			if pp[i].P <= pp[i-1].P {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEulerPhi(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0}, {1, 1}, {2, 1}, {9, 6}, {10, 4}, {65536, 32768}, {97, 96},
+	}
+	for _, c := range cases {
+		if got := EulerPhi(c.n); got != c.want {
+			t.Errorf("EulerPhi(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEulerPhiZMapGroup(t *testing.T) {
+	// Sanity for the "average four attempts" claim: phi(p-1)/(p-1) should
+	// be roughly 1/4 for ZMap's group moduli.
+	for _, p := range []uint64{(1 << 32) + 15, (1 << 48) + 21} {
+		phi := EulerPhi(p - 1)
+		ratio := float64(phi) / float64(p-1)
+		if ratio < 0.2 || ratio > 0.35 {
+			t.Errorf("phi(p-1)/(p-1) for p=%d is %.4f, expected ~0.25-0.30", p, ratio)
+		}
+	}
+}
+
+func TestIsGeneratorOfMultiplicativeGroup(t *testing.T) {
+	// (Z/7Z)*: generators are 3 and 5.
+	factors := DistinctPrimes(6) // [2 3]
+	gens := map[uint64]bool{1: false, 2: false, 3: true, 4: false, 5: true, 6: false}
+	for g, want := range gens {
+		if got := IsGeneratorOfMultiplicativeGroup(g, 7, factors); got != want {
+			t.Errorf("IsGenerator(%d, 7) = %v, want %v", g, got, want)
+		}
+	}
+	// Out of range values are never generators.
+	if IsGeneratorOfMultiplicativeGroup(0, 7, factors) ||
+		IsGeneratorOfMultiplicativeGroup(7, 7, factors) ||
+		IsGeneratorOfMultiplicativeGroup(8, 7, factors) {
+		t.Error("out-of-range g accepted as generator")
+	}
+}
+
+func TestGeneratorCountMatchesPhi(t *testing.T) {
+	// For prime p the number of generators of (Z/pZ)* is phi(p-1).
+	for _, p := range []uint64{7, 11, 13, 17, 101, 65537} {
+		factors := DistinctPrimes(p - 1)
+		count := uint64(0)
+		for g := uint64(2); g < p; g++ {
+			if IsGeneratorOfMultiplicativeGroup(g, p, factors) {
+				count++
+			}
+		}
+		want := EulerPhi(p - 1)
+		if p > 2 {
+			want-- // g=1 is excluded by our range but phi counts it only when p-1=1
+		}
+		// phi(p-1) counts generators among 1..p-1; 1 is a generator only
+		// for p=2, so for p>3 the count over 2..p-1 equals phi(p-1).
+		want = EulerPhi(p - 1)
+		if count != want {
+			t.Errorf("p=%d: generator count %d, want phi(p-1)=%d", p, count, want)
+		}
+	}
+}
+
+func TestInvMod(t *testing.T) {
+	cases := []struct {
+		a, m uint64
+		ok   bool
+	}{
+		{3, 7, true},
+		{2, 7, true},
+		{1, 7, true},
+		{6, 9, false}, // gcd 3
+		{0, 7, false},
+		{7, 7, false},
+		{5, 0, false},
+		{48271, (1 << 48) + 21, true},
+	}
+	for _, c := range cases {
+		inv, ok := InvMod(c.a, c.m)
+		if ok != c.ok {
+			t.Errorf("InvMod(%d, %d) ok = %v, want %v", c.a, c.m, ok, c.ok)
+			continue
+		}
+		if ok && MulMod(c.a%c.m, inv, c.m) != 1 {
+			t.Errorf("InvMod(%d, %d) = %d does not invert", c.a, c.m, inv)
+		}
+	}
+}
+
+func TestInvModProperty(t *testing.T) {
+	// For prime p, every nonzero residue has an inverse that inverts.
+	const p = (1 << 32) + 15
+	f := func(a uint64) bool {
+		a = a%(p-1) + 1
+		inv, ok := InvMod(a, p)
+		return ok && MulMod(a, inv, p) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want uint
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1 << 16, 16}, {(1 << 16) + 1, 17},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMulMod(b *testing.B) {
+	const p = (1 << 48) + 21
+	x := uint64(123456789)
+	for i := 0; i < b.N; i++ {
+		x = MulMod(x, 48271, p)
+	}
+	sinkU64 = x
+}
+
+func BenchmarkPowMod(b *testing.B) {
+	const p = (1 << 48) + 21
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x = PowMod(48271, uint64(i)|1, p)
+	}
+	sinkU64 = x
+}
+
+func BenchmarkIsPrime48Bit(b *testing.B) {
+	var r bool
+	for i := 0; i < b.N; i++ {
+		r = IsPrime((1 << 48) + 21)
+	}
+	sinkBool = r
+}
+
+func BenchmarkFactor(b *testing.B) {
+	var f []PrimePower
+	for i := 0; i < b.N; i++ {
+		f = Factor((1 << 48) + 20)
+	}
+	sinkLen = len(f)
+}
+
+var (
+	sinkU64  uint64
+	sinkBool bool
+	sinkLen  int
+)

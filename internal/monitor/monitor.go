@@ -1,0 +1,141 @@
+// Package monitor implements the real-time status stream — the third of
+// the four output streams §5 prescribes (data, logs, status updates,
+// metadata). Counters are lock-free atomics updated by send and receive
+// goroutines; a snapshot loop emits one machine-parsable line per second,
+// like ZMap's --status-updates-file.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates scan progress. All methods are safe for concurrent
+// use.
+type Counters struct {
+	sent       atomic.Uint64
+	recv       atomic.Uint64
+	valid      atomic.Uint64
+	success    atomic.Uint64
+	uniqueSucc atomic.Uint64
+	duplicates atomic.Uint64
+	drops      atomic.Uint64
+}
+
+// Sent increments packets sent.
+func (c *Counters) Sent() { c.sent.Add(1) }
+
+// Recv increments packets received (pre-validation).
+func (c *Counters) Recv() { c.recv.Add(1) }
+
+// Valid increments validated responses.
+func (c *Counters) Valid() { c.valid.Add(1) }
+
+// Success increments successful classifications; unique marks first
+// sightings after dedup.
+func (c *Counters) Success(unique bool) {
+	c.success.Add(1)
+	if unique {
+		c.uniqueSucc.Add(1)
+	}
+}
+
+// Duplicate increments deduplicated repeats.
+func (c *Counters) Duplicate() { c.duplicates.Add(1) }
+
+// AddDrops records receive-ring drops (gauge snapshot from the link).
+func (c *Counters) AddDrops(n uint64) { c.drops.Store(n) }
+
+// Snapshot is a point-in-time view of the counters.
+type Snapshot struct {
+	Time       time.Time
+	Sent       uint64
+	Recv       uint64
+	Valid      uint64
+	Success    uint64
+	UniqueSucc uint64
+	Duplicates uint64
+	Drops      uint64
+}
+
+// Snapshot captures current values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Time:       time.Now(),
+		Sent:       c.sent.Load(),
+		Recv:       c.recv.Load(),
+		Valid:      c.valid.Load(),
+		Success:    c.success.Load(),
+		UniqueSucc: c.uniqueSucc.Load(),
+		Duplicates: c.duplicates.Load(),
+		Drops:      c.drops.Load(),
+	}
+}
+
+// StatusWriter periodically emits CSV status lines:
+// unix_ts,sent,sent_pps,recv,recv_pps,success,unique,duplicates,drops.
+type StatusWriter struct {
+	w        io.Writer
+	counters *Counters
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	last     Snapshot
+}
+
+// NewStatusWriter starts a status loop writing to w every interval. Call
+// Stop to end it. A nil w disables output but still permits Stop.
+func NewStatusWriter(w io.Writer, c *Counters, interval time.Duration) *StatusWriter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &StatusWriter{
+		w:        w,
+		counters: c,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		last:     c.Snapshot(),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *StatusWriter) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.emit()
+		case <-s.stop:
+			s.emit()
+			return
+		}
+	}
+}
+
+func (s *StatusWriter) emit() {
+	now := s.counters.Snapshot()
+	dt := now.Time.Sub(s.last.Time).Seconds()
+	if dt <= 0 {
+		dt = s.interval.Seconds()
+	}
+	if s.w != nil {
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d\n",
+			now.Time.Unix(),
+			now.Sent, float64(now.Sent-s.last.Sent)/dt,
+			now.Recv, float64(now.Recv-s.last.Recv)/dt,
+			now.Success, now.UniqueSucc, now.Duplicates, now.Drops)
+	}
+	s.last = now
+}
+
+// Stop ends the loop after a final line.
+func (s *StatusWriter) Stop() {
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Sent()
+				c.Recv()
+				c.Valid()
+				c.Success(i%2 == 0)
+				c.Duplicate()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Sent != 8000 || s.Recv != 8000 || s.Valid != 8000 {
+		t.Errorf("snapshot %+v", s)
+	}
+	if s.Success != 8000 || s.UniqueSucc != 4000 || s.Duplicates != 8000 {
+		t.Errorf("snapshot %+v", s)
+	}
+}
+
+func TestAddDropsIsGauge(t *testing.T) {
+	var c Counters
+	c.AddDrops(5)
+	c.AddDrops(7)
+	if c.Snapshot().Drops != 7 {
+		t.Error("drops should store the latest gauge value")
+	}
+}
+
+func TestStatusWriterEmitsLines(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := &lockedWriter{mu: &mu, w: &buf}
+	var c Counters
+	s := NewStatusWriter(w, &c, 10*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		c.Sent()
+	}
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected >= 2 status lines, got %q", out)
+	}
+	fields := strings.Split(lines[len(lines)-1], ",")
+	if len(fields) != 9 {
+		t.Fatalf("status line has %d fields: %q", len(fields), lines[len(lines)-1])
+	}
+	if fields[1] != "100" {
+		t.Errorf("sent field = %q, want 100", fields[1])
+	}
+}
+
+func TestStatusWriterNilWriter(t *testing.T) {
+	var c Counters
+	s := NewStatusWriter(nil, &c, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	s.Stop() // must not panic
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+
+	"zmapgo/internal/dnswire"
+	"zmapgo/internal/packet"
+)
+
+// findResolver returns an open (non-REFUSED) DNS service address.
+func findResolver(t *testing.T, in *Internet) uint32 {
+	t.Helper()
+	for ip := uint32(0); ip < 5_000_000; ip++ {
+		if in.UDPServiceOpen(ip, 53) && uniform(in.hash(purposeUDP+16, ip, 53)) >= 0.03 {
+			return ip
+		}
+	}
+	t.Fatal("no open resolver found")
+	return 0
+}
+
+func dnsProbe(server uint32, payload []byte) []byte {
+	buf := packet.AppendEthernet(nil, probeSrcMAC, packet.MAC{}, packet.EtherTypeIPv4)
+	buf = packet.AppendIPv4(buf, packet.IPv4{
+		TTL: 64, Protocol: packet.ProtocolUDP, Src: 9, Dst: server,
+	}, packet.UDPHeaderLen+len(payload))
+	return packet.AppendUDP(buf, 5353, 53, 9, server, payload)
+}
+
+func askDNS(t *testing.T, in *Internet, server uint32, payload []byte) []byte {
+	t.Helper()
+	rs := in.Respond(dnsProbe(server, payload))
+	if len(rs) != 1 {
+		t.Fatalf("%d responses from resolver", len(rs))
+	}
+	f, err := packet.Parse(rs[0].Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.UDP == nil {
+		t.Fatal("non-UDP reply from resolver")
+	}
+	return f.Payload
+}
+
+func TestDNSAnswerA(t *testing.T) {
+	in := New(lossless(400))
+	server := findResolver(t, in)
+	// Find an existing name.
+	for i := byte('a'); i <= 'z'; i++ {
+		name := "host-" + string(i) + ".example"
+		query, err := dnswire.AppendQuery(nil, 0x1234, name, dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := dnswire.ParseResponse(askDNS(t, in, server, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.ID != 0x1234 || !msg.Response || !msg.RecursionAvailable {
+			t.Fatalf("bad header %+v", msg)
+		}
+		if msg.RCode == dnswire.RCodeNXDomain {
+			continue
+		}
+		if msg.RCode != dnswire.RCodeNoError || len(msg.Answers) == 0 {
+			t.Fatalf("unexpected response %+v", msg)
+		}
+		// Determinism: same name, same answer from any resolver.
+		other := findResolver(t, New(lossless(400)))
+		msg2, err := dnswire.ParseResponse(askDNS(t, in, other, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msg2.Answers) != len(msg.Answers) || msg2.Answers[0].A != msg.Answers[0].A {
+			t.Error("zone not consistent across resolvers")
+		}
+		return
+	}
+	t.Fatal("no existing name found in 26 tries")
+}
+
+func TestDNSAnswerTXTAndUnsupported(t *testing.T) {
+	in := New(lossless(401))
+	server := findResolver(t, in)
+	for i := byte('a'); i <= 'z'; i++ {
+		name := "txt-" + string(i) + ".example"
+		query, _ := dnswire.AppendQuery(nil, 7, name, dnswire.TypeTXT)
+		msg, err := dnswire.ParseResponse(askDNS(t, in, server, query))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.RCode == dnswire.RCodeNXDomain {
+			continue
+		}
+		if len(msg.Answers) != 1 || msg.Answers[0].Text == "" {
+			t.Fatalf("TXT response %+v", msg)
+		}
+		// Same name, unsupported type: NOERROR, zero answers.
+		query2, _ := dnswire.AppendQuery(nil, 8, name, dnswire.TypeNS)
+		msg2, err := dnswire.ParseResponse(askDNS(t, in, server, query2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg2.RCode != dnswire.RCodeNoError || len(msg2.Answers) != 0 {
+			t.Fatalf("NS response %+v", msg2)
+		}
+		return
+	}
+	t.Fatal("no existing TXT name found")
+}
+
+func TestDNSFormErrOnMalformedQuery(t *testing.T) {
+	in := New(lossless(402))
+	server := findResolver(t, in)
+	// 12 junk bytes: DNS-sized but not a valid query (QR bit set).
+	junk := []byte{0xAB, 0xCD, 0x80, 0x00, 0, 1, 0, 0, 0, 0, 0, 0}
+	payload := askDNS(t, in, server, junk)
+	msg, err := dnswire.ParseResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.RCode != dnswire.RCodeFormErr {
+		t.Errorf("rcode %d, want FORMERR", msg.RCode)
+	}
+	if msg.ID != 0xABCD {
+		t.Errorf("FORMERR did not echo the query ID: %x", msg.ID)
+	}
+}
+
+func TestDNSNonDNSPayloadGetsGenericReply(t *testing.T) {
+	in := New(lossless(403))
+	server := findResolver(t, in)
+	payload := askDNS(t, in, server, []byte("hi"))
+	if string(payload) != "sim-udp-reply" {
+		t.Errorf("short payload reply %q", payload)
+	}
+}
+
+func TestDNSRefusedResolversExist(t *testing.T) {
+	in := New(lossless(404))
+	found := false
+	for ip := uint32(0); ip < 20_000_000 && !found; ip++ {
+		if !in.UDPServiceOpen(ip, 53) {
+			continue
+		}
+		if uniform(in.hash(purposeUDP+16, ip, 53)) < 0.03 {
+			found = true
+			query, _ := dnswire.AppendQuery(nil, 3, "x.example", dnswire.TypeA)
+			msg, err := dnswire.ParseResponse(askDNS(t, in, ip, query))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.RCode != dnswire.RCodeRefused {
+				t.Errorf("refusing resolver returned rcode %d", msg.RCode)
+			}
+		}
+	}
+	if !found {
+		t.Skip("no refusing resolver in sample")
+	}
+}

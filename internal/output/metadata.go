@@ -1,0 +1,59 @@
+package output
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Metadata is the machine-readable end-of-scan summary — the fourth
+// output stream from §5 ("be liberal in what environment and execution
+// information is included"). One JSON document is written at completion.
+type Metadata struct {
+	// Tool identity and configuration.
+	Tool          string   `json:"tool"`
+	Version       string   `json:"version"`
+	ProbeModule   string   `json:"probe_module"`
+	OutputFormat  string   `json:"output_format"`
+	OutputFilter  string   `json:"output_filter"`
+	Seed          int64    `json:"seed"`
+	Shards        int      `json:"shards"`
+	ShardIndex    int      `json:"shard_index"`
+	SenderThreads int      `json:"sender_threads"`
+	RatePPS       float64  `json:"rate_pps"`
+	Ports         string   `json:"ports"`
+	OptionLayout  string   `json:"tcp_option_layout"`
+	RandomIPID    bool     `json:"random_ip_id"`
+	MaxTargets    uint64   `json:"max_targets"`
+	CooldownSecs  float64  `json:"cooldown_secs"`
+	Blocklisted   uint64   `json:"blocklisted_addrs"`
+	Allowlisted   uint64   `json:"allowlisted_addrs"`
+	Group         uint64   `json:"cyclic_group_prime"`
+	Generator     uint64   `json:"cyclic_generator"`
+	Flags         []string `json:"flags,omitempty"`
+
+	// Timing.
+	StartTime time.Time `json:"start_time"`
+	EndTime   time.Time `json:"end_time"`
+	Duration  float64   `json:"duration_secs"`
+
+	// Counters.
+	TargetsScanned uint64   `json:"targets_scanned"`
+	PacketsSent    uint64   `json:"packets_sent"`
+	PacketsRecv    uint64   `json:"packets_received"`
+	ValidResponses uint64   `json:"valid_responses"`
+	Successes      uint64   `json:"successes"`
+	UniqueSucc     uint64   `json:"unique_successes"`
+	Duplicates     uint64   `json:"duplicate_responses"`
+	RecvDrops      uint64   `json:"receive_drops"`
+	ThreadProgress []uint64 `json:"thread_progress,omitempty"`
+	HitRate        float64  `json:"hit_rate"`
+	SendRatePPS    float64  `json:"achieved_send_pps"`
+}
+
+// Emit writes the metadata as a single indented JSON document.
+func (m *Metadata) Emit(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,226 @@
+// Package output implements ZMap's result pipeline, following the §5
+// lessons verbatim:
+//
+//   - only well-worn text interfaces — Text, CSV, and JSON Lines — after
+//     the database-specific output modules proved to be liabilities and
+//     were removed ("Tools Not Frameworks");
+//   - a static, fully typed record schema: every field has one type that
+//     never depends on another field's value ("Static Types and Output
+//     Schema");
+//   - per-record streaming, so results can be piped into downstream tools
+//     while a scan runs; and
+//   - output filters in ZMap's expression syntax (e.g.
+//     "success = 1 && repeat = 0") so callers choose which classifications
+//     reach the stream.
+package output
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"zmapgo/internal/target"
+)
+
+// Record is one scan result. The field set is fixed and each field is a
+// single static type (the schema lesson from §5); Schema() documents it
+// machine-readably.
+type Record struct {
+	Saddr          string  `json:"saddr"`
+	Sport          uint16  `json:"sport"`
+	Classification string  `json:"classification"`
+	Success        bool    `json:"success"`
+	Repeat         bool    `json:"repeat"`
+	InCooldown     bool    `json:"cooldown"`
+	TTL            uint8   `json:"ttl"`
+	Timestamp      float64 `json:"timestamp"` // seconds since scan start
+}
+
+// NewRecord builds a Record from raw classifier output.
+func NewRecord(ip uint32, port uint16, class string, success, repeat, cooldown bool, ttl uint8, elapsed time.Duration) Record {
+	return Record{
+		Saddr:          target.FormatIPv4(ip),
+		Sport:          port,
+		Classification: class,
+		Success:        success,
+		Repeat:         repeat,
+		InCooldown:     cooldown,
+		TTL:            ttl,
+		Timestamp:      elapsed.Seconds(),
+	}
+}
+
+// FieldDoc describes one schema field.
+type FieldDoc struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Doc  string `json:"doc"`
+}
+
+// Schema returns the machine-readable record schema (the ZSchema lesson).
+func Schema() []FieldDoc {
+	return []FieldDoc{
+		{"saddr", "string", "responding IPv4 address, dotted quad"},
+		{"sport", "uint16", "scanned port (responder source port)"},
+		{"classification", "string", "response class: synack|rst|echoreply|udp|port-unreach"},
+		{"success", "bool", "true when the class indicates an open service"},
+		{"repeat", "bool", "true when deduplication saw this target before"},
+		{"cooldown", "bool", "true when received after sending finished"},
+		{"ttl", "uint8", "IP TTL observed on the response"},
+		{"timestamp", "float64", "seconds since scan start"},
+	}
+}
+
+// Writer consumes records. Implementations are not safe for concurrent
+// use; the engine writes from its single receive goroutine.
+type Writer interface {
+	Write(Record) error
+	Close() error
+}
+
+// TextWriter emits one address per line (ZMap's default human output).
+// With ShowPort true it emits addr:port, appropriate for multiport scans.
+type TextWriter struct {
+	w        io.Writer
+	ShowPort bool
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer, showPort bool) *TextWriter {
+	return &TextWriter{w: w, ShowPort: showPort}
+}
+
+// Write implements Writer.
+func (t *TextWriter) Write(r Record) error {
+	var err error
+	if t.ShowPort {
+		_, err = fmt.Fprintf(t.w, "%s:%d\n", r.Saddr, r.Sport)
+	} else {
+		_, err = fmt.Fprintln(t.w, r.Saddr)
+	}
+	return err
+}
+
+// Close implements Writer.
+func (t *TextWriter) Close() error { return nil }
+
+// csvHeader matches Schema() order.
+var csvHeader = []string{"saddr", "sport", "classification", "success", "repeat", "cooldown", "ttl", "timestamp"}
+
+// CSVWriter emits the full schema as CSV with a header row.
+type CSVWriter struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter wraps w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+// Write implements Writer.
+func (c *CSVWriter) Write(r Record) error {
+	if !c.wroteHeader {
+		if err := c.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		c.wroteHeader = true
+	}
+	row := []string{
+		r.Saddr,
+		strconv.Itoa(int(r.Sport)),
+		r.Classification,
+		boolStr(r.Success),
+		boolStr(r.Repeat),
+		boolStr(r.InCooldown),
+		strconv.Itoa(int(r.TTL)),
+		strconv.FormatFloat(r.Timestamp, 'f', 6, 64),
+	}
+	return c.cw.Write(row)
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Close implements Writer.
+func (c *CSVWriter) Close() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+// JSONLWriter emits one JSON object per line (JSON Lines).
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Write implements Writer.
+func (j *JSONLWriter) Write(r Record) error { return j.enc.Encode(r) }
+
+// Close implements Writer.
+func (j *JSONLWriter) Close() error { return nil }
+
+// NewWriter constructs a writer by format name: "text", "csv", "jsonl".
+func NewWriter(format string, w io.Writer, multiport bool) (Writer, error) {
+	switch format {
+	case "text", "":
+		return NewTextWriter(w, multiport), nil
+	case "csv":
+		return NewCSVWriter(w), nil
+	case "jsonl", "json":
+		return NewJSONLWriter(w), nil
+	default:
+		return nil, fmt.Errorf("output: unknown format %q (text|csv|jsonl)", format)
+	}
+}
+
+// Filtered wraps a Writer, forwarding only records the filter accepts.
+type Filtered struct {
+	W      Writer
+	Filter *Filter
+}
+
+// Write implements Writer.
+func (f *Filtered) Write(r Record) error {
+	if f.Filter != nil && !f.Filter.Match(r) {
+		return nil
+	}
+	return f.W.Write(r)
+}
+
+// Close implements Writer.
+func (f *Filtered) Close() error { return f.W.Close() }
+
+// CountingWriter wraps a Writer and counts records passed through.
+type CountingWriter struct {
+	W     Writer
+	Count uint64
+}
+
+// Write implements Writer.
+func (c *CountingWriter) Write(r Record) error {
+	c.Count++
+	if c.W == nil {
+		return nil
+	}
+	return c.W.Write(r)
+}
+
+// Close implements Writer.
+func (c *CountingWriter) Close() error {
+	if c.W == nil {
+		return nil
+	}
+	return c.W.Close()
+}

@@ -1,0 +1,141 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv6 support exists for the hitlist-scanning path (internal/v6scan),
+// mirroring the functionality the XMap and ZMapv6 forks added (§4 of the
+// paper notes IPv6 was implemented in forks rather than upstreamed).
+
+// IPv6 constants.
+const (
+	IPv6HeaderLen = 40
+	EtherTypeIPv6 = 0x86DD
+)
+
+// IPv6Header is the fixed 40-byte IPv6 header (no extension headers; the
+// scanner neither sends nor accepts them).
+type IPv6Header struct {
+	TrafficClass byte
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   byte
+	HopLimit     byte
+	Src, Dst     [16]byte
+}
+
+// AppendIPv6 appends a fixed IPv6 header. payloadLen is the byte count
+// that will follow.
+func AppendIPv6(buf []byte, h IPv6Header, payloadLen int) []byte {
+	vtf := uint32(6)<<28 | uint32(h.TrafficClass)<<20 | (h.FlowLabel & 0xFFFFF)
+	buf = binary.BigEndian.AppendUint32(buf, vtf)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(payloadLen))
+	buf = append(buf, h.NextHeader, h.HopLimit)
+	buf = append(buf, h.Src[:]...)
+	buf = append(buf, h.Dst[:]...)
+	return buf
+}
+
+// pseudoHeaderSum6 is the IPv6 pseudo-header partial checksum (RFC 8200).
+func pseudoHeaderSum6(src, dst [16]byte, nextHeader byte, length int) uint32 {
+	var sum uint32
+	for i := 0; i < 16; i += 2 {
+		sum += uint32(src[i])<<8 | uint32(src[i+1])
+		sum += uint32(dst[i])<<8 | uint32(dst[i+1])
+	}
+	sum += uint32(length)
+	sum += uint32(nextHeader)
+	return sum
+}
+
+// AppendTCP6 appends a TCP header over IPv6 with a correct checksum.
+func AppendTCP6(buf []byte, h TCP, src, dst [16]byte, payload []byte) []byte {
+	start := len(buf)
+	if len(h.Options)%4 != 0 {
+		panic("packet: TCP options length must be a multiple of 4")
+	}
+	dataOffset := byte((TCPHeaderLen + len(h.Options)) / 4)
+	buf = binary.BigEndian.AppendUint16(buf, h.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, h.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, h.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, h.Ack)
+	buf = append(buf, dataOffset<<4, h.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, h.Window)
+	buf = append(buf, 0, 0)
+	buf = binary.BigEndian.AppendUint16(buf, h.Urgent)
+	buf = append(buf, h.Options...)
+	buf = append(buf, payload...)
+	segLen := len(buf) - start
+	ck := Checksum(buf[start:], pseudoHeaderSum6(src, dst, ProtocolTCP, segLen))
+	binary.BigEndian.PutUint16(buf[start+16:start+18], ck)
+	return buf
+}
+
+// Frame6 is a parsed IPv6 frame (TCP only; that is all the v6 scanner
+// sends and accepts).
+type Frame6 struct {
+	EthSrc, EthDst MAC
+	IP             IPv6Header
+	TCP            *TCP
+	Payload        []byte
+}
+
+// ParseIPv6 decodes an Ethernet frame carrying IPv6+TCP with the same
+// hostile-input discipline as Parse. Extension headers are rejected.
+func ParseIPv6(data []byte) (*Frame6, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: frame %d bytes", ErrTruncated, len(data))
+	}
+	var f Frame6
+	copy(f.EthDst[:], data[0:6])
+	copy(f.EthSrc[:], data[6:12])
+	if et := binary.BigEndian.Uint16(data[12:14]); et != EtherTypeIPv6 {
+		return nil, fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, et)
+	}
+	p := data[EthernetHeaderLen:]
+	if len(p) < IPv6HeaderLen {
+		return nil, fmt.Errorf("%w: ipv6 header %d bytes", ErrTruncated, len(p))
+	}
+	vtf := binary.BigEndian.Uint32(p[0:4])
+	if vtf>>28 != 6 {
+		return nil, fmt.Errorf("%w: ip version %d", ErrUnsupported, vtf>>28)
+	}
+	f.IP = IPv6Header{
+		TrafficClass: byte(vtf >> 20),
+		FlowLabel:    vtf & 0xFFFFF,
+		PayloadLen:   binary.BigEndian.Uint16(p[4:6]),
+		NextHeader:   p[6],
+		HopLimit:     p[7],
+	}
+	copy(f.IP.Src[:], p[8:24])
+	copy(f.IP.Dst[:], p[24:40])
+	if f.IP.NextHeader != ProtocolTCP {
+		return nil, fmt.Errorf("%w: next header %d", ErrUnsupported, f.IP.NextHeader)
+	}
+	if int(f.IP.PayloadLen) > len(p)-IPv6HeaderLen {
+		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrTruncated, f.IP.PayloadLen, len(p)-IPv6HeaderLen)
+	}
+	seg := p[IPv6HeaderLen : IPv6HeaderLen+int(f.IP.PayloadLen)]
+	if len(seg) < TCPHeaderLen {
+		return nil, fmt.Errorf("%w: tcp header %d bytes", ErrTruncated, len(seg))
+	}
+	offset := int(seg[12]>>4) * 4
+	if offset < TCPHeaderLen || offset > len(seg) {
+		return nil, fmt.Errorf("%w: tcp data offset %d", ErrUnsupported, offset)
+	}
+	f.TCP = &TCP{
+		SrcPort:  binary.BigEndian.Uint16(seg[0:2]),
+		DstPort:  binary.BigEndian.Uint16(seg[2:4]),
+		Seq:      binary.BigEndian.Uint32(seg[4:8]),
+		Ack:      binary.BigEndian.Uint32(seg[8:12]),
+		Flags:    seg[13] & 0x3F,
+		Window:   binary.BigEndian.Uint16(seg[14:16]),
+		Checksum: binary.BigEndian.Uint16(seg[16:18]),
+		Urgent:   binary.BigEndian.Uint16(seg[18:20]),
+		Options:  seg[TCPHeaderLen:offset],
+	}
+	f.Payload = seg[offset:]
+	return &f, nil
+}

@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func v6Addr(last byte) [16]byte {
+	var a [16]byte
+	a[0], a[1] = 0x20, 0x01
+	a[15] = last
+	return a
+}
+
+func buildSYN6(layout OptionLayout) []byte {
+	opts := BuildOptions(layout, 5)
+	src, dst := v6Addr(1), v6Addr(2)
+	buf := AppendEthernet(nil, srcMAC, dstMAC, EtherTypeIPv6)
+	buf = AppendIPv6(buf, IPv6Header{
+		NextHeader: ProtocolTCP, HopLimit: 255, Src: src, Dst: dst,
+	}, TCPHeaderLen+len(opts))
+	return AppendTCP6(buf, TCP{
+		SrcPort: 40000, DstPort: 443, Seq: 0x01020304,
+		Flags: FlagSYN, Window: 65535, Options: opts,
+	}, src, dst, nil)
+}
+
+func TestIPv6SYNRoundTrip(t *testing.T) {
+	for _, layout := range []OptionLayout{LayoutNone, LayoutMSS, LayoutLinux} {
+		frame := buildSYN6(layout)
+		f, err := ParseIPv6(frame)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if f.IP.Src != v6Addr(1) || f.IP.Dst != v6Addr(2) {
+			t.Error("v6 addresses mismatch")
+		}
+		if f.IP.HopLimit != 255 || f.IP.NextHeader != ProtocolTCP {
+			t.Errorf("header fields %+v", f.IP)
+		}
+		if f.TCP == nil || f.TCP.DstPort != 443 || f.TCP.Seq != 0x01020304 {
+			t.Errorf("tcp fields %+v", f.TCP)
+		}
+		if !bytes.Equal(f.TCP.Options, BuildOptions(layout, 5)) {
+			t.Error("options mismatch")
+		}
+		// Verify the v6 pseudo-header checksum.
+		seg := frame[EthernetHeaderLen+IPv6HeaderLen:]
+		if Checksum(seg, pseudoHeaderSum6(v6Addr(1), v6Addr(2), ProtocolTCP, len(seg))) != 0 {
+			t.Error("TCPv6 checksum does not verify")
+		}
+	}
+}
+
+func TestParseIPv6RejectsMalformed(t *testing.T) {
+	good := buildSYN6(LayoutMSS)
+	cases := map[string][]byte{
+		"empty":          {},
+		"short ethernet": good[:8],
+		"v4 ethertype":   mutate(good, 12, 0x08),
+		"short ipv6":     good[:EthernetHeaderLen+20],
+		"bad version":    mutate(good, EthernetHeaderLen, 0x45),
+		"udp next":       mutate(good, EthernetHeaderLen+6, 17),
+		"len overrun":    mutate(good, EthernetHeaderLen+4, 0xFF),
+		"tiny offset":    mutate(good, EthernetHeaderLen+IPv6HeaderLen+12, 0x10),
+	}
+	for name, data := range cases {
+		if _, err := ParseIPv6(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseIPv6NeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	good := buildSYN6(LayoutLinux)
+	for i := 0; i < 4000; i++ {
+		var data []byte
+		switch i % 3 {
+		case 0:
+			data = make([]byte, rng.Intn(120))
+			rng.Read(data)
+		case 1:
+			data = append([]byte{}, good[:rng.Intn(len(good)+1)]...)
+		case 2:
+			data = append([]byte{}, good...)
+			for j := 0; j < 4; j++ {
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			}
+		}
+		ParseIPv6(data)
+	}
+}
+
+func TestAppendTCP6PanicsOnUnalignedOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AppendTCP6(nil, TCP{Options: []byte{1}}, v6Addr(1), v6Addr(2), nil)
+}
+
+func FuzzParseIPv6(f *testing.F) {
+	f.Add(buildSYN6(LayoutMSS))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ParseIPv6(data)
+	})
+}
+
+func BenchmarkBuildSYN6(b *testing.B) {
+	opts := BuildOptions(LayoutMSS, 5)
+	src, dst := v6Addr(1), v6Addr(2)
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf = AppendEthernet(buf, srcMAC, dstMAC, EtherTypeIPv6)
+		buf = AppendIPv6(buf, IPv6Header{NextHeader: ProtocolTCP, HopLimit: 255, Src: src, Dst: dst}, TCPHeaderLen+len(opts))
+		buf = AppendTCP6(buf, TCP{SrcPort: 1, DstPort: 443, Seq: uint32(i), Flags: FlagSYN, Options: opts}, src, dst, nil)
+	}
+	benchLen = len(buf)
+}

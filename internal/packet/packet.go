@@ -1,0 +1,402 @@
+// Package packet builds and parses the raw Ethernet/IPv4/TCP/UDP/ICMP
+// frames ZMap sends and receives. It is a from-scratch, stdlib-only
+// equivalent of the slice of gopacket the scanner needs, with two
+// priorities taken from the paper:
+//
+//   - Probe construction is allocation-free: builders append into caller
+//     buffers so the send loop can run at line rate.
+//   - Parsers treat input as attacker-controlled: every access is bounds
+//     checked and malformed input yields an error, never a panic (§5
+//     "Network parsers are particularly hard to implement safely").
+//
+// The package also models time-on-the-wire for Ethernet links (preamble,
+// FCS, minimum frame size, interframe gap), which is what the §4.3
+// line-rate numbers (1.488/1.389/1.276 Mpps on 1 GbE) reduce to.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Link-layer and protocol constants.
+const (
+	EthernetHeaderLen = 14
+	EthernetFCSLen    = 4
+	EthernetMinFrame  = 64 // including FCS
+	EthernetPreamble  = 8  // preamble + SFD
+	EthernetIFG       = 12 // interframe gap
+
+	IPv4HeaderLen   = 20
+	TCPHeaderLen    = 20 // without options
+	UDPHeaderLen    = 8
+	ICMPHeaderLen   = 8
+	EtherTypeIPv4   = 0x0800
+	ProtocolICMP    = 1
+	ProtocolTCP     = 6
+	ProtocolUDP     = 17
+	DefaultProbeTTL = 255
+
+	// ZMapIPID is the static IP identification value that made ZMap
+	// probes fingerprintable for a decade (§2.1). Since early 2024 the
+	// default is a random per-probe ID; both behaviors are supported.
+	ZMapIPID = 54321
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data with an
+// initial partial sum, enabling pseudo-header chaining.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial sum of the IPv4 pseudo-header used by
+// TCP and UDP checksums.
+func pseudoHeaderSum(src, dst uint32, protocol byte, length int) uint32 {
+	sum := (src >> 16) + (src & 0xFFFF)
+	sum += (dst >> 16) + (dst & 0xFFFF)
+	sum += uint32(protocol)
+	sum += uint32(length)
+	return sum
+}
+
+// IPv4 is a decoded (or to-be-encoded) IPv4 header. Options are not
+// supported; ZMap never sends them and drops packets that carry them.
+type IPv4 struct {
+	TOS      byte
+	TotalLen uint16
+	ID       uint16
+	DontFrag bool
+	TTL      byte
+	Protocol byte
+	Checksum uint16
+	Src, Dst uint32
+}
+
+// TCP is a decoded (or to-be-encoded) TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte // raw option bytes, length multiple of 4
+}
+
+// HeaderLen returns the TCP header length including options.
+func (t *TCP) HeaderLen() int { return TCPHeaderLen + len(t.Options) }
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// ICMP is a decoded ICMP header (echo and destination-unreachable forms).
+type ICMP struct {
+	Type, Code byte
+	Checksum   uint16
+	ID, Seq    uint16 // echo request/reply
+}
+
+// ICMP types the scanner cares about.
+const (
+	ICMPEchoReply    = 0
+	ICMPDestUnreach  = 3
+	ICMPEchoRequest  = 8
+	ICMPTimeExceeded = 11
+)
+
+// AppendEthernet appends a 14-byte Ethernet II header.
+func AppendEthernet(buf []byte, src, dst MAC, etherType uint16) []byte {
+	buf = append(buf, dst[:]...)
+	buf = append(buf, src[:]...)
+	return binary.BigEndian.AppendUint16(buf, etherType)
+}
+
+// AppendIPv4 appends a 20-byte IPv4 header with a correct checksum.
+// payloadLen is the number of bytes that will follow the header.
+func AppendIPv4(buf []byte, h IPv4, payloadLen int) []byte {
+	start := len(buf)
+	total := IPv4HeaderLen + payloadLen
+	buf = append(buf, 0x45, h.TOS)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(total))
+	buf = binary.BigEndian.AppendUint16(buf, h.ID)
+	frag := uint16(0)
+	if h.DontFrag {
+		frag = 0x4000
+	}
+	buf = binary.BigEndian.AppendUint16(buf, frag)
+	buf = append(buf, h.TTL, h.Protocol, 0, 0) // checksum zeroed
+	buf = binary.BigEndian.AppendUint32(buf, h.Src)
+	buf = binary.BigEndian.AppendUint32(buf, h.Dst)
+	ck := Checksum(buf[start:start+IPv4HeaderLen], 0)
+	binary.BigEndian.PutUint16(buf[start+10:start+12], ck)
+	return buf
+}
+
+// AppendTCP appends a TCP header (with h.Options) and computes its checksum
+// over the pseudo-header; payload is the TCP payload (usually empty for
+// probes).
+func AppendTCP(buf []byte, h TCP, src, dst uint32, payload []byte) []byte {
+	start := len(buf)
+	if len(h.Options)%4 != 0 {
+		panic("packet: TCP options length must be a multiple of 4")
+	}
+	dataOffset := byte((TCPHeaderLen + len(h.Options)) / 4)
+	buf = binary.BigEndian.AppendUint16(buf, h.SrcPort)
+	buf = binary.BigEndian.AppendUint16(buf, h.DstPort)
+	buf = binary.BigEndian.AppendUint32(buf, h.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, h.Ack)
+	buf = append(buf, dataOffset<<4, h.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, h.Window)
+	buf = append(buf, 0, 0) // checksum
+	buf = binary.BigEndian.AppendUint16(buf, h.Urgent)
+	buf = append(buf, h.Options...)
+	buf = append(buf, payload...)
+	segLen := len(buf) - start
+	sum := pseudoHeaderSum(src, dst, ProtocolTCP, segLen)
+	ck := Checksum(buf[start:], sum)
+	binary.BigEndian.PutUint16(buf[start+16:start+18], ck)
+	return buf
+}
+
+// AppendUDP appends a UDP header plus payload with checksum.
+func AppendUDP(buf []byte, srcPort, dstPort uint16, src, dst uint32, payload []byte) []byte {
+	start := len(buf)
+	length := UDPHeaderLen + len(payload)
+	buf = binary.BigEndian.AppendUint16(buf, srcPort)
+	buf = binary.BigEndian.AppendUint16(buf, dstPort)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(length))
+	buf = append(buf, 0, 0)
+	buf = append(buf, payload...)
+	sum := pseudoHeaderSum(src, dst, ProtocolUDP, length)
+	ck := Checksum(buf[start:], sum)
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(buf[start+6:start+8], ck)
+	return buf
+}
+
+// AppendICMPEcho appends an ICMP echo request/reply with payload.
+func AppendICMPEcho(buf []byte, icmpType byte, id, seq uint16, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, icmpType, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint16(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, seq)
+	buf = append(buf, payload...)
+	ck := Checksum(buf[start:], 0)
+	binary.BigEndian.PutUint16(buf[start+2:start+4], ck)
+	return buf
+}
+
+// Frame is a fully parsed probe or response. Exactly one of TCP, UDP, ICMP
+// is non-nil for well-formed scanner traffic.
+type Frame struct {
+	EthSrc, EthDst MAC
+	IP             IPv4
+	TCP            *TCP
+	UDP            *UDP
+	ICMP           *ICMP
+	Payload        []byte // transport payload (after options), aliased into input
+}
+
+// Parse errors. Errors wrap ErrTruncated or ErrUnsupported so callers can
+// distinguish garbage from merely-uninteresting traffic.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrUnsupported = errors.New("packet: unsupported")
+)
+
+// Parse decodes an Ethernet frame containing IPv4 and a supported
+// transport. The returned Frame aliases data; callers that retain frames
+// across buffer reuse must copy. Parsing is strict: header lengths,
+// total-length fields, and data offsets are all validated against the
+// actual buffer.
+func Parse(data []byte) (*Frame, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: frame %d bytes", ErrTruncated, len(data))
+	}
+	var f Frame
+	copy(f.EthDst[:], data[0:6])
+	copy(f.EthSrc[:], data[6:12])
+	etherType := binary.BigEndian.Uint16(data[12:14])
+	if etherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, etherType)
+	}
+	return &f, parseIPv4(&f, data[EthernetHeaderLen:])
+}
+
+func parseIPv4(f *Frame, data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return fmt.Errorf("%w: ip header %d bytes", ErrTruncated, len(data))
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return fmt.Errorf("%w: ip version %d", ErrUnsupported, vihl>>4)
+	}
+	ihl := int(vihl&0x0F) * 4
+	if ihl < IPv4HeaderLen {
+		return fmt.Errorf("%w: ihl %d", ErrUnsupported, ihl)
+	}
+	if len(data) < ihl {
+		return fmt.Errorf("%w: ip header claims %d bytes, have %d", ErrTruncated, ihl, len(data))
+	}
+	total := int(binary.BigEndian.Uint16(data[2:4]))
+	if total < ihl {
+		return fmt.Errorf("%w: total length %d < header %d", ErrUnsupported, total, ihl)
+	}
+	if total > len(data) {
+		return fmt.Errorf("%w: total length %d, have %d", ErrTruncated, total, len(data))
+	}
+	frag := binary.BigEndian.Uint16(data[6:8])
+	if frag&0x1FFF != 0 || frag&0x2000 != 0 {
+		return fmt.Errorf("%w: fragmented packet", ErrUnsupported)
+	}
+	f.IP = IPv4{
+		TOS:      data[1],
+		TotalLen: uint16(total),
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		DontFrag: frag&0x4000 != 0,
+		TTL:      data[8],
+		Protocol: data[9],
+		Checksum: binary.BigEndian.Uint16(data[10:12]),
+		Src:      binary.BigEndian.Uint32(data[12:16]),
+		Dst:      binary.BigEndian.Uint32(data[16:20]),
+	}
+	payload := data[ihl:total]
+	switch f.IP.Protocol {
+	case ProtocolTCP:
+		return parseTCP(f, payload)
+	case ProtocolUDP:
+		return parseUDP(f, payload)
+	case ProtocolICMP:
+		return parseICMP(f, payload)
+	default:
+		return fmt.Errorf("%w: ip protocol %d", ErrUnsupported, f.IP.Protocol)
+	}
+}
+
+func parseTCP(f *Frame, data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return fmt.Errorf("%w: tcp header %d bytes", ErrTruncated, len(data))
+	}
+	offset := int(data[12]>>4) * 4
+	if offset < TCPHeaderLen {
+		return fmt.Errorf("%w: tcp data offset %d", ErrUnsupported, offset)
+	}
+	if offset > len(data) {
+		return fmt.Errorf("%w: tcp offset %d, have %d", ErrTruncated, offset, len(data))
+	}
+	f.TCP = &TCP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Seq:      binary.BigEndian.Uint32(data[4:8]),
+		Ack:      binary.BigEndian.Uint32(data[8:12]),
+		Flags:    data[13] & 0x3F,
+		Window:   binary.BigEndian.Uint16(data[14:16]),
+		Checksum: binary.BigEndian.Uint16(data[16:18]),
+		Urgent:   binary.BigEndian.Uint16(data[18:20]),
+		Options:  data[TCPHeaderLen:offset],
+	}
+	f.Payload = data[offset:]
+	return nil
+}
+
+func parseUDP(f *Frame, data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return fmt.Errorf("%w: udp header %d bytes", ErrTruncated, len(data))
+	}
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < UDPHeaderLen {
+		return fmt.Errorf("%w: udp length %d", ErrUnsupported, length)
+	}
+	if length > len(data) {
+		return fmt.Errorf("%w: udp length %d, have %d", ErrTruncated, length, len(data))
+	}
+	f.UDP = &UDP{
+		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
+		DstPort:  binary.BigEndian.Uint16(data[2:4]),
+		Length:   uint16(length),
+		Checksum: binary.BigEndian.Uint16(data[6:8]),
+	}
+	f.Payload = data[UDPHeaderLen:length]
+	return nil
+}
+
+func parseICMP(f *Frame, data []byte) error {
+	if len(data) < ICMPHeaderLen {
+		return fmt.Errorf("%w: icmp header %d bytes", ErrTruncated, len(data))
+	}
+	f.ICMP = &ICMP{
+		Type:     data[0],
+		Code:     data[1],
+		Checksum: binary.BigEndian.Uint16(data[2:4]),
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		Seq:      binary.BigEndian.Uint16(data[6:8]),
+	}
+	f.Payload = data[ICMPHeaderLen:]
+	return nil
+}
+
+// VerifyIPv4Checksum reports whether the IPv4 header checksum in an
+// encoded frame (starting at the Ethernet header) is valid.
+func VerifyIPv4Checksum(frame []byte) bool {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	ihl := int(frame[EthernetHeaderLen]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(frame) < EthernetHeaderLen+ihl {
+		return false
+	}
+	return Checksum(frame[EthernetHeaderLen:EthernetHeaderLen+ihl], 0) == 0
+}
+
+// WireLen returns the number of byte times a frame of frameLen bytes
+// (Ethernet header through payload, excluding FCS) occupies on the wire:
+// preamble + padded frame + FCS + interframe gap. Frames below the
+// Ethernet minimum are padded.
+func WireLen(frameLen int) int {
+	withFCS := frameLen + EthernetFCSLen
+	if withFCS < EthernetMinFrame {
+		withFCS = EthernetMinFrame
+	}
+	return EthernetPreamble + withFCS + EthernetIFG
+}
+
+// LineRatePPS returns the maximum packets per second a link of linkBits
+// bits/s can carry for frames of frameLen bytes (excluding FCS).
+func LineRatePPS(linkBits float64, frameLen int) float64 {
+	return linkBits / (8 * float64(WireLen(frameLen)))
+}

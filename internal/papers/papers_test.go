@@ -1,0 +1,79 @@
+package papers
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTopicCounts(t *testing.T) {
+	if len(Topics) != 21 {
+		t.Errorf("topics = %d, want 21 (Figure 8 rows)", len(Topics))
+	}
+	for _, topic := range Topics {
+		if topic.Papers <= 0 || topic.Name == "" {
+			t.Errorf("bad topic %+v", topic)
+		}
+	}
+	// Spot-check the paper's headline counts.
+	byName := map[string]int{}
+	for _, topic := range Topics {
+		byName[topic.Name] = topic.Papers
+	}
+	if byName["TLS, HTTPS, and SSH"] != 38 {
+		t.Error("TLS topic should be 38 papers")
+	}
+	if byName["PKI, Certificates, Revocation"] != 28 {
+		t.Error("PKI topic should be 28 papers")
+	}
+	if byName["Internet of Things (IoT)"] != 25 {
+		t.Error("IoT topic should be 25 papers")
+	}
+	if byName["Ethics Guidance Only (No ZMap Use)"] != 53 {
+		t.Error("ethics-only should be 53 papers")
+	}
+}
+
+func TestTotalsConsistent(t *testing.T) {
+	total := TotalTopicPapers()
+	if total <= DirectUsePapers {
+		t.Errorf("topic rows %d should exceed direct-use %d (multi-topic papers)", total, DirectUsePapers)
+	}
+	if DirectUsePapers >= ReviewedPapers {
+		t.Error("direct use cannot exceed reviewed")
+	}
+}
+
+func TestTopicsBySize(t *testing.T) {
+	sorted := TopicsBySize()
+	if sorted[0].Name != "Ethics Guidance Only (No ZMap Use)" {
+		t.Errorf("largest topic %q", sorted[0].Name)
+	}
+	if sorted[1].Name != "TLS, HTTPS, and SSH" {
+		t.Errorf("largest ZMap-use topic %q", sorted[1].Name)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Papers > sorted[i-1].Papers {
+			t.Fatal("not sorted")
+		}
+	}
+	// Original slice untouched.
+	if Topics[0].Name != "Censorship and Anonymity" {
+		t.Error("TopicsBySize mutated Topics")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "TLS, HTTPS, and SSH") || !strings.Contains(out, "38") {
+		t.Error("render missing TLS row")
+	}
+	if !strings.Contains(out, "direct-use=307") {
+		t.Error("render missing totals")
+	}
+	if strings.Count(out, "\n") < 22 {
+		t.Error("render too short")
+	}
+}

@@ -1,0 +1,137 @@
+// Package ratelimit paces the send loop. ZMap expresses rate either as
+// packets per second (--rate) or as link bandwidth (--bandwidth, converted
+// to pps using the probe's on-wire size). At high rates, sleeping per
+// packet is far too coarse, so the limiter releases packets in batches and
+// measures elapsed time across batches, mirroring ZMap's send loop.
+//
+// The limiter is used by one goroutine per send thread; each thread gets
+// its own limiter with a per-thread share of the global rate.
+package ratelimit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Clock abstracts time for tests and simulation.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock uses the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Limiter releases up to rate tokens (packets) per second in batches.
+type Limiter struct {
+	rate      float64
+	batchSize int
+	clock     Clock
+
+	start   time.Time
+	granted uint64 // tokens granted since start
+	inBatch int
+}
+
+// batchFor picks a batch size that yields sleep intervals of roughly 50us
+// or more, which is the finest granularity worth sleeping for.
+func batchFor(rate float64) int {
+	switch {
+	case rate <= 0:
+		return 1
+	case rate < 10_000:
+		return 1
+	case rate < 100_000:
+		return 16
+	case rate < 1_000_000:
+		return 64
+	default:
+		return 256
+	}
+}
+
+// New creates a limiter for rate packets/second on the given clock. A
+// non-positive rate means unlimited.
+func New(rate float64, clock Clock) *Limiter {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Limiter{rate: rate, batchSize: batchFor(rate), clock: clock}
+}
+
+// Rate returns the configured packets-per-second target (0 = unlimited).
+func (l *Limiter) Rate() float64 { return l.rate }
+
+// Wait blocks until the caller may send one packet. The first call
+// anchors the schedule.
+func (l *Limiter) Wait() {
+	if l.rate <= 0 {
+		return
+	}
+	if l.start.IsZero() {
+		l.start = l.clock.Now()
+	}
+	if l.inBatch > 0 {
+		l.inBatch--
+		l.granted++
+		return
+	}
+	// Sleep until the schedule catches up with granted tokens, then
+	// release a fresh batch.
+	for {
+		elapsed := l.clock.Now().Sub(l.start).Seconds()
+		allowed := elapsed * l.rate
+		if float64(l.granted) < allowed {
+			break
+		}
+		deficit := (float64(l.granted) - allowed + float64(l.batchSize)) / l.rate
+		l.clock.Sleep(time.Duration(deficit * float64(time.Second)))
+	}
+	l.inBatch = l.batchSize - 1
+	l.granted++
+}
+
+// BandwidthToRate converts a link bandwidth in bits/second into packets
+// per second for probes that occupy wireBytes on the wire (including
+// preamble, padding, FCS, and interframe gap). This is how --bandwidth
+// maps to --rate.
+func BandwidthToRate(bitsPerSec float64, wireBytes int) float64 {
+	if wireBytes <= 0 {
+		return 0
+	}
+	return bitsPerSec / (8 * float64(wireBytes))
+}
+
+// ParseBandwidth parses ZMap's bandwidth syntax: a number with an
+// optional case-insensitive suffix G, M, or K (bits per second).
+func ParseBandwidth(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("ratelimit: empty bandwidth")
+	}
+	mult := 1.0
+	switch s[len(s)-1] {
+	case 'G', 'g':
+		mult = 1e9
+		s = s[:len(s)-1]
+	case 'M', 'm':
+		mult = 1e6
+		s = s[:len(s)-1]
+	case 'K', 'k':
+		mult = 1e3
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("ratelimit: bad bandwidth %q", s)
+	}
+	return v * mult, nil
+}

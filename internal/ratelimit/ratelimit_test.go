@@ -1,0 +1,136 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when slept on, making limiter tests
+// deterministic and instant.
+type fakeClock struct {
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time        { return c.now }
+func (c *fakeClock) Sleep(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestLimiterRate(t *testing.T) {
+	for _, rate := range []float64{100, 5000, 50_000, 2_000_000} {
+		clock := &fakeClock{now: time.Unix(0, 0)}
+		l := New(rate, clock)
+		n := int(rate / 10) // simulate 100ms of traffic
+		if n < 10 {
+			n = 10
+		}
+		for i := 0; i < n; i++ {
+			l.Wait()
+		}
+		elapsed := clock.now.Sub(time.Unix(0, 0)).Seconds()
+		achieved := float64(n) / elapsed
+		if achieved < rate*0.9 || achieved > rate*1.2 {
+			t.Errorf("rate %.0f: achieved %.0f pps over %d packets", rate, achieved, n)
+		}
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(0, clock)
+	for i := 0; i < 1000; i++ {
+		l.Wait()
+	}
+	if clock.now != time.Unix(0, 0) {
+		t.Error("unlimited limiter slept")
+	}
+	l2 := New(-5, clock)
+	l2.Wait()
+	if clock.now != time.Unix(0, 0) {
+		t.Error("negative-rate limiter slept")
+	}
+}
+
+func TestLimiterBatching(t *testing.T) {
+	// High rates must not sleep per packet: with a 1 Mpps rate and batch
+	// 256, at most ~n/256 + 1 sleeps should occur for n packets.
+	clock := &countingClock{}
+	l := New(1_000_000, clock)
+	for i := 0; i < 10_000; i++ {
+		l.Wait()
+	}
+	maxSleeps := 10_000/256 + 2
+	if clock.sleeps > maxSleeps {
+		t.Errorf("%d sleeps for 10k packets, want <= %d", clock.sleeps, maxSleeps)
+	}
+}
+
+type countingClock struct {
+	now    time.Time
+	sleeps int
+}
+
+func (c *countingClock) Now() time.Time { return c.now }
+func (c *countingClock) Sleep(d time.Duration) {
+	c.sleeps++
+	c.now = c.now.Add(d)
+}
+
+func TestLimiterDefaultsToRealClock(t *testing.T) {
+	l := New(1e9, nil) // effectively unlimited in practice
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		l.Wait()
+	}
+	if time.Since(start) > time.Second {
+		t.Error("real-clock limiter stalled unreasonably")
+	}
+	if l.Rate() != 1e9 {
+		t.Error("Rate() mismatch")
+	}
+}
+
+func TestBandwidthToRate(t *testing.T) {
+	// 1 GbE with 84-byte minimum wire frames = 1.488 Mpps (§4.3).
+	got := BandwidthToRate(1e9, 84)
+	if got < 1.488e6 || got > 1.489e6 {
+		t.Errorf("BandwidthToRate(1G, 84) = %.0f, want ~1488095", got)
+	}
+	if BandwidthToRate(1e9, 0) != 0 {
+		t.Error("zero wire bytes should yield rate 0")
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	cases := []struct {
+		s    string
+		want float64
+	}{
+		{"10G", 10e9},
+		{"1g", 1e9},
+		{"100M", 100e6},
+		{"512k", 512e3},
+		{"1000", 1000},
+		{" 1 G ", 1e9},
+	}
+	for _, c := range cases {
+		got, err := ParseBandwidth(c.s)
+		if err != nil {
+			t.Fatalf("ParseBandwidth(%q): %v", c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseBandwidth(%q) = %g, want %g", c.s, got, c.want)
+		}
+	}
+	for _, s := range []string{"", "x", "-1M", "1T?"} {
+		if _, err := ParseBandwidth(s); err == nil {
+			t.Errorf("ParseBandwidth(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func BenchmarkLimiterWait(b *testing.B) {
+	clock := &fakeClock{}
+	l := New(10_000_000, clock)
+	for i := 0; i < b.N; i++ {
+		l.Wait()
+	}
+}

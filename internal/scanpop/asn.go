@@ -1,0 +1,84 @@
+package scanpop
+
+import "fmt"
+
+// ASCategory classifies the operator type behind a scanning source, per
+// the §2.2/§2.3 analysis: ZMap traffic overwhelmingly originates from
+// cloud providers and security companies, not universities.
+type ASCategory string
+
+// Operator categories from the paper's industry review.
+const (
+	ASCloud       ASCategory = "cloud"            // e.g. GCP hosting Xpanse
+	ASSecurity    ASCategory = "security-company" // ASM / risk-rating vendors
+	ASUniversity  ASCategory = "university"       // research scans
+	ASISP         ASCategory = "isp"              // residential / generic
+	ASBulletproof ASCategory = "bulletproof"      // §2.4 malicious use
+)
+
+// AS is one synthetic autonomous system in the model.
+type AS struct {
+	Number   int
+	Name     string
+	Category ASCategory
+	// Block is the second octet of the source /16 within the country
+	// block that the AS occupies (each AS owns a /16 per country for
+	// simplicity).
+	Block byte
+	// ZMapWeight and OtherWeight are the AS's share of its country's
+	// ZMap-attributed and other scan volume. Columns sum to 1 over the
+	// table. Calibrated to §2.2: the loudest ZMap sources are cloud
+	// (GCP/Xpanse) and security companies; universities emit little
+	// despite producing the papers; bulletproof hosts skew non-ZMap.
+	ZMapWeight  float64
+	OtherWeight float64
+}
+
+// ASes is the synthetic AS table shared by every country block.
+var ASes = []AS{
+	{64501, "SimCloud-GCP", ASCloud, 1, 0.42, 0.08},
+	{64502, "SimCloud-East", ASCloud, 2, 0.14, 0.07},
+	{64503, "Xpanse-Sim ASM", ASSecurity, 3, 0.16, 0.02},
+	{64504, "RiskRating-Sim", ASSecurity, 4, 0.10, 0.02},
+	{64505, "IntelFeed-Sim", ASSecurity, 5, 0.08, 0.02},
+	{64506, "State-University", ASUniversity, 6, 0.015, 0.005},
+	{64507, "Tech-Institute", ASUniversity, 7, 0.005, 0.005},
+	{64508, "Residential-ISP", ASISP, 8, 0.05, 0.42},
+	{64509, "Metro-ISP", ASISP, 9, 0.02, 0.18},
+	{64510, "Bulletproof-Host", ASBulletproof, 10, 0.01, 0.18},
+}
+
+// ASFor maps a source address to its AS via the second octet, mirroring
+// Geo's top-octet country lookup. Unknown octets map to the residential
+// ISP (the catch-all).
+func ASFor(ip uint32) AS {
+	block := byte(ip >> 16)
+	for _, a := range ASes {
+		if a.Block == block {
+			return a
+		}
+	}
+	return ASes[7] // Residential-ISP catch-all
+}
+
+// String renders "AS64501 SimCloud-GCP (cloud)".
+func (a AS) String() string {
+	return fmt.Sprintf("AS%d %s (%s)", a.Number, a.Name, a.Category)
+}
+
+// drawAS samples the per-tool AS mix.
+func (g *Generator) drawAS(zmap bool) AS {
+	u := g.rng.Float64()
+	acc := 0.0
+	for _, a := range ASes {
+		w := a.OtherWeight
+		if zmap {
+			w = a.ZMapWeight
+		}
+		acc += w
+		if u < acc {
+			return a
+		}
+	}
+	return ASes[len(ASes)-1]
+}

@@ -1,0 +1,283 @@
+// Package scanpop models the population of Internet scanners from 2014
+// through 2024 and generates the synthetic telescope traffic behind
+// Figures 1–4. The paper measured this population at the ORION network
+// telescope; we cannot, so the population is parameterized directly from
+// the paper's published numbers and the telescope pipeline
+// (internal/telescope) must re-derive them from the generated packets —
+// validating the measurement code, which is the part of the original
+// study that can be reproduced.
+//
+// Calibration sources:
+//
+//   - Figure 1 / §2.1: ZMap-attributed share of Internet-wide TCP scan
+//     packets per quarter, rising slowly to ~13% by 2020 and then
+//     accelerating to 35.4% in 2024Q1.
+//   - Figure 4: per-country ZMap shares for the ten loudest countries
+//     (US 66%, NL 33%, RU 0.48%, DE 18%, GB 69%, BG 9%, CN 2%, IN 12%,
+//     ZA 0.1%, HK 2%), with country volume weights chosen so the shares
+//     aggregate to the 35.4% overall figure.
+//   - Figures 2/3 and §2.1 per-port claims: port mixes for ZMap and
+//     non-ZMap traffic chosen so that ZMap accounts for ~69% of TCP/80,
+//     ~73% of TCP/8080, ~12% of TCP/23, and ~99.5% of TCP/8728 packets,
+//     and TCP/8728 ranks sixth among scanned ports.
+//
+// Tool fingerprints follow §2.1: ZMap scanners emit the static IP ID
+// 54321; masscan scanners emit masscan's IP ID cookie; everything else is
+// random. (Real modern ZMap randomizes its IP ID and is therefore
+// undercounted; the paper's shares — and hence ours — are attributed
+// floors.)
+package scanpop
+
+import (
+	"math/rand"
+
+	"zmapgo/internal/telescope"
+)
+
+// Country is one traffic-originating country in the model.
+type Country struct {
+	Code string
+	// VolumeWeight is the country's fraction of global scan packets.
+	VolumeWeight float64
+	// ZMapShare is the fraction of the country's packets attributed to
+	// ZMap in 2024Q1 (Figure 4).
+	ZMapShare float64
+	// Block is the top octet of the synthetic /8 holding the country's
+	// scanner sources (our stand-in for geolocation data).
+	Block byte
+}
+
+// Countries is the calibrated country table. "XX" aggregates the rest of
+// the world.
+var Countries = []Country{
+	{"US", 0.41, 0.66, 8},
+	{"NL", 0.08, 0.33, 9},
+	{"RU", 0.12, 0.0048, 10},
+	{"DE", 0.05, 0.18, 11},
+	{"GB", 0.03, 0.69, 12},
+	{"BG", 0.04, 0.09, 13},
+	{"CN", 0.10, 0.02, 14},
+	{"IN", 0.04, 0.12, 15},
+	{"ZA", 0.03, 0.001, 16},
+	{"HK", 0.04, 0.02, 17},
+	{"XX", 0.06, 0.20, 18},
+}
+
+// Geo maps a synthetic source address to its country code. It is the
+// geolocation database of the simulated world.
+func Geo(ip uint32) string {
+	block := byte(ip >> 24)
+	for _, c := range Countries {
+		if c.Block == block {
+			return c.Code
+		}
+	}
+	return "XX"
+}
+
+// PortWeight gives one port's probability mass in the ZMap and non-ZMap
+// port mixes. Port 0 denotes the long tail (drawn uniformly from
+// ephemeral ports at emission time).
+type PortWeight struct {
+	Port  uint16
+	ZMap  float64
+	Other float64
+}
+
+// PortMix is the calibrated port table; see the package comment for the
+// targets it encodes.
+var PortMix = []PortWeight{
+	{80, 0.325, 0.08},
+	{23, 0.0548, 0.22},
+	{443, 0.1368, 0.05},
+	{22, 0.0896, 0.06},
+	{8080, 0.0987, 0.02},
+	{8728, 0.173, 0.00033},
+	{3389, 0.0426, 0.07},
+	{445, 0.00865, 0.09},
+	{5555, 0.0234, 0.03},
+	{0, 0.04745, 0.37967}, // long tail (port diffusion among scanners too)
+}
+
+// Quarter is one point on the Figure 1 timeline.
+type Quarter struct {
+	Label string
+	// ZMapShare is the global ZMap-attributed packet share target.
+	ZMapShare float64
+}
+
+// ReferenceShare anchors the country table: the 2024Q1 global share that
+// the Figure 4 country shares aggregate to.
+const ReferenceShare = 0.354
+
+// Timeline is the Figure 1 series: slow growth through 2020, then sharp
+// acceleration (§2.1).
+var Timeline = []Quarter{
+	{"2014Q1", 0.040}, {"2014Q3", 0.045},
+	{"2015Q1", 0.050}, {"2015Q3", 0.055},
+	{"2016Q1", 0.060}, {"2016Q3", 0.066},
+	{"2017Q1", 0.072}, {"2017Q3", 0.079},
+	{"2018Q1", 0.086}, {"2018Q3", 0.094},
+	{"2019Q1", 0.102}, {"2019Q3", 0.112},
+	{"2020Q1", 0.125}, {"2020Q3", 0.145},
+	{"2021Q1", 0.170}, {"2021Q3", 0.200},
+	{"2022Q1", 0.230}, {"2022Q3", 0.260},
+	{"2023Q1", 0.290}, {"2023Q3", 0.322},
+	{"2024Q1", ReferenceShare},
+}
+
+// MasscanShareOfOther is the fraction of non-ZMap scan packets emitted by
+// masscan scanners (fingerprintable via the IP ID cookie).
+const MasscanShareOfOther = 0.25
+
+// Generator produces synthetic telescope traffic.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator creates a seeded generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// sessionSources is how many scanner sources each (country, tool) bucket
+// uses per quarter; packets are spread across them so the telescope sees
+// many distinct sessions.
+const sessionSources = 8
+
+// GenerateQuarter emits approximately totalPackets observations for one
+// quarter. Scaling: each country's ZMap share is the Figure 4 value
+// scaled by quarter.ZMapShare/ReferenceShare, so earlier quarters shrink
+// proportionally. Every emitted source sends enough packets to clear the
+// telescope's 10-destination threshold; separate background sources that
+// do not are added so session filtering is exercised.
+func (g *Generator) GenerateQuarter(q Quarter, totalPackets int, emit func(telescope.Packet)) {
+	scale := q.ZMapShare / ReferenceShare
+	for _, c := range Countries {
+		countryPackets := int(float64(totalPackets) * c.VolumeWeight)
+		zshare := c.ZMapShare * scale
+		if zshare > 1 {
+			zshare = 1
+		}
+		zmapPackets := int(float64(countryPackets) * zshare)
+		otherPackets := countryPackets - zmapPackets
+		masscanPackets := int(float64(otherPackets) * MasscanShareOfOther)
+		unknownPackets := otherPackets - masscanPackets
+		g.emitTool(q.Label, c, telescope.ToolZMap, zmapPackets, emit)
+		g.emitTool(q.Label, c, telescope.ToolMasscan, masscanPackets, emit)
+		g.emitTool(q.Label, c, telescope.ToolUnknown, unknownPackets, emit)
+	}
+	// Background radiation: sources below the scan threshold.
+	for i := 0; i < totalPackets/1000; i++ {
+		src := uint32(200)<<24 | uint32(g.rng.Intn(1<<24))
+		for j := 0; j < 1+g.rng.Intn(5); j++ {
+			emit(telescope.Packet{
+				Period:  q.Label,
+				SrcIP:   src,
+				DstIP:   g.rng.Uint32(),
+				DstPort: uint16(g.rng.Intn(65536)),
+				IPID:    uint16(g.rng.Intn(65536)),
+				TCPSeq:  g.rng.Uint32(),
+			})
+		}
+	}
+}
+
+// emitTool spreads packets across sessionSources scanner sources.
+func (g *Generator) emitTool(period string, c Country, tool telescope.Tool, packets int, emit func(telescope.Packet)) {
+	if packets <= 0 {
+		return
+	}
+	sources := make([]uint32, sessionSources)
+	for i := range sources {
+		// Each source sits in an AS drawn from the per-tool AS mix
+		// (§2.2: ZMap volume concentrates in cloud and security-company
+		// networks).
+		as := g.drawAS(tool == telescope.ToolZMap)
+		sources[i] = uint32(c.Block)<<24 | uint32(as.Block)<<16 | uint32(g.rng.Intn(1<<16))
+	}
+	for i := 0; i < packets; i++ {
+		src := sources[g.rng.Intn(len(sources))]
+		dst := g.rng.Uint32()
+		port := g.drawPort(tool)
+		seq := g.rng.Uint32()
+		var ipid uint16
+		switch tool {
+		case telescope.ToolZMap:
+			ipid = telescope.ZMapIPID
+		case telescope.ToolMasscan:
+			ipid = telescope.MasscanIPID(dst, port, seq)
+		default:
+			ipid = uint16(g.rng.Intn(65536))
+			// Avoid accidental fingerprint collisions in tests: unknown
+			// scanners that happen to draw 54321 for every packet of a
+			// session would be misattributed; a single redraw keeps the
+			// distribution near-uniform while making the all-54321
+			// session probability negligible.
+			if ipid == telescope.ZMapIPID {
+				ipid++
+			}
+		}
+		emit(telescope.Packet{
+			Period:  period,
+			SrcIP:   src,
+			DstIP:   dst,
+			DstPort: port,
+			IPID:    ipid,
+			TCPSeq:  seq,
+		})
+	}
+}
+
+// drawPort samples the per-tool port mix: ZMap scanners use the ZMap
+// column, every other tool the legacy mix dominated by telnet (the
+// Figure 2 vs Figure 3 contrast).
+func (g *Generator) drawPort(tool telescope.Tool) uint16 {
+	u := g.rng.Float64()
+	acc := 0.0
+	for _, pw := range PortMix {
+		w := pw.Other
+		if tool == telescope.ToolZMap {
+			w = pw.ZMap
+		}
+		acc += w
+		if u < acc {
+			if pw.Port == 0 {
+				return uint16(20000 + g.rng.Intn(40000)) // long tail
+			}
+			return pw.Port
+		}
+	}
+	return uint16(20000 + g.rng.Intn(40000))
+}
+
+// ExpectedGlobalShare returns the analytic ZMap share for a quarter:
+// sum over countries of volume x scaled country share. The telescope
+// measurement should land near this.
+func ExpectedGlobalShare(q Quarter) float64 {
+	scale := q.ZMapShare / ReferenceShare
+	total, zmap := 0.0, 0.0
+	for _, c := range Countries {
+		total += c.VolumeWeight
+		s := c.ZMapShare * scale
+		if s > 1 {
+			s = 1
+		}
+		zmap += c.VolumeWeight * s
+	}
+	return zmap / total
+}
+
+// ExpectedPortShare returns the analytic ZMap share of traffic on one of
+// the calibrated ports, at the reference (2024Q1) population.
+func ExpectedPortShare(port uint16) float64 {
+	overall := ExpectedGlobalShare(Quarter{"", ReferenceShare})
+	for _, pw := range PortMix {
+		if pw.Port == port {
+			z := overall * pw.ZMap
+			o := (1 - overall) * pw.Other
+			return z / (z + o)
+		}
+	}
+	return 0
+}

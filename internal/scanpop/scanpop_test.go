@@ -1,0 +1,230 @@
+package scanpop
+
+import (
+	"math"
+	"testing"
+
+	"zmapgo/internal/telescope"
+)
+
+func TestCountryWeightsSumToOne(t *testing.T) {
+	var vol float64
+	for _, c := range Countries {
+		vol += c.VolumeWeight
+		if c.ZMapShare < 0 || c.ZMapShare > 1 {
+			t.Errorf("%s zmap share %f out of range", c.Code, c.ZMapShare)
+		}
+	}
+	if math.Abs(vol-1) > 1e-9 {
+		t.Errorf("country volumes sum to %f", vol)
+	}
+}
+
+func TestPortMixSumsToOne(t *testing.T) {
+	var z, o float64
+	for _, pw := range PortMix {
+		z += pw.ZMap
+		o += pw.Other
+	}
+	if math.Abs(z-1) > 0.001 {
+		t.Errorf("zmap port mix sums to %f", z)
+	}
+	if math.Abs(o-1) > 0.001 {
+		t.Errorf("other port mix sums to %f", o)
+	}
+}
+
+func TestExpectedGlobalShareMatchesPaper(t *testing.T) {
+	// §2.1: 35.4% of 2024Q1 scan packets attributed to ZMap. The country
+	// table must aggregate to within a point of that.
+	got := ExpectedGlobalShare(Timeline[len(Timeline)-1])
+	if math.Abs(got-0.354) > 0.01 {
+		t.Errorf("2024Q1 analytic share %.4f, want ~0.354", got)
+	}
+}
+
+func TestExpectedPortSharesMatchPaper(t *testing.T) {
+	cases := []struct {
+		port uint16
+		want float64
+		tol  float64
+	}{
+		{80, 0.69, 0.02},
+		{8080, 0.73, 0.02},
+		{23, 0.12, 0.02},
+		{8728, 0.995, 0.004},
+	}
+	for _, c := range cases {
+		got := ExpectedPortShare(c.port)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("port %d analytic zmap share %.4f, want %.3f±%.3f", c.port, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestTimelineMonotoneAndAccelerating(t *testing.T) {
+	for i := 1; i < len(Timeline); i++ {
+		if Timeline[i].ZMapShare <= Timeline[i-1].ZMapShare {
+			t.Errorf("timeline not increasing at %s", Timeline[i].Label)
+		}
+	}
+	// Growth after 2020 must exceed growth before (the Figure 1 shape).
+	var pre, post float64
+	for i := 1; i < len(Timeline); i++ {
+		d := Timeline[i].ZMapShare - Timeline[i-1].ZMapShare
+		if Timeline[i].Label < "2020" {
+			pre += d
+		} else {
+			post += d
+		}
+	}
+	if post <= pre {
+		t.Errorf("growth pre-2020 %.3f >= post-2020 %.3f; acceleration missing", pre, post)
+	}
+	if Timeline[0].Label != "2014Q1" || Timeline[len(Timeline)-1].Label != "2024Q1" {
+		t.Error("timeline endpoints wrong")
+	}
+}
+
+func TestGeoRoundTrip(t *testing.T) {
+	for _, c := range Countries {
+		ip := uint32(c.Block)<<24 | 12345
+		if Geo(ip) != c.Code {
+			t.Errorf("Geo(%08x) = %s, want %s", ip, Geo(ip), c.Code)
+		}
+	}
+	if Geo(0xC8000001) != "XX" {
+		t.Error("unknown block should map to XX")
+	}
+}
+
+func TestGeneratedTrafficMeasuresBack(t *testing.T) {
+	// End-to-end pipeline check: generate 2024Q1 traffic and verify the
+	// telescope re-derives the calibrated global share.
+	g := NewGenerator(1)
+	tel := telescope.New()
+	q := Timeline[len(Timeline)-1]
+	g.GenerateQuarter(q, 300000, tel.Ingest)
+	share := tel.ShareByPeriod()[q.Label]
+	want := ExpectedGlobalShare(q)
+	got := share.Share(telescope.ToolZMap)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("measured zmap share %.4f, want %.4f±0.02", got, want)
+	}
+	// Masscan share among non-zmap.
+	mShare := share.Share(telescope.ToolMasscan) / (1 - got)
+	if math.Abs(mShare-MasscanShareOfOther) > 0.03 {
+		t.Errorf("masscan share of other %.3f, want %.2f", mShare, MasscanShareOfOther)
+	}
+	// Background sources were filtered out.
+	if tel.DiscardedSources() == 0 {
+		t.Error("no background sources discarded; filter untested")
+	}
+}
+
+func TestGeneratedCountrySharesMeasureBack(t *testing.T) {
+	g := NewGenerator(2)
+	tel := telescope.New()
+	q := Timeline[len(Timeline)-1]
+	g.GenerateQuarter(q, 400000, tel.Ingest)
+	byCountry := tel.CountryShare(Geo)
+	for _, c := range Countries {
+		if c.Code == "XX" {
+			continue
+		}
+		got := byCountry[c.Code].Share(telescope.ToolZMap)
+		if math.Abs(got-c.ZMapShare) > 0.03 {
+			t.Errorf("%s measured zmap share %.4f, want %.4f", c.Code, got, c.ZMapShare)
+		}
+	}
+}
+
+func TestGeneratedPortSharesMeasureBack(t *testing.T) {
+	g := NewGenerator(3)
+	tel := telescope.New()
+	q := Timeline[len(Timeline)-1]
+	g.GenerateQuarter(q, 500000, tel.Ingest)
+	cases := []struct {
+		port uint16
+		tol  float64
+	}{
+		{80, 0.03}, {8080, 0.03}, {23, 0.03}, {8728, 0.01},
+	}
+	for _, c := range cases {
+		want := ExpectedPortShare(c.port)
+		got := tel.ZMapShareForPort(c.port)
+		if math.Abs(got-want) > c.tol {
+			t.Errorf("port %d measured %.4f, want %.4f±%.2f", c.port, got, want, c.tol)
+		}
+	}
+	// Port 8728 should rank in the top 10 scanned ports (paper: sixth).
+	top := tel.TopPorts(10, "")
+	found := false
+	for _, pc := range top {
+		if pc.Port == 8728 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("8728 not in top 10 ports: %+v", top)
+	}
+}
+
+func TestEarlyQuartersHaveLowerShare(t *testing.T) {
+	g := NewGenerator(4)
+	tel := telescope.New()
+	early, late := Timeline[0], Timeline[len(Timeline)-1]
+	g.GenerateQuarter(early, 150000, tel.Ingest)
+	g.GenerateQuarter(late, 150000, tel.Ingest)
+	shares := tel.ShareByPeriod()
+	e := shares[early.Label].Share(telescope.ToolZMap)
+	l := shares[late.Label].Share(telescope.ToolZMap)
+	if e >= l {
+		t.Errorf("early share %.3f >= late share %.3f", e, l)
+	}
+	if e > 0.10 {
+		t.Errorf("2014Q1 share %.3f, expected < 0.10", e)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	collect := func(seed int64) []telescope.Packet {
+		g := NewGenerator(seed)
+		var out []telescope.Packet
+		g.GenerateQuarter(Timeline[0], 5000, func(p telescope.Packet) { out = append(out, p) })
+		return out
+	}
+	a, b := collect(9), collect(9)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	c := collect(10)
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traffic")
+		}
+	}
+}
+
+func BenchmarkGenerateQuarter(b *testing.B) {
+	g := NewGenerator(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		g.GenerateQuarter(Timeline[0], 10000, func(p telescope.Packet) { sink++ })
+	}
+	benchSink = sink
+}
+
+var benchSink int

@@ -1,0 +1,144 @@
+// Package shard splits a cyclic permutation across scan shards (machines)
+// and send threads, implementing both sharding schemes ZMap has used.
+//
+// Interleaved sharding (2014–2017, "Zippier ZMap"): shard n of N walks the
+// exponent residue class n mod N; with T threads per shard, subshard (n, t)
+// walks residue n + tN mod NT. Each worker multiplies by g^(NT) per step.
+// The scheme is mutex-free but computing where each subshard *ends* has no
+// closed form when NT does not divide p-1, and the original implementation
+// suffered repeated off-by-one bugs (§4.2).
+//
+// Pizza sharding (2017–): the exponent space [0, p-1) is cut into N
+// contiguous ranges of increasing exponent, and each range into T subranges
+// — like slicing a pizza. Because group elements are already pseudorandom
+// in exponent order, contiguous exponent ranges are just as random as
+// interleaved ones, and the endpoints are trivial: subshard (n, t) is
+// [lo + (hi-lo)*t/T, lo + (hi-lo)*(t+1)/T) within shard range
+// [order*n/N, order*(n+1)/N).
+//
+// Both schemes are exposed so the Figure 6 experiment can compare them; the
+// engine uses pizza.
+package shard
+
+import (
+	"fmt"
+
+	"zmapgo/internal/cyclic"
+	"zmapgo/internal/mathx"
+)
+
+// Mode selects a sharding scheme.
+type Mode int
+
+const (
+	// Pizza is the modern contiguous-range scheme (default).
+	Pizza Mode = iota
+	// Interleaved is the original residue-class scheme.
+	Interleaved
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Pizza:
+		return "pizza"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Assignment describes the slice of exponent space owned by one worker
+// (a subshard): the positions start, start+stride, ..., start+(count-1)*stride.
+type Assignment struct {
+	Shard  int
+	Thread int
+	Start  uint64
+	Count  uint64
+	Stride uint64
+}
+
+// Plan computes the assignment for subshard (shard, thread) of an
+// order-element permutation split into shards shards of threads threads
+// each. It panics on out-of-range indices or zero divisions — these are
+// programmer errors, not runtime conditions.
+func Plan(mode Mode, order uint64, shards, threads, shard, thread int) Assignment {
+	if shards <= 0 || threads <= 0 {
+		panic("shard: shards and threads must be positive")
+	}
+	if shard < 0 || shard >= shards || thread < 0 || thread >= threads {
+		panic("shard: index out of range")
+	}
+	switch mode {
+	case Interleaved:
+		return planInterleaved(order, shards, threads, shard, thread)
+	case Pizza:
+		return planPizza(order, shards, threads, shard, thread)
+	default:
+		panic("shard: unknown mode")
+	}
+}
+
+// planInterleaved assigns residue class shard + thread*shards modulo
+// shards*threads. The count is the number of exponents in [0, order) in
+// that class: floor((order - 1 - first)/NT) + 1 when first < order.
+func planInterleaved(order uint64, shards, threads, shard, thread int) Assignment {
+	nt := uint64(shards) * uint64(threads)
+	first := uint64(shard) + uint64(thread)*uint64(shards)
+	var count uint64
+	if first < order {
+		count = (order-1-first)/nt + 1
+	}
+	return Assignment{
+		Shard:  shard,
+		Thread: thread,
+		Start:  first,
+		Count:  count,
+		Stride: nt,
+	}
+}
+
+// planPizza cuts [0, order) into contiguous balanced ranges. Boundaries are
+// computed with 128-bit intermediates so order up to 2^48 times indices up
+// to 2^31 cannot overflow.
+func planPizza(order uint64, shards, threads, shard, thread int) Assignment {
+	shardLo := mathx.MulDiv64(order, uint64(shard), uint64(shards))
+	shardHi := mathx.MulDiv64(order, uint64(shard)+1, uint64(shards))
+	span := shardHi - shardLo
+	lo := shardLo + mathx.MulDiv64(span, uint64(thread), uint64(threads))
+	hi := shardLo + mathx.MulDiv64(span, uint64(thread)+1, uint64(threads))
+	return Assignment{
+		Shard:  shard,
+		Thread: thread,
+		Start:  lo,
+		Count:  hi - lo,
+		Stride: 1,
+	}
+}
+
+// PlanAll returns assignments for every (shard, thread) pair, shard-major.
+func PlanAll(mode Mode, order uint64, shards, threads int) []Assignment {
+	out := make([]Assignment, 0, shards*threads)
+	for s := 0; s < shards; s++ {
+		for t := 0; t < threads; t++ {
+			out = append(out, Plan(mode, order, shards, threads, s, t))
+		}
+	}
+	return out
+}
+
+// Iterator returns a cyclic iterator over the assignment's slice of the
+// given cycle.
+func (a Assignment) Iterator(c cyclic.Cycle) *cyclic.Iterator {
+	return c.Iterate(a.Start, a.Count, a.Stride)
+}
+
+// NaiveInterleavedCount reproduces the end-point bug class the paper
+// describes for interleaved sharding: a "simple" per-subshard count of
+// order/(N*T), which silently drops up to NT-1 targets whenever NT does not
+// divide the group order (and group orders here are p-1 for p prime, so
+// they are almost never divisible). It exists only for the Figure 6
+// experiment and tests; never use it to plan a real scan.
+func NaiveInterleavedCount(order uint64, shards, threads int) uint64 {
+	return order / (uint64(shards) * uint64(threads))
+}

@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zmapgo/internal/cyclic"
+)
+
+// collectTargets walks every subshard of a plan over a real cycle and
+// returns per-element visit counts.
+func collectTargets(t *testing.T, mode Mode, c cyclic.Cycle, shards, threads int) map[uint64]int {
+	t.Helper()
+	counts := make(map[uint64]int)
+	for _, a := range PlanAll(mode, c.Group.Order(), shards, threads) {
+		it := a.Iterator(c)
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			counts[e]++
+		}
+	}
+	return counts
+}
+
+func testPartition(t *testing.T, mode Mode, shards, threads int) {
+	t.Helper()
+	g, _ := cyclic.GroupForOrder(256) // p = 257, order 256
+	c := cyclic.NewCycle(g, rand.New(rand.NewSource(42)))
+	counts := collectTargets(t, mode, c, shards, threads)
+	if uint64(len(counts)) != g.Order() {
+		t.Fatalf("%v %dx%d: covered %d elements, want %d", mode, shards, threads, len(counts), g.Order())
+	}
+	for e, n := range counts {
+		if n != 1 {
+			t.Fatalf("%v %dx%d: element %d visited %d times", mode, shards, threads, e, n)
+		}
+	}
+}
+
+func TestPizzaPartitions(t *testing.T) {
+	for _, st := range [][2]int{{1, 1}, {1, 4}, {2, 1}, {3, 3}, {5, 7}, {16, 8}, {255, 1}, {257, 1}} {
+		testPartition(t, Pizza, st[0], st[1])
+	}
+}
+
+func TestInterleavedPartitions(t *testing.T) {
+	for _, st := range [][2]int{{1, 1}, {1, 4}, {2, 1}, {3, 3}, {5, 7}, {16, 8}, {255, 1}, {257, 1}} {
+		testPartition(t, Interleaved, st[0], st[1])
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// Property: for arbitrary shard/thread counts and group orders, both
+	// modes partition [0, order) exactly — every exponent position is
+	// assigned to exactly one subshard.
+	f := func(order uint32, nRaw, tRaw uint8) bool {
+		ord := uint64(order%5000) + 1
+		n := int(nRaw%12) + 1
+		tt := int(tRaw%6) + 1
+		for _, mode := range []Mode{Pizza, Interleaved} {
+			seen := make([]int, ord)
+			for _, a := range PlanAll(mode, ord, n, tt) {
+				pos := a.Start
+				for i := uint64(0); i < a.Count; i++ {
+					if pos >= ord {
+						if mode == Pizza {
+							return false // pizza positions never exceed order
+						}
+						pos %= ord // interleaved never wraps either; flag it
+						return false
+					}
+					seen[pos]++
+					pos += a.Stride
+				}
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPizzaBalance(t *testing.T) {
+	// Pizza subshard sizes must differ by at most 1 within a shard, and
+	// shard sizes by at most 1 overall.
+	order := uint64((1 << 16)) // 65536, order of 65537 group
+	for _, st := range [][2]int{{3, 1}, {7, 5}, {16, 8}} {
+		assignments := PlanAll(Pizza, order, st[0], st[1])
+		min, max := ^uint64(0), uint64(0)
+		for _, a := range assignments {
+			if a.Count < min {
+				min = a.Count
+			}
+			if a.Count > max {
+				max = a.Count
+			}
+		}
+		if max-min > 2 {
+			t.Errorf("pizza %dx%d: subshard sizes range [%d, %d], want near-equal", st[0], st[1], min, max)
+		}
+	}
+}
+
+func TestInterleavedStrideAndStart(t *testing.T) {
+	// Shard n, thread t must start at exponent n + t*N and stride N*T,
+	// matching the paper's g^(n+tN) offset and g^(NT) step.
+	a := Plan(Interleaved, 1000, 4, 3, 2, 1)
+	if a.Start != 2+1*4 {
+		t.Errorf("start = %d, want 6", a.Start)
+	}
+	if a.Stride != 12 {
+		t.Errorf("stride = %d, want 12", a.Stride)
+	}
+}
+
+func TestInterleavedEmptySubshard(t *testing.T) {
+	// With more subshards than elements, trailing subshards must be empty
+	// rather than wrapping.
+	a := Plan(Interleaved, 3, 5, 1, 4, 0)
+	if a.Count != 0 {
+		t.Errorf("subshard beyond order: count = %d, want 0", a.Count)
+	}
+}
+
+func TestPizzaContiguity(t *testing.T) {
+	// Consecutive pizza subshards must abut exactly.
+	order := uint64(12345)
+	prevEnd := uint64(0)
+	for _, a := range PlanAll(Pizza, order, 7, 3) {
+		if a.Start != prevEnd {
+			t.Fatalf("subshard (%d,%d) starts at %d, want %d", a.Shard, a.Thread, a.Start, prevEnd)
+		}
+		prevEnd = a.Start + a.Count
+	}
+	if prevEnd != order {
+		t.Fatalf("final subshard ends at %d, want %d", prevEnd, order)
+	}
+}
+
+func TestNaiveInterleavedCountDropsTargets(t *testing.T) {
+	// The bug class from §4.2: truncating order/NT drops targets whenever
+	// NT does not divide the order. For p-1 = 2^32+14 and NT = 12, the
+	// naive plan misses elements.
+	g, _ := cyclic.GroupForOrder(1 << 32)
+	order := g.Order()
+	n, threads := 4, 3
+	nt := uint64(n * threads)
+	naiveTotal := NaiveInterleavedCount(order, n, threads) * nt
+	if naiveTotal == order {
+		t.Fatalf("expected naive count to mismatch for order %d, NT %d", order, nt)
+	}
+	missed := order - naiveTotal
+	if missed == 0 || missed >= nt {
+		t.Errorf("naive plan misses %d targets, want in [1, %d)", missed, nt)
+	}
+	// The correct plan covers everything.
+	var correct uint64
+	for _, a := range PlanAll(Interleaved, order, n, threads) {
+		correct += a.Count
+	}
+	if correct != order {
+		t.Errorf("correct interleaved plan covers %d, want %d", correct, order)
+	}
+}
+
+func TestPlanPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Plan(Pizza, 100, 0, 1, 0, 0) },
+		func() { Plan(Pizza, 100, 1, 0, 0, 0) },
+		func() { Plan(Pizza, 100, 2, 2, 2, 0) },
+		func() { Plan(Pizza, 100, 2, 2, 0, 2) },
+		func() { Plan(Mode(99), 100, 1, 1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPizzaLargeOrderNoOverflow(t *testing.T) {
+	// 2^48-order group with many shards: boundary math must not overflow.
+	g, _ := cyclic.GroupForOrder(1 << 48)
+	order := g.Order()
+	var total uint64
+	const shards = 1000
+	for s := 0; s < shards; s++ {
+		a := Plan(Pizza, order, shards, 1, s, 0)
+		total += a.Count
+		if a.Start >= order && a.Count > 0 {
+			t.Fatalf("shard %d starts beyond order", s)
+		}
+	}
+	if total != order {
+		t.Fatalf("total coverage %d, want %d", total, order)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Pizza.String() != "pizza" || Interleaved.String() != "interleaved" {
+		t.Error("unexpected Mode.String values")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Errorf("Mode(9).String() = %q", Mode(9).String())
+	}
+}
+
+func BenchmarkPizzaIteration(b *testing.B)       { benchIteration(b, Pizza) }
+func BenchmarkInterleavedIteration(b *testing.B) { benchIteration(b, Interleaved) }
+
+func benchIteration(b *testing.B, mode Mode) {
+	g, _ := cyclic.GroupForOrder(1 << 32)
+	c := cyclic.NewCycle(g, rand.New(rand.NewSource(1)))
+	a := Plan(mode, g.Order(), 4, 4, 1, 2)
+	it := a.Iterator(c)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e, ok := it.Next()
+		if !ok {
+			it = a.Iterator(c)
+			e, _ = it.Next()
+		}
+		sink = e
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

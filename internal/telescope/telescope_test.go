@@ -1,0 +1,237 @@
+package telescope
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func zmapPacket(period string, src, dst uint32, port uint16) Packet {
+	return Packet{Period: period, SrcIP: src, DstIP: dst, DstPort: port, IPID: ZMapIPID, TCPSeq: 1}
+}
+
+func masscanPacket(period string, src, dst uint32, port uint16, seq uint32) Packet {
+	return Packet{Period: period, SrcIP: src, DstIP: dst, DstPort: port, IPID: MasscanIPID(dst, port, seq), TCPSeq: seq}
+}
+
+func TestScanSessionThreshold(t *testing.T) {
+	tel := New()
+	// Source A hits 9 distinct IPs: not a scan.
+	for i := uint32(0); i < 9; i++ {
+		tel.Ingest(zmapPacket("q", 1, i, 80))
+	}
+	// Source B hits 10 distinct IPs: a scan.
+	for i := uint32(0); i < 10; i++ {
+		tel.Ingest(zmapPacket("q", 2, i, 80))
+	}
+	sessions := tel.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(sessions))
+	}
+	if sessions[0].SrcIP != 2 {
+		t.Error("wrong source promoted to scan")
+	}
+	if tel.DiscardedSources() != 1 {
+		t.Errorf("discarded = %d, want 1", tel.DiscardedSources())
+	}
+}
+
+func TestRepeatDestinationsDoNotCount(t *testing.T) {
+	tel := New()
+	// 100 packets to the same 3 destinations: never a scan.
+	for i := 0; i < 100; i++ {
+		tel.Ingest(zmapPacket("q", 7, uint32(i%3), 80))
+	}
+	if len(tel.Sessions()) != 0 {
+		t.Error("3-destination source counted as scan")
+	}
+}
+
+func TestZMapFingerprint(t *testing.T) {
+	tel := New()
+	for i := uint32(0); i < 20; i++ {
+		tel.Ingest(zmapPacket("q", 5, i, 443))
+	}
+	s := tel.Sessions()
+	if len(s) != 1 || s[0].Tool != ToolZMap {
+		t.Fatalf("sessions %+v, want one zmap", s)
+	}
+	if s[0].Packets != 20 || s[0].PortPackets[443] != 20 {
+		t.Error("packet counting wrong")
+	}
+}
+
+func TestZMapFingerprintBrokenByOneDeviation(t *testing.T) {
+	// A fork that randomizes even a single IP ID is not attributed.
+	tel := New()
+	for i := uint32(0); i < 19; i++ {
+		tel.Ingest(zmapPacket("q", 5, i, 443))
+	}
+	tel.Ingest(Packet{Period: "q", SrcIP: 5, DstIP: 99, DstPort: 443, IPID: 1234, TCPSeq: 1})
+	s := tel.Sessions()
+	if len(s) != 1 || s[0].Tool != ToolUnknown {
+		t.Fatalf("deviating session classified as %v, want unknown", s[0].Tool)
+	}
+}
+
+func TestMasscanFingerprint(t *testing.T) {
+	tel := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := uint32(0); i < 30; i++ {
+		tel.Ingest(masscanPacket("q", 6, rng.Uint32(), 80, rng.Uint32()))
+	}
+	s := tel.Sessions()
+	if len(s) != 1 || s[0].Tool != ToolMasscan {
+		t.Fatalf("masscan session classified as %v", s[0].Tool)
+	}
+}
+
+func TestUnknownFingerprint(t *testing.T) {
+	tel := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := uint32(0); i < 30; i++ {
+		tel.Ingest(Packet{
+			Period: "q", SrcIP: 8, DstIP: rng.Uint32(), DstPort: 80,
+			IPID: uint16(rng.Intn(65000)), TCPSeq: rng.Uint32(),
+		})
+	}
+	s := tel.Sessions()
+	if len(s) != 1 || s[0].Tool != ToolUnknown {
+		t.Fatalf("random-ipid session classified as %v", s[0].Tool)
+	}
+}
+
+func TestShareByPeriod(t *testing.T) {
+	tel := New()
+	for i := uint32(0); i < 30; i++ {
+		tel.Ingest(zmapPacket("2024Q1", 1, i, 80))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := uint32(0); i < 70; i++ {
+		tel.Ingest(Packet{Period: "2024Q1", SrcIP: 2, DstIP: i, DstPort: 23,
+			IPID: uint16(rng.Intn(50000)), TCPSeq: 1})
+	}
+	shares := tel.ShareByPeriod()
+	q := shares["2024Q1"]
+	if q.Total != 100 {
+		t.Fatalf("total = %d", q.Total)
+	}
+	if got := q.Share(ToolZMap); got != 0.30 {
+		t.Errorf("zmap share = %f, want 0.30", got)
+	}
+	if got := q.Share(ToolUnknown); got != 0.70 {
+		t.Errorf("unknown share = %f, want 0.70", got)
+	}
+}
+
+func TestTopPortsAndPerPortShare(t *testing.T) {
+	tel := New()
+	// ZMap source: 60 packets on 80, 40 on 8080.
+	for i := uint32(0); i < 60; i++ {
+		tel.Ingest(zmapPacket("q", 1, i, 80))
+	}
+	for i := uint32(0); i < 40; i++ {
+		tel.Ingest(zmapPacket("q", 1, i, 8080))
+	}
+	// Unknown source: 100 packets on 23, 20 on 80.
+	rng := rand.New(rand.NewSource(4))
+	for i := uint32(0); i < 100; i++ {
+		tel.Ingest(Packet{Period: "q", SrcIP: 2, DstIP: i, DstPort: 23, IPID: uint16(rng.Intn(50000))})
+	}
+	for i := uint32(0); i < 20; i++ {
+		tel.Ingest(Packet{Period: "q", SrcIP: 2, DstIP: i, DstPort: 80, IPID: uint16(rng.Intn(50000))})
+	}
+	all := tel.TopPorts(10, "")
+	if all[0].Port != 23 || all[0].Packets != 100 {
+		t.Errorf("top port %+v, want 23/100", all[0])
+	}
+	if all[1].Port != 80 || all[1].Packets != 80 {
+		t.Errorf("second port %+v, want 80/80", all[1])
+	}
+	zmapOnly := tel.TopPorts(10, ToolZMap)
+	if zmapOnly[0].Port != 80 || zmapOnly[0].Packets != 60 {
+		t.Errorf("zmap top port %+v, want 80/60", zmapOnly[0])
+	}
+	if got := tel.ZMapShareForPort(80); got != 0.75 {
+		t.Errorf("zmap share of port 80 = %f, want 0.75", got)
+	}
+	if got := tel.ZMapShareForPort(8080); got != 1.0 {
+		t.Errorf("zmap share of 8080 = %f, want 1.0", got)
+	}
+	if got := tel.ZMapShareForPort(23); got != 0 {
+		t.Errorf("zmap share of 23 = %f, want 0", got)
+	}
+	if tel.ZMapShareForPort(9999) != 0 {
+		t.Error("untargeted port share should be 0")
+	}
+}
+
+func TestTopPortsLimit(t *testing.T) {
+	tel := New()
+	for p := uint16(1); p <= 20; p++ {
+		for i := uint32(0); i < 15; i++ {
+			tel.Ingest(zmapPacket("q", uint32(p), i, p))
+		}
+	}
+	if got := len(tel.TopPorts(5, "")); got != 5 {
+		t.Errorf("TopPorts(5) returned %d", got)
+	}
+	if got := len(tel.TopPorts(0, "")); got != 20 {
+		t.Errorf("TopPorts(0) returned %d, want all", got)
+	}
+}
+
+func TestCountryShare(t *testing.T) {
+	tel := New()
+	for i := uint32(0); i < 50; i++ {
+		tel.Ingest(zmapPacket("q", 0x08000001, i, 80)) // "US" block
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := uint32(0); i < 50; i++ {
+		tel.Ingest(Packet{Period: "q", SrcIP: 0x0A000001, DstIP: i, DstPort: 80,
+			IPID: uint16(rng.Intn(50000))})
+	}
+	geo := func(ip uint32) string {
+		if ip>>24 == 8 {
+			return "US"
+		}
+		return "RU"
+	}
+	byCountry := tel.CountryShare(geo)
+	if byCountry["US"].Share(ToolZMap) != 1.0 {
+		t.Errorf("US zmap share = %f", byCountry["US"].Share(ToolZMap))
+	}
+	if byCountry["RU"].Share(ToolZMap) != 0 {
+		t.Errorf("RU zmap share = %f", byCountry["RU"].Share(ToolZMap))
+	}
+}
+
+func TestToolShareEmpty(t *testing.T) {
+	var ts ToolShare
+	if ts.Share(ToolZMap) != 0 {
+		t.Error("empty share should be 0")
+	}
+}
+
+func TestMasscanIPIDSymmetry(t *testing.T) {
+	// Cookie must depend on all three inputs.
+	base := MasscanIPID(1, 2, 3)
+	if MasscanIPID(2, 2, 3) == base && MasscanIPID(1<<16, 2, 3) == base {
+		t.Error("cookie ignores dst ip")
+	}
+	if MasscanIPID(1, 3, 3) == base {
+		t.Error("cookie ignores dst port")
+	}
+	if MasscanIPID(1, 2, 4) == base && MasscanIPID(1, 2, 3|1<<16) == base {
+		t.Error("cookie ignores seq")
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	tel := New()
+	for i := 0; i < b.N; i++ {
+		tel.Ingest(Packet{
+			Period: "q", SrcIP: uint32(i % 1000), DstIP: uint32(i),
+			DstPort: uint16(i % 7), IPID: ZMapIPID,
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Package validate implements ZMap's stateless response validation.
+//
+// ZMap keeps no per-probe state, so it must decide whether an inbound
+// packet is a genuine response to a probe it sent — rather than backscatter
+// or an attacker guessing — using only the packet itself. It does so by
+// deriving the mutable fields of each probe (TCP sequence number, ICMP id,
+// UDP source port entropy) from a keyed MAC over the flow tuple. A
+// response echoes these fields (a SYN-ACK acknowledges seq+1), so the
+// receiver can recompute the MAC and compare.
+//
+// The C implementation uses AES-128 with a per-scan key; we use
+// HMAC-SHA256 truncated to 8 bytes, which provides the same unforgeability
+// property with stdlib crypto.
+package validate
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// KeySize is the size of the per-scan validation key in bytes.
+const KeySize = 32
+
+// Validator computes per-target validation words for one scan.
+type Validator struct {
+	key [KeySize]byte
+}
+
+// New creates a Validator with the given per-scan key.
+func New(key [KeySize]byte) *Validator {
+	return &Validator{key: key}
+}
+
+// NewRandom creates a Validator with a fresh random key.
+func NewRandom() (*Validator, error) {
+	var key [KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, err
+	}
+	return New(key), nil
+}
+
+// Key returns the validator's key (for scan metadata / resumption).
+func (v *Validator) Key() [KeySize]byte { return v.key }
+
+// Compute returns the 8-byte validation word for a flow. The same tuple
+// always produces the same word within a scan, so validation needs no
+// lookup table. srcIP/dstIP are the PROBE's source and destination; when
+// validating a response the caller swaps them back.
+func (v *Validator) Compute(srcIP, dstIP uint32, dstPort uint16) uint64 {
+	mac := hmac.New(sha256.New, v.key[:])
+	var tuple [10]byte
+	binary.BigEndian.PutUint32(tuple[0:4], srcIP)
+	binary.BigEndian.PutUint32(tuple[4:8], dstIP)
+	binary.BigEndian.PutUint16(tuple[8:10], dstPort)
+	mac.Write(tuple[:])
+	sum := mac.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// TCPSeq returns the 32-bit sequence number to place in a SYN probe for
+// the flow. A valid SYN-ACK must acknowledge TCPSeq+1; a valid RST
+// acknowledges TCPSeq+0 or +1 depending on the stack.
+func (v *Validator) TCPSeq(srcIP, dstIP uint32, dstPort uint16) uint32 {
+	return uint32(v.Compute(srcIP, dstIP, dstPort))
+}
+
+// TCPAckValid reports whether ack is a plausible acknowledgment of the
+// probe identified by the flow tuple: seq+1 for SYN-ACKs, and seq or seq+1
+// for RSTs (stacks differ).
+func (v *Validator) TCPAckValid(srcIP, dstIP uint32, dstPort uint16, ack uint32, isRST bool) bool {
+	seq := v.TCPSeq(srcIP, dstIP, dstPort)
+	if ack == seq+1 {
+		return true
+	}
+	return isRST && ack == seq
+}
+
+// ICMPIDSeq returns the (id, seq) pair for an ICMP echo probe.
+func (v *Validator) ICMPIDSeq(srcIP, dstIP uint32) (id, seq uint16) {
+	w := v.Compute(srcIP, dstIP, 0)
+	return uint16(w >> 16), uint16(w)
+}
+
+// Compute6 is the IPv6 analogue of Compute, MACing the 16-byte source
+// and destination addresses plus the destination port.
+func (v *Validator) Compute6(src, dst [16]byte, dstPort uint16) uint64 {
+	mac := hmac.New(sha256.New, v.key[:])
+	var tuple [34]byte
+	copy(tuple[0:16], src[:])
+	copy(tuple[16:32], dst[:])
+	binary.BigEndian.PutUint16(tuple[32:34], dstPort)
+	mac.Write(tuple[:])
+	sum := mac.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// TCPSeq6 derives the SYN sequence number for a v6 flow.
+func (v *Validator) TCPSeq6(src, dst [16]byte, dstPort uint16) uint32 {
+	return uint32(v.Compute6(src, dst, dstPort))
+}
+
+// SourcePort returns the probe's TCP/UDP source port, drawn from the
+// configured range [base, base+count) keyed by the flow so that retries
+// reuse the same port but distinct targets spread load. This mirrors
+// ZMap's --source-port range behavior.
+func (v *Validator) SourcePort(base uint16, count uint16, dstIP uint32, dstPort uint16) uint16 {
+	if count <= 1 {
+		return base
+	}
+	w := v.Compute(0, dstIP, dstPort)
+	return base + uint16(w>>32)%count
+}

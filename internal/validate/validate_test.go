@@ -1,0 +1,138 @@
+package validate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testValidator() *Validator {
+	var key [KeySize]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	return New(key)
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	v := testValidator()
+	a := v.Compute(1, 2, 80)
+	b := v.Compute(1, 2, 80)
+	if a != b {
+		t.Error("Compute not deterministic")
+	}
+}
+
+func TestComputeDistinguishesTuples(t *testing.T) {
+	v := testValidator()
+	base := v.Compute(1, 2, 80)
+	if v.Compute(2, 2, 80) == base || v.Compute(1, 3, 80) == base || v.Compute(1, 2, 81) == base {
+		t.Error("tuple variation did not change validation word")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	var k1, k2 [KeySize]byte
+	k2[0] = 1
+	if New(k1).Compute(1, 2, 80) == New(k2).Compute(1, 2, 80) {
+		t.Error("different keys produced same word")
+	}
+}
+
+func TestNewRandomKeysDistinct(t *testing.T) {
+	v1, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Key() == v2.Key() {
+		t.Error("two random validators share a key")
+	}
+}
+
+func TestTCPAckValidation(t *testing.T) {
+	v := testValidator()
+	seq := v.TCPSeq(10, 20, 443)
+	if !v.TCPAckValid(10, 20, 443, seq+1, false) {
+		t.Error("SYN-ACK with seq+1 rejected")
+	}
+	if v.TCPAckValid(10, 20, 443, seq, false) {
+		t.Error("SYN-ACK with seq accepted (only RST may ack seq)")
+	}
+	if !v.TCPAckValid(10, 20, 443, seq, true) {
+		t.Error("RST with seq rejected")
+	}
+	if !v.TCPAckValid(10, 20, 443, seq+1, true) {
+		t.Error("RST with seq+1 rejected")
+	}
+	if v.TCPAckValid(10, 20, 443, seq+2, true) {
+		t.Error("ack seq+2 accepted")
+	}
+	if v.TCPAckValid(10, 21, 443, seq+1, false) {
+		t.Error("wrong flow accepted")
+	}
+}
+
+func TestTCPAckValidProperty(t *testing.T) {
+	// Property: a random ack is (nearly) never valid for a random flow.
+	v := testValidator()
+	f := func(src, dst uint32, port uint16, ack uint32) bool {
+		seq := v.TCPSeq(src, dst, port)
+		valid := v.TCPAckValid(src, dst, port, ack, true)
+		shouldBe := ack == seq || ack == seq+1
+		return valid == shouldBe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICMPIDSeqStable(t *testing.T) {
+	v := testValidator()
+	id1, seq1 := v.ICMPIDSeq(5, 6)
+	id2, seq2 := v.ICMPIDSeq(5, 6)
+	if id1 != id2 || seq1 != seq2 {
+		t.Error("ICMP id/seq not deterministic")
+	}
+	id3, seq3 := v.ICMPIDSeq(5, 7)
+	if id1 == id3 && seq1 == seq3 {
+		t.Error("different destination produced identical ICMP id/seq")
+	}
+}
+
+func TestSourcePortRange(t *testing.T) {
+	v := testValidator()
+	const base, count = 32768, 100
+	seen := make(map[uint16]bool)
+	for ip := uint32(0); ip < 2000; ip++ {
+		p := v.SourcePort(base, count, ip, 80)
+		if p < base || p >= base+count {
+			t.Fatalf("source port %d outside [%d, %d)", p, base, base+count)
+		}
+		seen[p] = true
+	}
+	if len(seen) < count/2 {
+		t.Errorf("only %d distinct ports of %d used; poor spread", len(seen), count)
+	}
+	// Stable per flow.
+	if v.SourcePort(base, count, 42, 80) != v.SourcePort(base, count, 42, 80) {
+		t.Error("source port not stable per flow")
+	}
+	// Single-port config always returns base.
+	if v.SourcePort(base, 1, 42, 80) != base || v.SourcePort(base, 0, 42, 80) != base {
+		t.Error("single-port config wrong")
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	v := testValidator()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = v.Compute(uint32(i), uint32(i*3), 80)
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

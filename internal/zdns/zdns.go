@@ -1,0 +1,196 @@
+// Package zdns is a miniature of the ZDNS toolkit the paper's conclusion
+// points to ("we are excited to continue to expand the ecosystem of tools
+// that work with ZMap (e.g., ZDNS and ZGrab)"): a concurrent DNS lookup
+// engine that reads names, fans them out over a worker pool to a set of
+// resolvers, and emits one structured result per name — the same
+// stdin-to-JSONL shape as the real tool.
+//
+// Queries run against the simulated Internet's UDP/53 services
+// (internal/netsim), complete with transient loss, REFUSED-only
+// resolvers, and NXDOMAINs, so retry and error paths are genuinely
+// exercised.
+package zdns
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"zmapgo/internal/dnswire"
+	"zmapgo/internal/netsim"
+	"zmapgo/internal/packet"
+	"zmapgo/internal/target"
+)
+
+// Result is one lookup outcome, JSON-shaped like ZDNS output.
+type Result struct {
+	Name     string   `json:"name"`
+	Type     string   `json:"type"`
+	Status   string   `json:"status"` // NOERROR | NXDOMAIN | REFUSED | TIMEOUT | ERROR
+	Answers  []string `json:"answers,omitempty"`
+	Resolver string   `json:"resolver"`
+	Tries    int      `json:"tries"`
+}
+
+// Resolver issues queries against simulated DNS servers.
+type Resolver struct {
+	in      *netsim.Internet
+	servers []uint32
+	// Retries is the per-lookup attempt budget across servers.
+	Retries int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates a resolver pool. servers must be UDP/53-responsive
+// addresses (DiscoverServers finds some).
+func New(in *netsim.Internet, servers []uint32, seed int64) (*Resolver, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("zdns: no resolvers configured")
+	}
+	return &Resolver{
+		in:      in,
+		servers: servers,
+		Retries: 3,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// DiscoverServers scans [start, start+span) for UDP/53 services — the
+// ZMap-then-ZDNS pipeline in one call — returning up to max addresses.
+func DiscoverServers(in *netsim.Internet, start uint32, span uint32, max int) []uint32 {
+	var out []uint32
+	for off := uint32(0); off < span && len(out) < max; off++ {
+		ip := start + off
+		if in.UDPServiceOpen(ip, 53) {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// scannerSrcIP is the resolver's source address in the simulation.
+const scannerSrcIP = 0xC0000202 // 192.0.2.2
+
+func (r *Resolver) randID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint16(r.rng.Intn(65536))
+}
+
+func (r *Resolver) pickServer(try int) uint32 {
+	return r.servers[try%len(r.servers)]
+}
+
+// Lookup resolves one name. qtype is dnswire.TypeA or dnswire.TypeTXT.
+func (r *Resolver) Lookup(name string, qtype uint16) Result {
+	res := Result{Name: name, Type: typeName(qtype)}
+	for try := 0; try < r.Retries; try++ {
+		res.Tries = try + 1
+		server := r.pickServer(try)
+		res.Resolver = target.FormatIPv4(server)
+		id := r.randID()
+		query, err := dnswire.AppendQuery(nil, id, name, qtype)
+		if err != nil {
+			res.Status = "ERROR"
+			return res
+		}
+		frame := buildUDPFrame(server, query)
+		responses := r.in.Respond(frame)
+		if len(responses) == 0 {
+			res.Status = "TIMEOUT" // lost or unresponsive; try next server
+			continue
+		}
+		f, err := packet.Parse(responses[0].Frame)
+		if err != nil || f.UDP == nil {
+			res.Status = "ERROR"
+			continue
+		}
+		msg, err := dnswire.ParseResponse(f.Payload)
+		if err != nil {
+			res.Status = "ERROR"
+			continue
+		}
+		if msg.ID != id {
+			// Off-path answer or corruption: never accept a mismatched
+			// transaction ID (the anti-spoofing check ZDNS performs).
+			res.Status = "ERROR"
+			continue
+		}
+		switch msg.RCode {
+		case dnswire.RCodeNoError:
+			res.Status = "NOERROR"
+			for _, a := range msg.Answers {
+				switch a.Type {
+				case dnswire.TypeA:
+					res.Answers = append(res.Answers,
+						target.FormatIPv4(uint32(a.A[0])<<24|uint32(a.A[1])<<16|uint32(a.A[2])<<8|uint32(a.A[3])))
+				case dnswire.TypeTXT:
+					res.Answers = append(res.Answers, a.Text)
+				}
+			}
+		case dnswire.RCodeNXDomain:
+			res.Status = "NXDOMAIN"
+		case dnswire.RCodeRefused:
+			// A refusing resolver is a definitive non-answer for this
+			// server but not for the name; fall through to the next
+			// server in the pool.
+			res.Status = "REFUSED"
+			continue
+		default:
+			res.Status = "ERROR"
+		}
+		return res
+	}
+	return res
+}
+
+// LookupAll fans names out over a worker pool, invoking emit for every
+// result. emit is serialized; order follows completion, not input.
+func (r *Resolver) LookupAll(names []string, qtype uint16, workers int, emit func(Result)) {
+	if workers <= 0 {
+		workers = 1
+	}
+	in := make(chan string)
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range in {
+				res := r.Lookup(name, qtype)
+				emitMu.Lock()
+				emit(res)
+				emitMu.Unlock()
+			}
+		}()
+	}
+	for _, n := range names {
+		in <- n
+	}
+	close(in)
+	wg.Wait()
+}
+
+func typeName(qtype uint16) string {
+	switch qtype {
+	case dnswire.TypeA:
+		return "A"
+	case dnswire.TypeTXT:
+		return "TXT"
+	default:
+		return fmt.Sprintf("TYPE%d", qtype)
+	}
+}
+
+// buildUDPFrame wraps a DNS payload in UDP/IP/Ethernet toward server.
+func buildUDPFrame(server uint32, payload []byte) []byte {
+	buf := make([]byte, 0, packet.EthernetHeaderLen+packet.IPv4HeaderLen+packet.UDPHeaderLen+len(payload))
+	buf = packet.AppendEthernet(buf, packet.MAC{2, 0, 0, 0, 0, 7}, packet.MAC{}, packet.EtherTypeIPv4)
+	buf = packet.AppendIPv4(buf, packet.IPv4{
+		TTL: 64, Protocol: packet.ProtocolUDP, Src: scannerSrcIP, Dst: server,
+	}, packet.UDPHeaderLen+len(payload))
+	return packet.AppendUDP(buf, 53535, 53, scannerSrcIP, server, payload)
+}

@@ -1,0 +1,228 @@
+package zdns
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"zmapgo/internal/dnswire"
+	"zmapgo/internal/netsim"
+)
+
+func losslessSim(seed uint64) *netsim.Internet {
+	cfg := netsim.DefaultConfig(seed)
+	cfg.ProbeLoss, cfg.ResponseLoss, cfg.PathBadFraction = 0, 0, 0
+	return netsim.New(cfg)
+}
+
+// openResolvers finds servers that are not REFUSED-only.
+func openResolvers(t *testing.T, in *netsim.Internet, n int) []uint32 {
+	t.Helper()
+	servers := DiscoverServers(in, 0, 5_000_000, 50)
+	if len(servers) == 0 {
+		t.Fatal("no DNS servers in range")
+	}
+	r, err := New(in, servers[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open []uint32
+	for _, s := range servers {
+		r.servers = []uint32{s}
+		if res := r.Lookup("probe.example", dnswire.TypeA); res.Status != "REFUSED" {
+			open = append(open, s)
+		}
+		if len(open) == n {
+			break
+		}
+	}
+	if len(open) < n {
+		t.Fatalf("only %d open resolvers found", len(open))
+	}
+	return open
+}
+
+func TestDiscoverServers(t *testing.T) {
+	in := losslessSim(300)
+	servers := DiscoverServers(in, 0, 2_000_000, 10)
+	if len(servers) == 0 {
+		t.Fatal("no servers discovered (2% density over 2M addresses)")
+	}
+	for _, s := range servers {
+		if !in.UDPServiceOpen(s, 53) {
+			t.Errorf("discovered %d is not a DNS service", s)
+		}
+	}
+}
+
+func TestLookupA(t *testing.T) {
+	in := losslessSim(301)
+	r, err := New(in, openResolvers(t, in, 1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an existing name deterministically by trying a few.
+	var hit Result
+	for i := 0; i < 40; i++ {
+		res := r.Lookup(fmt.Sprintf("host%d.example", i), dnswire.TypeA)
+		if res.Status == "NOERROR" && len(res.Answers) > 0 {
+			hit = res
+			break
+		}
+	}
+	if hit.Status != "NOERROR" {
+		t.Fatal("no resolvable name in 40 tries at 85% existence")
+	}
+	for _, a := range hit.Answers {
+		if !strings.Contains(a, ".") {
+			t.Errorf("answer %q not an address", a)
+		}
+	}
+	// Same name, same answers: zones are deterministic.
+	again := r.Lookup(hit.Name, dnswire.TypeA)
+	if len(again.Answers) != len(hit.Answers) || again.Answers[0] != hit.Answers[0] {
+		t.Errorf("non-deterministic zone: %v vs %v", again.Answers, hit.Answers)
+	}
+}
+
+func TestLookupNXDomain(t *testing.T) {
+	in := losslessSim(302)
+	r, err := New(in, openResolvers(t, in, 1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx := 0
+	for i := 0; i < 60; i++ {
+		if r.Lookup(fmt.Sprintf("missing%d.example", i), dnswire.TypeA).Status == "NXDOMAIN" {
+			nx++
+		}
+	}
+	if nx == 0 {
+		t.Error("no NXDOMAINs in 60 names at 15% nonexistence")
+	}
+}
+
+func TestLookupTXT(t *testing.T) {
+	in := losslessSim(303)
+	r, err := New(in, openResolvers(t, in, 1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		res := r.Lookup(fmt.Sprintf("txt%d.example", i), dnswire.TypeTXT)
+		if res.Status == "NOERROR" && len(res.Answers) > 0 {
+			if !strings.HasPrefix(res.Answers[0], "v=sim1") {
+				t.Errorf("TXT answer %q", res.Answers[0])
+			}
+			return
+		}
+	}
+	t.Fatal("no TXT records found")
+}
+
+func TestLookupRetriesAcrossServers(t *testing.T) {
+	// First server REFUSED-only, second open: the retry path must land
+	// on the second.
+	in := losslessSim(304)
+	servers := DiscoverServers(in, 0, 5_000_000, 50)
+	r, err := New(in, servers[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refused, open uint32
+	foundR, foundO := false, false
+	for _, s := range servers {
+		r.servers = []uint32{s}
+		status := r.Lookup("retry.example", dnswire.TypeA).Status
+		if status == "REFUSED" && !foundR {
+			refused, foundR = s, true
+		} else if status != "REFUSED" && !foundO {
+			open, foundO = s, true
+		}
+		if foundR && foundO {
+			break
+		}
+	}
+	if !foundR || !foundO {
+		t.Skip("could not find both refused and open resolvers in range")
+	}
+	r2, err := New(in, []uint32{refused, open}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r2.Lookup("exists-eventually.example", dnswire.TypeA)
+	if res.Status == "REFUSED" {
+		t.Errorf("lookup stuck on refused resolver: %+v", res)
+	}
+	if res.Tries < 2 {
+		t.Errorf("tries = %d, want >= 2 (first server refuses)", res.Tries)
+	}
+}
+
+func TestLookupTimeoutOnDeadServer(t *testing.T) {
+	in := losslessSim(305)
+	var dead uint32
+	for ; ; dead++ {
+		if !in.Live(dead) {
+			break
+		}
+	}
+	r, err := New(in, []uint32{dead}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Lookup("any.example", dnswire.TypeA)
+	if res.Status != "TIMEOUT" {
+		t.Errorf("status %q, want TIMEOUT", res.Status)
+	}
+	if res.Tries != r.Retries {
+		t.Errorf("tries %d, want %d", res.Tries, r.Retries)
+	}
+}
+
+func TestLookupAllConcurrent(t *testing.T) {
+	in := losslessSim(306)
+	r, err := New(in, openResolvers(t, in, 2), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 120; i++ {
+		names = append(names, fmt.Sprintf("bulk%d.example", i))
+	}
+	var results []Result
+	r.LookupAll(names, dnswire.TypeA, 8, func(res Result) {
+		results = append(results, res)
+	})
+	if len(results) != len(names) {
+		t.Fatalf("%d results for %d names", len(results), len(names))
+	}
+	statuses := map[string]int{}
+	for _, res := range results {
+		statuses[res.Status]++
+	}
+	if statuses["NOERROR"] == 0 || statuses["NXDOMAIN"] == 0 {
+		t.Errorf("status mix %v; want both NOERROR and NXDOMAIN", statuses)
+	}
+}
+
+func TestNewRequiresServers(t *testing.T) {
+	if _, err := New(losslessSim(307), nil, 1); err == nil {
+		t.Error("empty server list accepted")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	in := losslessSim(308)
+	servers := DiscoverServers(in, 0, 2_000_000, 4)
+	if len(servers) == 0 {
+		b.Skip("no servers")
+	}
+	r, _ := New(in, servers, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchResult = r.Lookup("bench.example", dnswire.TypeA)
+	}
+}
+
+var benchResult Result

@@ -1,0 +1,281 @@
+// Package zmap is the public library interface to the scanner — the
+// "backend library" half of the paper's §5 recommendation to "structure
+// tools with two major components: a backend library and a simple command
+// line interface that wraps the library." cmd/zmapgo is the thin CLI.
+//
+// A scan is configured with Options (string-typed, CLI-shaped fields),
+// compiled into a Scanner, and run against a Transport. The repository
+// ships a deterministic simulated Internet (see NewInternet) standing in
+// for the real IPv4 address space, so examples and experiments are
+// reproducible and ethical by construction; a raw-socket Transport would
+// slot into the same interface on a real network.
+package zmap
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"time"
+
+	"zmapgo/internal/core"
+	"zmapgo/internal/output"
+	"zmapgo/internal/packet"
+	"zmapgo/internal/ratelimit"
+	"zmapgo/internal/shard"
+	"zmapgo/internal/target"
+)
+
+// Version is the library version (semantic versioning, per §5).
+const Version = core.Version
+
+// Transport moves frames between the scanner and a network. It is
+// satisfied by the simulated link returned from Internet.NewLink.
+type Transport = core.Transport
+
+// Summary is the end-of-scan metadata document.
+type Summary = output.Metadata
+
+// Record is one scan result row; see Schema.
+type Record = output.Record
+
+// Schema describes the static result schema.
+func Schema() []output.FieldDoc { return output.Schema() }
+
+// Options configures a scan with CLI-shaped values. Zero values take
+// ZMap's defaults. Compile validates and turns them into a Scanner.
+type Options struct {
+	// Ranges lists target CIDRs (empty = entire IPv4 space).
+	Ranges []string
+	// Blocklist lists excluded CIDRs (applied after Ranges).
+	Blocklist []string
+	// BlocklistFile is parsed in ZMap blocklist format, if non-nil.
+	BlocklistFile io.Reader
+
+	// Ports uses ZMap port syntax: "80", "80,443", "8000-8010", "*".
+	Ports string
+
+	// Probe selects the probe module (default tcp_synscan).
+	Probe string
+
+	// Rate is probes/sec; Bandwidth ("10M", "1G") overrides Rate when
+	// set, converted using the probe's on-wire size.
+	Rate      float64
+	Bandwidth string
+
+	// Seed fixes the target permutation; 0 derives one from the clock.
+	Seed int64
+
+	// Sharding: this process is shard ShardIndex of Shards total, with
+	// Threads sender goroutines.
+	Shards     int
+	ShardIndex int
+	Threads    int
+	// InterleavedSharding selects the legacy pre-2017 scheme.
+	InterleavedSharding bool
+
+	// TCPOptions names the SYN option layout: none, mss (default),
+	// sack, timestamp, wscale, optimal, linux, bsd, windows.
+	TCPOptions string
+
+	// StaticIPID restores the classic fingerprintable IP ID 54321; the
+	// default is the modern random per-probe ID (§4.3, 2024 change).
+	StaticIPID bool
+
+	// ProbesPerTarget re-sends each probe k times.
+	ProbesPerTarget int
+
+	// MaxTargets caps (IP, port) targets probed by this shard.
+	MaxTargets uint64
+
+	// Cooldown keeps the receiver open after sending (default 8s).
+	Cooldown time.Duration
+
+	// MaxRuntime stops sending after this duration (0 = unlimited).
+	MaxRuntime time.Duration
+
+	// ResumeProgress continues an interrupted scan from the per-thread
+	// element counts in the previous run's Summary.ThreadProgress. All
+	// permutation-affecting options (Seed, Shards, ShardIndex, Threads,
+	// sharding mode, ranges, ports) must match the original run.
+	ResumeProgress []uint64
+
+	// DedupWindow sizes response deduplication (0 = default 10^6,
+	// negative disables).
+	DedupWindow int
+
+	// SourceIP is the scanner's address (defaults to 192.0.2.1, the
+	// TEST-NET address, which the simulator treats as external).
+	SourceIP string
+
+	// Output: Format is text|csv|jsonl; Filter is a ZMap output filter
+	// expression (default "success = 1 && repeat = 0"); Results is the
+	// destination (default: discard, counts only).
+	Format  string
+	Filter  string
+	Results io.Writer
+
+	// StatusUpdates receives 1 Hz CSV progress lines.
+	StatusUpdates io.Writer
+	// Metadata receives the end-of-scan JSON document.
+	Metadata io.Writer
+	// Logger receives structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Scanner is a compiled, runnable scan.
+type Scanner struct {
+	inner *core.Scanner
+}
+
+// Compile validates options and prepares a scanner bound to transport.
+func (o Options) Compile(transport Transport) (*Scanner, error) {
+	cons := target.NewConstraint(len(o.Ranges) == 0)
+	for _, r := range o.Ranges {
+		if err := cons.AllowCIDR(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range o.Blocklist {
+		if err := cons.DenyCIDR(b); err != nil {
+			return nil, err
+		}
+	}
+	if o.BlocklistFile != nil {
+		if _, err := cons.LoadBlocklist(o.BlocklistFile); err != nil {
+			return nil, err
+		}
+	}
+
+	portSpec := o.Ports
+	if portSpec == "" {
+		portSpec = "80"
+	}
+	ports, err := target.ParsePorts(portSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	layout := packet.LayoutMSS
+	if o.TCPOptions != "" {
+		var ok bool
+		layout, ok = packet.ParseOptionLayout(o.TCPOptions)
+		if !ok {
+			return nil, fmt.Errorf("zmap: unknown TCP option layout %q", o.TCPOptions)
+		}
+	}
+
+	rate := o.Rate
+	if o.Bandwidth != "" {
+		bits, err := ratelimit.ParseBandwidth(o.Bandwidth)
+		if err != nil {
+			return nil, err
+		}
+		frameLen := packet.SYNFrameLen(layout)
+		rate = ratelimit.BandwidthToRate(bits, packet.WireLen(frameLen))
+	}
+
+	srcIP := uint32(0xC0000201) // 192.0.2.1
+	if o.SourceIP != "" {
+		srcIP, err = target.ParseIPv4(o.SourceIP)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	filterExpr := o.Filter
+	if filterExpr == "" {
+		filterExpr = output.DefaultFilterExpr
+	}
+	filter, err := output.CompileFilter(filterExpr)
+	if err != nil {
+		return nil, err
+	}
+	var results output.Writer
+	if o.Results != nil {
+		w, err := output.NewWriter(o.Format, o.Results, ports.Len() > 1)
+		if err != nil {
+			return nil, err
+		}
+		results = &output.Filtered{W: w, Filter: filter}
+	} else {
+		results = &output.CountingWriter{}
+	}
+
+	mode := shard.Pizza
+	if o.InterleavedSharding {
+		mode = shard.Interleaved
+	}
+
+	cfg := core.Config{
+		ProbeModule:     o.Probe,
+		Constraint:      cons,
+		Ports:           ports,
+		Seed:            o.Seed,
+		Shards:          o.Shards,
+		ShardIndex:      o.ShardIndex,
+		Threads:         o.Threads,
+		ShardMode:       mode,
+		Rate:            rate,
+		ProbesPerTarget: o.ProbesPerTarget,
+		MaxTargets:      o.MaxTargets,
+		Cooldown:        o.Cooldown,
+		MaxRuntime:      o.MaxRuntime,
+		ResumeProgress:  o.ResumeProgress,
+		SourceIP:        srcIP,
+		SourceMAC:       packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
+		GatewayMAC:      packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
+		OptionLayout:    layout,
+		RandomIPID:      !o.StaticIPID,
+		Results:         results,
+		StatusWriter:    o.StatusUpdates,
+		Logger:          o.Logger,
+		MetadataOut:     o.Metadata,
+		DedupWindow:     o.DedupWindow,
+	}
+	inner, err := core.New(cfg, transport)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{inner: inner}, nil
+}
+
+// Run executes the scan and returns its summary.
+func (s *Scanner) Run(ctx context.Context) (*Summary, error) {
+	return s.inner.Run(ctx)
+}
+
+// Targets returns the number of (IP, port) targets the full scan covers.
+func (s *Scanner) Targets() uint64 { return s.inner.Space().Targets() }
+
+// GroupPrime returns the cyclic group modulus selected for this scan.
+func (s *Scanner) GroupPrime() uint64 { return s.inner.Space().Group().P }
+
+// Generator returns the multiplicative-group generator in use.
+func (s *Scanner) Generator() uint64 { return s.inner.Cycle().Generator }
+
+// OptionLayouts lists the TCP option layout names usable in
+// Options.TCPOptions, in Figure 7 order.
+func OptionLayouts() []string {
+	out := make([]string, 0, 9)
+	for _, l := range packet.AllOptionLayouts() {
+		out = append(out, l.String())
+	}
+	return out
+}
+
+// ParseTargets is a convenience for "CIDR,CIDR,..." strings from CLIs.
+func ParseTargets(spec string) []string {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
