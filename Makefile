@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: static analysis plus the full suite under the
+# race detector (the fault-tolerance paths are concurrency-heavy).
+check:
+	./scripts/check.sh
+
+clean:
+	$(GO) clean ./...

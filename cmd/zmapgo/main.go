@@ -12,6 +12,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -47,6 +48,9 @@ func run(args []string) int {
 		maxTargets  = fs.Uint64("max-targets", 0, "cap on (IP,port) targets for this shard")
 		cooldown    = fs.Duration("cooldown-time", 2*time.Second, "how long to receive after sending completes")
 		maxRuntime  = fs.Duration("max-runtime", 0, "stop sending after this long (0 = no limit)")
+		retries     = fs.Int("retries", 0, "per-probe retry budget on transient send errors (0 = default 10, negative = none)")
+		sendBackoff = fs.Duration("send-backoff", 0, "initial retry backoff, doubled per attempt (0 = default 1ms)")
+		maxRestarts = fs.Int("max-sender-restarts", 0, "sender restarts after fatal errors or panics (0 = default 2, negative = none)")
 		stateFile   = fs.String("state-file", "", "write resumable scan state (JSON) here at exit")
 		resumeFile  = fs.String("resume", "", "resume from a state file written by --state-file")
 		format      = fs.String("O", "text", "output format: text|csv|jsonl")
@@ -62,6 +66,12 @@ func run(args []string) int {
 		simSeed     = fs.Uint64("sim-seed", 1, "simulated-Internet population seed")
 		simLossless = fs.Bool("sim-lossless", false, "disable simulated packet loss")
 		timeScale   = fs.Float64("sim-time-scale", 1e-3, "RTT compression factor for the simulated link")
+
+		// Fault injection into the simulated link (testing the engine's
+		// retry and supervision paths end to end).
+		simFaultFirstN = fs.Int("sim-fault-first-n", 0, "fail the first N send attempts of every probe with a transient error")
+		simFaultProb   = fs.Float64("sim-fault-prob", 0, "fail each send attempt with this probability (seeded, deterministic)")
+		simFaultFatal  = fs.Int("sim-fault-fatal-after", 0, "fail every send permanently after this many attempts (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,6 +108,9 @@ func run(args []string) int {
 		MaxTargets:          *maxTargets,
 		Cooldown:            *cooldown,
 		MaxRuntime:          *maxRuntime,
+		Retries:             *retries,
+		Backoff:             *sendBackoff,
+		MaxSenderRestarts:   *maxRestarts,
 		Format:              *format,
 		Filter:              *filter,
 	}
@@ -193,7 +206,17 @@ func run(args []string) int {
 	}
 
 	internet := zmap.NewInternet(zmap.SimOptions{Seed: *simSeed, Lossless: *simLossless})
-	link := internet.NewLink(1<<16, *timeScale)
+	var link *zmap.Link
+	if *simFaultFirstN > 0 || *simFaultProb > 0 || *simFaultFatal > 0 {
+		link = internet.NewFaultyLink(1<<16, *timeScale, zmap.FaultOptions{
+			Seed:          *simSeed,
+			FailFirstN:    *simFaultFirstN,
+			TransientProb: *simFaultProb,
+			FatalAfter:    *simFaultFatal,
+		})
+	} else {
+		link = internet.NewLink(1<<16, *timeScale)
+	}
 	defer link.Close()
 
 	scanner, err := opts.Compile(link)
@@ -205,9 +228,19 @@ func run(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	summary, err := scanner.Run(ctx)
-	if err != nil {
+	aborted := err != nil && errors.Is(err, zmap.ErrSenderAborted)
+	if err != nil && !aborted {
 		fmt.Fprintln(os.Stderr, "zmapgo:", err)
 		return 1
+	}
+	if aborted {
+		// Senders died on a fatal transport error. The summary is still
+		// valid and its progress is resumable, so report and save state
+		// before exiting nonzero.
+		fmt.Fprintln(os.Stderr, "zmapgo:", err)
+		fmt.Fprintf(os.Stderr,
+			"zmapgo: %d send errors, %d sender restarts; progress saved for --resume\n",
+			summary.SendErrors, summary.SenderRestarts)
 	}
 	fmt.Fprintf(os.Stderr,
 		"zmapgo: sent %d probes, %d unique successes (hit rate %.3f%%), %d dups, %.0f pps\n",
@@ -226,6 +259,9 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "zmapgo: state written to %s\n", *stateFile)
+	}
+	if aborted {
+		return 3
 	}
 	return 0
 }

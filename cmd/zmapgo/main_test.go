@@ -189,6 +189,63 @@ func TestCLIStateFileResume(t *testing.T) {
 	}
 }
 
+func TestCLIFaultInjectionRetriesTransparently(t *testing.T) {
+	// With every probe's first send attempt failing, retries must make
+	// the scan complete normally and the metadata must account for it.
+	dir := t.TempDir()
+	meta := filepath.Join(dir, "meta.json")
+	code := run([]string{
+		"-r", "10.0.0.0/22", "-p", "80", "--seed", "11",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "100ms",
+		"--sim-fault-first-n", "1", "--send-backoff", "10us",
+		"-o", os.DevNull, "--metadata-file", meta,
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	metadata, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"send_errors": 1024`, `"retries": 1024`, `"send_drops": 0`, `"packets_sent": 1024`} {
+		if !strings.Contains(string(metadata), want) {
+			t.Errorf("metadata missing %s in %s", want, metadata)
+		}
+	}
+}
+
+func TestCLIFatalTransportSavesResumableState(t *testing.T) {
+	// A transport that dies permanently must exit nonzero but still save
+	// resumable state; a clean resume finishes the scan.
+	dir := t.TempDir()
+	state := filepath.Join(dir, "scan.state")
+	out1 := filepath.Join(dir, "half1.txt")
+	out2 := filepath.Join(dir, "half2.txt")
+	common := []string{
+		"-r", "10.0.0.0/22", "-p", "80", "--seed", "12", "-T", "2",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "100ms",
+	}
+	args := append(append([]string{}, common...),
+		"--sim-fault-fatal-after", "300", "--state-file", state, "-o", out1)
+	if code := run(args); code != 3 {
+		t.Fatalf("fatal-transport exit code %d, want 3", code)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+	args = append(append([]string{}, common...), "--resume", state, "-o", out2)
+	if code := run(args); code != 0 {
+		t.Fatalf("resume exit %d", code)
+	}
+	a, _ := os.ReadFile(out1)
+	b, _ := os.ReadFile(out2)
+	for _, addr := range strings.Fields(string(a)) {
+		if strings.Contains(string(b), addr+"\n") {
+			t.Fatalf("%s found by both halves", addr)
+		}
+	}
+}
+
 func TestCLIVersionFlag(t *testing.T) {
 	if code := run([]string{"--version"}); code != 0 {
 		t.Fatalf("exit %d", code)

@@ -45,8 +45,13 @@ const Version = "1.0.0"
 // Transport is the wire the scanner sends probes into and receives
 // responses from. netsim.Link implements it for the simulated Internet; a
 // raw-socket implementation would satisfy it on a real network.
+//
+// Send may fail. Errors that implement Transient() bool, or that wrap a
+// retryable errno (see IsTransientSendError), are retried under the
+// Config.Retries/Backoff policy; anything else is fatal to the sender
+// thread and triggers supervision.
 type Transport interface {
-	Send(frame []byte)
+	Send(frame []byte) error
 	Recv() <-chan []byte
 	Stats() (sent, received, dropped uint64)
 }
@@ -89,6 +94,24 @@ type Config struct {
 	// MaxRuntime stops sending after this duration (0 = no limit); the
 	// cooldown still runs afterward. Mirrors ZMap's --max-runtime.
 	MaxRuntime time.Duration
+
+	// Retries is the per-probe retry budget for transient transport
+	// errors (ENOBUFS and friends). 0 means the default of 10; negative
+	// disables retries. Exhausting the budget drops the probe (counted
+	// as send_drops, never as sent) and the scan moves on, matching
+	// ZMap's give-up-after-10 ENOBUFS behavior.
+	Retries int
+
+	// Backoff is the initial sleep between retries, doubled per attempt
+	// and capped at 64x (0 = 1ms default). Sleeps run on Clock, so
+	// simulated-clock tests retry instantly.
+	Backoff time.Duration
+
+	// MaxSenderRestarts bounds supervised restarts per sender thread
+	// after a panic or fatal transport error. 0 means the default of 2;
+	// negative disables restarts. A thread that exhausts the budget
+	// aborts, and Run returns ErrSenderAborted after the cooldown.
+	MaxSenderRestarts int
 
 	// ResumeProgress restores an interrupted scan: element counts
 	// consumed per sender thread, as reported in the previous run's
@@ -135,6 +158,19 @@ func (c *Config) setDefaults() {
 	}
 	if c.Cooldown == 0 {
 		c.Cooldown = 8 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 10
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff == 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.MaxSenderRestarts == 0 {
+		c.MaxSenderRestarts = 2
+	} else if c.MaxSenderRestarts < 0 {
+		c.MaxSenderRestarts = 0
 	}
 	if c.SourcePortBase == 0 {
 		c.SourcePortBase = 32768
@@ -311,23 +347,25 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		defer cancelSend()
 	}
 	var wg sync.WaitGroup
+	var abortedThreads atomic.Uint64
 	order := s.space.Group().Order()
 	for t := 0; t < cfg.Threads; t++ {
-		a := shard.Plan(cfg.ShardMode, order, cfg.Shards, cfg.Threads, cfg.ShardIndex, t)
+		base := shard.Plan(cfg.ShardMode, order, cfg.Shards, cfg.Threads, cfg.ShardIndex, t)
 		if cfg.ResumeProgress != nil {
 			done := cfg.ResumeProgress[t]
-			if done > a.Count {
-				done = a.Count
+			if done > base.Count {
+				done = base.Count
 			}
-			a.Start += done * a.Stride
-			a.Count -= done
 			s.progress[t].Store(done)
 		}
 		wg.Add(1)
-		go func(t int, a shard.Assignment) {
+		go func(t int, base shard.Assignment) {
 			defer wg.Done()
-			s.sendLoop(sendCtx, t, a)
-		}(t, a)
+			if err := s.superviseSender(sendCtx, t, base); err != nil {
+				abortedThreads.Add(1)
+				log.Error("sender aborted", "thread", t, "err", err)
+			}
+		}(t, base)
 	}
 
 	// Receiver.
@@ -364,26 +402,102 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	log.Info("scan complete",
 		"sent", meta.PacketsSent, "received", meta.PacketsRecv,
 		"successes", meta.UniqueSucc, "hitrate", meta.HitRate)
+	if n := abortedThreads.Load(); n > 0 {
+		// Metadata was still emitted and results closed: ThreadProgress
+		// in meta seeds a resumed scan over the uncovered remainder.
+		return meta, fmt.Errorf("%w (%d of %d threads)", ErrSenderAborted, n, cfg.Threads)
+	}
 	return meta, nil
 }
 
+// superviseSender runs one sender thread under supervision: the subshard
+// assignment is recomputed from the thread's progress counter on every
+// (re)start, so a sender that dies on a fatal transport error or a panic
+// resumes exactly where it stopped, up to MaxSenderRestarts times.
+func (s *Scanner) superviseSender(ctx context.Context, thread int, base shard.Assignment) error {
+	restarts := 0
+	for {
+		a := base
+		done := s.progress[thread].Load()
+		if done > a.Count {
+			done = a.Count
+		}
+		a.Start += done * a.Stride
+		a.Count -= done
+		err := s.runSenderOnce(ctx, thread, a)
+		if err == nil {
+			return nil
+		}
+		if restarts >= s.cfg.MaxSenderRestarts {
+			s.cfg.Logger.Error("sender restart budget exhausted",
+				"thread", thread, "restarts", restarts, "err", err)
+			return err
+		}
+		restarts++
+		s.counters.SenderRestart()
+		s.cfg.Logger.Warn("restarting sender",
+			"thread", thread, "restart", restarts, "err", err)
+	}
+}
+
+// runSenderOnce converts sender panics into errors so supervision can
+// restart the thread instead of crashing the scan. A panic may lose the
+// element in flight (its progress tick already happened); fatal send
+// errors do not, because sendLoop gives the element back first.
+func (s *Scanner) runSenderOnce(ctx context.Context, thread int, a shard.Assignment) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: sender panic: %v", r)
+		}
+	}()
+	return s.sendLoop(ctx, thread, a)
+}
+
+// Adaptive-rate thresholds: after degradeAfter consecutive probes that
+// needed retries, a sender halves its rate share (down to 1/8 of the
+// configured share); after recoverAfter consecutive clean first-attempt
+// sends it restores the full share. Time spent below the configured
+// share is reported as degraded_seconds.
+const (
+	degradeAfter    = 8
+	recoverAfter    = 64
+	minShareDivisor = 8
+)
+
 // sendLoop walks one subshard, emitting probes under the per-thread rate
 // share. It owns its iterator and probe buffer; nothing is shared except
-// the per-thread progress counter, which makes the scan resumable.
-func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) {
+// the per-thread progress counter, which makes the scan resumable. A nil
+// return means the subshard completed or the context ended; a non-nil
+// return is a fatal transport error, with the failing element already
+// given back so a supervised restart (or a resumed scan) covers it.
+func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) error {
 	cfg := &s.cfg
-	limiter := ratelimit.New(cfg.Rate/float64(cfg.Threads), cfg.Clock)
+	share := 0.0
+	if cfg.Rate > 0 {
+		share = cfg.Rate / float64(cfg.Threads)
+	}
+	limiter := ratelimit.New(share, cfg.Clock)
+	rate := share
+	degraded := false
+	var degradedAt time.Time
+	retriedRun := 0 // consecutive probes needing retries
+	cleanRun := 0   // consecutive first-attempt successes
+	defer func() {
+		if degraded {
+			s.counters.AddDegraded(time.Since(degradedAt))
+		}
+	}()
 	it := a.Iterator(s.cycle)
 	buf := make([]byte, 0, 128)
 	for {
 		select {
 		case <-ctx.Done():
-			return
+			return nil
 		default:
 		}
 		elem, ok := it.Next()
 		if !ok {
-			return
+			return nil
 		}
 		s.progress[thread].Add(1)
 		ipIdx, portIdx, ok := s.space.Decode(elem)
@@ -394,16 +508,102 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 			// The element was consumed but not probed; give it back so
 			// resumed scans cover it.
 			s.progress[thread].Add(^uint64(0))
-			return
+			s.sentCount.Add(^uint64(0))
+			return nil
 		}
 		ip := cfg.Constraint.At(ipIdx)
 		port := cfg.Ports.At(int(portIdx))
 		for p := 0; p < cfg.ProbesPerTarget; p++ {
 			limiter.Wait()
 			buf = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
-			s.transport.Send(buf)
-			s.counters.Sent()
+			outcome, retried, err := s.sendWithRetry(ctx, buf)
+			switch outcome {
+			case sendOK:
+				s.counters.Sent()
+			case sendDropped:
+				// Retry budget exhausted: the probe is lost, counted
+				// honestly, and the scan moves on (ZMap semantics).
+				s.counters.SendDrop()
+				cfg.Logger.Debug("probe dropped after retries",
+					"thread", thread, "ip", ip, "port", port, "err", err)
+			case sendCanceled:
+				// Context died mid-retry: the probe never went out, so
+				// give the element back for exact resume coverage.
+				s.progress[thread].Add(^uint64(0))
+				s.sentCount.Add(^uint64(0))
+				return nil
+			case sendFatal:
+				s.progress[thread].Add(^uint64(0))
+				s.sentCount.Add(^uint64(0))
+				return fmt.Errorf("core: thread %d transport failed: %w", thread, err)
+			}
+			if share <= 0 {
+				continue
+			}
+			// Adaptive share: back off while the transport struggles,
+			// restore once it has been healthy for a while.
+			if retried || outcome == sendDropped {
+				retriedRun++
+				cleanRun = 0
+				if retriedRun >= degradeAfter {
+					retriedRun = 0
+					next := rate / 2
+					if min := share / minShareDivisor; next < min {
+						next = min
+					}
+					if next != rate {
+						rate = next
+						limiter.SetRate(rate)
+						if !degraded {
+							degraded = true
+							degradedAt = time.Now()
+						}
+						cfg.Logger.Warn("degrading send rate",
+							"thread", thread, "rate_pps", rate)
+					}
+				}
+			} else {
+				cleanRun++
+				retriedRun = 0
+				if degraded && cleanRun >= recoverAfter {
+					cleanRun = 0
+					rate = share
+					limiter.SetRate(share)
+					degraded = false
+					s.counters.AddDegraded(time.Since(degradedAt))
+					cfg.Logger.Info("restored send rate",
+						"thread", thread, "rate_pps", share)
+				}
+			}
 		}
+	}
+}
+
+// sendWithRetry pushes one frame through the transport under the
+// transient-retry policy: up to cfg.Retries re-attempts with bounded
+// exponential backoff (on cfg.Clock). retried reports whether any
+// attempt failed, which feeds the adaptive rate controller.
+func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte) (outcome sendOutcome, retried bool, err error) {
+	cfg := &s.cfg
+	for attempt := 0; ; attempt++ {
+		err = s.transport.Send(frame)
+		if err == nil {
+			return sendOK, attempt > 0, nil
+		}
+		s.counters.SendError()
+		if !IsTransientSendError(err) {
+			return sendFatal, true, err
+		}
+		if attempt >= cfg.Retries {
+			return sendDropped, true, err
+		}
+		select {
+		case <-ctx.Done():
+			return sendCanceled, true, ctx.Err()
+		default:
+		}
+		s.counters.Retry()
+		cfg.Clock.Sleep(backoffFor(cfg.Backoff, attempt))
 	}
 }
 
@@ -494,6 +694,11 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 		HitRate:        hitRate,
 		SendRatePPS:    float64(snap.Sent) / dur,
 		ThreadProgress: s.Progress(),
+		SendErrors:     snap.SendErrors,
+		SendRetries:    snap.Retries,
+		SendDrops:      snap.SendDrops,
+		SenderRestarts: snap.SenderRestarts,
+		DegradedSecs:   snap.Degraded.Seconds(),
 	}
 }
 

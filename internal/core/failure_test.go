@@ -140,3 +140,260 @@ func TestScanWithLossyNetworkUndercounts(t *testing.T) {
 	}
 	_ = sink
 }
+
+// lockedClock is a concurrency-safe simulated clock: sleeps advance time
+// instantly, so retry backoffs cost no wall time in tests.
+type lockedClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *lockedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *lockedClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func uniqueSuccessSet(recs []output.Record) map[string]bool {
+	set := map[string]bool{}
+	for _, r := range recs {
+		if r.Success && !r.Repeat {
+			set[r.Saddr] = true
+		}
+	}
+	return set
+}
+
+func TestScanAllFirstAttemptsFailMatchesCleanScan(t *testing.T) {
+	// 100% transient-error injection on first attempts: with retries the
+	// scan must reach exactly the same unique-success set as a clean run.
+	in, cfg, sink := testbed(t, 210, "80")
+	link := netsim.NewLink(in, 1<<16, 0)
+	s, err := New(cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaClean, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Close()
+
+	in2, cfg2, sink2 := testbed(t, 210, "80")
+	cfg2.Clock = &lockedClock{now: time.Unix(0, 0)}
+	link2 := netsim.NewLink(in2, 1<<16, 0)
+	defer link2.Close()
+	faulty := netsim.NewFaultyTransport(link2, netsim.FaultConfig{FailFirstN: 1})
+	s2, err := New(cfg2, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("all-transient scan failed: %v", err)
+	}
+	if meta2.PacketsSent != 16384 || meta2.SendDrops != 0 {
+		t.Errorf("sent %d drops %d, want 16384/0", meta2.PacketsSent, meta2.SendDrops)
+	}
+	if meta2.SendErrors != 16384 || meta2.SendRetries != 16384 {
+		t.Errorf("send_errors %d retries %d, want 16384 each", meta2.SendErrors, meta2.SendRetries)
+	}
+	if meta2.UniqueSucc != metaClean.UniqueSucc {
+		t.Errorf("faulty run found %d services, clean run %d", meta2.UniqueSucc, metaClean.UniqueSucc)
+	}
+	cleanSet, faultySet := uniqueSuccessSet(sink.all()), uniqueSuccessSet(sink2.all())
+	if len(cleanSet) != len(faultySet) {
+		t.Fatalf("success sets differ in size: %d vs %d", len(cleanSet), len(faultySet))
+	}
+	for ip := range cleanSet {
+		if !faultySet[ip] {
+			t.Errorf("clean-run success %s missing from faulty run", ip)
+		}
+	}
+}
+
+func TestScanRetryExhaustionDropsHonestly(t *testing.T) {
+	// When transient failures outlast the retry budget, every probe is
+	// dropped, counted as send_drops — never as sent — and the scan still
+	// terminates cleanly (ZMap's give-up-and-move-on semantics).
+	in, cfg, sink := testbed(t, 211, "80")
+	cfg.Retries = 2
+	cfg.Clock = &lockedClock{now: time.Unix(0, 0)}
+	link := netsim.NewLink(in, 1<<16, 0)
+	defer link.Close()
+	faulty := netsim.NewFaultyTransport(link, netsim.FaultConfig{FailFirstN: 5})
+	s, err := New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("drop-everything scan errored: %v", err)
+	}
+	if meta.PacketsSent != 0 {
+		t.Errorf("PacketsSent = %d, want 0 (nothing reached the wire)", meta.PacketsSent)
+	}
+	if meta.SendDrops != 16384 {
+		t.Errorf("SendDrops = %d, want 16384", meta.SendDrops)
+	}
+	// 3 attempts per probe (1 + 2 retries), all failed.
+	if meta.SendErrors != 3*16384 || meta.SendRetries != 2*16384 {
+		t.Errorf("send_errors %d retries %d, want %d/%d",
+			meta.SendErrors, meta.SendRetries, 3*16384, 2*16384)
+	}
+	if meta.UniqueSucc != 0 || len(sink.all()) != 0 {
+		t.Error("successes reported despite zero delivered probes")
+	}
+	if inner, _, _ := faulty.Stats(); inner != 0 {
+		t.Errorf("inner link saw %d sends", inner)
+	}
+}
+
+func TestScanFatalMidScanAbortsCleanlyAndResumes(t *testing.T) {
+	// A transport that dies permanently mid-scan: sender supervision
+	// restarts each thread up to its budget, Run returns ErrSenderAborted
+	// with accurate metadata, and the reported progress resumes to exact
+	// full coverage on a healthy transport.
+	in, cfg, sink1 := testbed(t, 212, "80")
+	cfg.Clock = &lockedClock{now: time.Unix(0, 0)}
+	link1 := netsim.NewLink(in, 1<<16, 0)
+	// FatalAfter below the ~4096-element per-thread subshard, so no
+	// thread can finish before the wall and all four must abort.
+	faulty := netsim.NewFaultyTransport(link1, netsim.FaultConfig{FatalAfter: 2000})
+	s1, err := New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta1, err := s1.Run(context.Background())
+	if !errors.Is(err, ErrSenderAborted) {
+		t.Fatalf("Run error = %v, want ErrSenderAborted", err)
+	}
+	if meta1 == nil {
+		t.Fatal("aborted run must still return metadata")
+	}
+	link1.Close()
+	if meta1.PacketsSent != 2000 {
+		t.Errorf("PacketsSent = %d, want exactly 2000 (FatalAfter)", meta1.PacketsSent)
+	}
+	// 4 threads, default budget of 2 restarts each, all exhausted.
+	if meta1.SenderRestarts != 8 {
+		t.Errorf("SenderRestarts = %d, want 8", meta1.SenderRestarts)
+	}
+	if meta1.SendErrors == 0 {
+		t.Error("fatal attempts not counted as send errors")
+	}
+	if len(meta1.ThreadProgress) != 4 {
+		t.Fatalf("thread progress %v", meta1.ThreadProgress)
+	}
+
+	// Resume on a healthy link: the union must cover every target once.
+	in2, cfg2, sink2 := testbed(t, 212, "80")
+	cfg2.Seed = cfg.Seed
+	cfg2.ResumeProgress = meta1.ThreadProgress
+	link2 := netsim.NewLink(in2, 1<<16, 0)
+	defer link2.Close()
+	s2, err := New(cfg2, link2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed scan failed: %v", err)
+	}
+	if total := meta1.PacketsSent + meta2.PacketsSent; total != 16384 {
+		t.Errorf("combined probes %d (=%d+%d), want exactly 16384",
+			total, meta1.PacketsSent, meta2.PacketsSent)
+	}
+	union := uniqueSuccessSet(sink1.all())
+	for ip := range uniqueSuccessSet(sink2.all()) {
+		union[ip] = true
+	}
+	want := expectedHits(in, []uint16{80}, cfg.OptionLayout)
+	if len(union) != want {
+		t.Errorf("union of runs found %d services, ground truth %d", len(union), want)
+	}
+}
+
+func TestScanStalledTransportHonorsMaxRuntime(t *testing.T) {
+	// A wedged driver that stalls every send must not hang the scan:
+	// MaxRuntime bounds the sending phase and progress stays resumable.
+	in, cfg, _ := testbed(t, 213, "80")
+	cfg.MaxRuntime = 250 * time.Millisecond
+	link := netsim.NewLink(in, 1<<16, 0)
+	faulty := netsim.NewFaultyTransport(link, netsim.FaultConfig{
+		StallEvery: 1,
+		StallFor:   10 * time.Millisecond,
+	})
+	s, err := New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("stalled scan errored: %v", err)
+	}
+	link.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled scan took %v; MaxRuntime not honored", elapsed)
+	}
+	if meta.PacketsSent == 0 || meta.PacketsSent >= 16384 {
+		t.Fatalf("PacketsSent = %d, want partial progress", meta.PacketsSent)
+	}
+
+	// The partial progress must resume to exact full coverage.
+	in2, cfg2, _ := testbed(t, 213, "80")
+	cfg2.Seed = cfg.Seed
+	cfg2.ResumeProgress = meta.ThreadProgress
+	link2 := netsim.NewLink(in2, 1<<16, 0)
+	defer link2.Close()
+	s2, err := New(cfg2, link2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta2, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := meta.PacketsSent + meta2.PacketsSent; total != 16384 {
+		t.Errorf("combined probes %d, want exactly 16384", total)
+	}
+}
+
+func TestScanDegradesRateUnderSustainedFaults(t *testing.T) {
+	// Sustained transient failure makes senders lower their rate share
+	// (and report the degraded interval); recovery restores it, and every
+	// probe that survives its retry budget still goes out.
+	in, cfg, _ := testbed(t, 214, "80")
+	cfg.Rate = 400_000 // 100k pps per thread, on the simulated clock
+	cfg.Clock = &lockedClock{now: time.Unix(0, 0)}
+	link := netsim.NewLink(in, 1<<16, 0)
+	defer link.Close()
+	faulty := netsim.NewFaultyTransport(link, netsim.FaultConfig{FailFirstSends: 2000})
+	s, err := New(cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("scan errored: %v", err)
+	}
+	if meta.DegradedSecs <= 0 {
+		t.Error("no degraded time reported despite sustained failure burst")
+	}
+	if meta.SendErrors == 0 || meta.SendRetries == 0 {
+		t.Errorf("fault counters empty: errors=%d retries=%d", meta.SendErrors, meta.SendRetries)
+	}
+	if meta.PacketsSent+meta.SendDrops != 16384 {
+		t.Errorf("sent %d + dropped %d != 16384", meta.PacketsSent, meta.SendDrops)
+	}
+	if meta.PacketsSent < 14000 {
+		t.Errorf("only %d probes survived a 2000-attempt burst", meta.PacketsSent)
+	}
+}

@@ -22,10 +22,42 @@ type Counters struct {
 	uniqueSucc atomic.Uint64
 	duplicates atomic.Uint64
 	drops      atomic.Uint64
+
+	// Send-path fault counters (§4.3 send-loop hardening): transport
+	// errors, retry attempts, probes dropped after exhausting retries,
+	// supervised sender restarts, and time spent with a degraded rate.
+	sendErrors     atomic.Uint64
+	retries        atomic.Uint64
+	sendDrops      atomic.Uint64
+	senderRestarts atomic.Uint64
+	degradedNanos  atomic.Int64
 }
 
 // Sent increments packets sent.
 func (c *Counters) Sent() { c.sent.Add(1) }
+
+// SendError increments failed transport send attempts (transient or
+// fatal).
+func (c *Counters) SendError() { c.sendErrors.Add(1) }
+
+// Retry increments send re-attempts after a transient transport error.
+func (c *Counters) Retry() { c.retries.Add(1) }
+
+// SendDrop increments probes abandoned after exhausting their retry
+// budget. Dropped probes are never counted as sent.
+func (c *Counters) SendDrop() { c.sendDrops.Add(1) }
+
+// SenderRestart increments supervised restarts of sender goroutines
+// after a panic or fatal transport error.
+func (c *Counters) SenderRestart() { c.senderRestarts.Add(1) }
+
+// AddDegraded accumulates wall time a sender spent below its configured
+// rate share because the transport was failing.
+func (c *Counters) AddDegraded(d time.Duration) {
+	if d > 0 {
+		c.degradedNanos.Add(int64(d))
+	}
+}
 
 // Recv increments packets received (pre-validation).
 func (c *Counters) Recv() { c.recv.Add(1) }
@@ -58,24 +90,36 @@ type Snapshot struct {
 	UniqueSucc uint64
 	Duplicates uint64
 	Drops      uint64
+
+	SendErrors     uint64
+	Retries        uint64
+	SendDrops      uint64
+	SenderRestarts uint64
+	Degraded       time.Duration
 }
 
 // Snapshot captures current values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		Time:       time.Now(),
-		Sent:       c.sent.Load(),
-		Recv:       c.recv.Load(),
-		Valid:      c.valid.Load(),
-		Success:    c.success.Load(),
-		UniqueSucc: c.uniqueSucc.Load(),
-		Duplicates: c.duplicates.Load(),
-		Drops:      c.drops.Load(),
+		Time:           time.Now(),
+		Sent:           c.sent.Load(),
+		Recv:           c.recv.Load(),
+		Valid:          c.valid.Load(),
+		Success:        c.success.Load(),
+		UniqueSucc:     c.uniqueSucc.Load(),
+		Duplicates:     c.duplicates.Load(),
+		Drops:          c.drops.Load(),
+		SendErrors:     c.sendErrors.Load(),
+		Retries:        c.retries.Load(),
+		SendDrops:      c.sendDrops.Load(),
+		SenderRestarts: c.senderRestarts.Load(),
+		Degraded:       time.Duration(c.degradedNanos.Load()),
 	}
 }
 
 // StatusWriter periodically emits CSV status lines:
-// unix_ts,sent,sent_pps,recv,recv_pps,success,unique,duplicates,drops.
+// unix_ts,sent,sent_pps,recv,recv_pps,success,unique,duplicates,drops,
+// send_errors,retries,send_drops,sender_restarts,degraded_secs.
 type StatusWriter struct {
 	w        io.Writer
 	counters *Counters
@@ -125,11 +169,13 @@ func (s *StatusWriter) emit() {
 		dt = s.interval.Seconds()
 	}
 	if s.w != nil {
-		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d\n",
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
 			now.Time.Unix(),
 			now.Sent, float64(now.Sent-s.last.Sent)/dt,
 			now.Recv, float64(now.Recv-s.last.Recv)/dt,
-			now.Success, now.UniqueSucc, now.Duplicates, now.Drops)
+			now.Success, now.UniqueSucc, now.Duplicates, now.Drops,
+			now.SendErrors, now.Retries, now.SendDrops, now.SenderRestarts,
+			now.Degraded.Seconds())
 	}
 	s.last = now
 }

@@ -62,11 +62,41 @@ func TestStatusWriterEmitsLines(t *testing.T) {
 		t.Fatalf("expected >= 2 status lines, got %q", out)
 	}
 	fields := strings.Split(lines[len(lines)-1], ",")
-	if len(fields) != 9 {
+	if len(fields) != 14 {
 		t.Fatalf("status line has %d fields: %q", len(fields), lines[len(lines)-1])
 	}
 	if fields[1] != "100" {
 		t.Errorf("sent field = %q, want 100", fields[1])
+	}
+}
+
+func TestFaultCounters(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.SendError()
+				c.Retry()
+				c.SendDrop()
+			}
+			c.SenderRestart()
+			c.AddDegraded(time.Millisecond)
+			c.AddDegraded(-time.Second) // negative durations are ignored
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.SendErrors != 400 || s.Retries != 400 || s.SendDrops != 400 {
+		t.Errorf("fault counters %+v", s)
+	}
+	if s.SenderRestarts != 4 {
+		t.Errorf("restarts = %d", s.SenderRestarts)
+	}
+	if s.Degraded != 4*time.Millisecond {
+		t.Errorf("degraded = %v", s.Degraded)
 	}
 }
 

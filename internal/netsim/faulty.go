@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Transport is the subset of the engine's transport contract the fault
+// injector decorates. Declared locally so netsim does not import the
+// engine package (the engine imports netsim in its tests).
+type Transport interface {
+	Send(frame []byte) error
+	Recv() <-chan []byte
+	Stats() (sent, received, dropped uint64)
+}
+
+// SendError is a transport failure injected by FaultyTransport. It wraps
+// a syscall errno (ENOBUFS for transient, EIO for fatal) so both the
+// structural Transient() classifier and errno-based errors.Is checks
+// agree on its class.
+type SendError struct {
+	transient bool
+	errno     syscall.Errno
+	reason    string
+}
+
+// Error implements error.
+func (e *SendError) Error() string {
+	kind := "fatal"
+	if e.transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("netsim: %s send fault (%s): %v", kind, e.reason, e.errno)
+}
+
+// Transient reports whether retrying the send may succeed.
+func (e *SendError) Transient() bool { return e.transient }
+
+// Unwrap exposes the underlying errno for errors.Is.
+func (e *SendError) Unwrap() error { return e.errno }
+
+func transientErr(reason string) error {
+	return &SendError{transient: true, errno: syscall.ENOBUFS, reason: reason}
+}
+
+func fatalErr(reason string) error {
+	return &SendError{transient: false, errno: syscall.EIO, reason: reason}
+}
+
+// FaultConfig describes a deterministic failure schedule. The zero value
+// injects nothing.
+type FaultConfig struct {
+	// Seed keys the per-frame hash used by TransientProb, so two runs
+	// with the same seed fail the same frames.
+	Seed uint64
+
+	// FailFirstN makes the first N send attempts *of each distinct
+	// frame* fail with a transient error; attempt N+1 of that frame
+	// succeeds. Keyed by frame content, so the schedule is immune to
+	// thread interleaving. FailFirstN=1 with retries enabled must yield
+	// the same unique-success set as a clean transport.
+	FailFirstN int
+
+	// TransientProb fails each send attempt with this probability
+	// (seeded, per-attempt). 1.0 fails every attempt forever.
+	TransientProb float64
+
+	// FailFirstSends makes the first N send attempts overall (across
+	// all frames and threads) fail transiently — a burst fault, the
+	// shape of a full socket buffer at scan start.
+	FailFirstSends int
+
+	// FatalAfter injects a permanent fault: once this many attempts
+	// (counted across all threads) have been made, every subsequent
+	// send fails with a non-transient error. 0 disables.
+	FatalAfter int
+
+	// StallEvery blocks the sender for StallFor on every k-th attempt,
+	// modeling a wedged driver. 0 disables.
+	StallEvery int
+	StallFor   time.Duration
+}
+
+// FaultyTransport wraps a Transport and injects failures per a
+// deterministic FaultConfig. Receive and stats pass through untouched.
+type FaultyTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	attemptCount atomic.Uint64 // all attempts, success or not
+	injected     atomic.Uint64 // attempts that were failed
+
+	mu       sync.Mutex
+	perFrame map[uint64]int // frame hash -> attempts seen
+}
+
+// NewFaultyTransport decorates inner with the given fault schedule.
+func NewFaultyTransport(inner Transport, cfg FaultConfig) *FaultyTransport {
+	return &FaultyTransport{
+		inner:    inner,
+		cfg:      cfg,
+		perFrame: make(map[uint64]int),
+	}
+}
+
+// frameHash is FNV-1a over the frame, keyed by the seed. Frames are
+// unique per (dst, port) in a scan, so this identifies the probe.
+func (f *FaultyTransport) frameHash(frame []byte) uint64 {
+	h := uint64(14695981039346656037) ^ (f.cfg.Seed * 0x9E3779B97F4A7C15)
+	for _, b := range frame {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Send applies the fault schedule, forwarding to the wrapped transport
+// only when no fault fires. Safe for concurrent use.
+func (f *FaultyTransport) Send(frame []byte) error {
+	attempt := f.attemptCount.Add(1) // 1-based
+
+	if f.cfg.StallEvery > 0 && attempt%uint64(f.cfg.StallEvery) == 0 && f.cfg.StallFor > 0 {
+		time.Sleep(f.cfg.StallFor)
+	}
+
+	if f.cfg.FatalAfter > 0 && attempt > uint64(f.cfg.FatalAfter) {
+		f.injected.Add(1)
+		return fatalErr("fatal-after threshold crossed")
+	}
+
+	if f.cfg.FailFirstSends > 0 && attempt <= uint64(f.cfg.FailFirstSends) {
+		f.injected.Add(1)
+		return transientErr("initial send burst fault")
+	}
+
+	if f.cfg.FailFirstN > 0 {
+		h := f.frameHash(frame)
+		f.mu.Lock()
+		seen := f.perFrame[h]
+		f.perFrame[h] = seen + 1
+		f.mu.Unlock()
+		if seen < f.cfg.FailFirstN {
+			f.injected.Add(1)
+			return transientErr("first attempts of frame fail")
+		}
+	}
+
+	if f.cfg.TransientProb > 0 {
+		// Mix the frame hash with the attempt ordinal so retries of the
+		// same frame re-roll.
+		h := f.frameHash(frame) ^ (attempt * 0xBF58476D1CE4E5B9)
+		h ^= h >> 31
+		h *= 0x94D049BB133111EB
+		h ^= h >> 29
+		if float64(h>>11)/float64(1<<53) < f.cfg.TransientProb {
+			f.injected.Add(1)
+			return transientErr("probabilistic transient fault")
+		}
+	}
+
+	return f.inner.Send(frame)
+}
+
+// Recv passes through to the wrapped transport.
+func (f *FaultyTransport) Recv() <-chan []byte { return f.inner.Recv() }
+
+// Stats passes through to the wrapped transport; injected failures never
+// reach the inner link, so its sent count reflects real deliveries.
+func (f *FaultyTransport) Stats() (sent, received, dropped uint64) {
+	return f.inner.Stats()
+}
+
+// Injected returns how many send attempts the fault schedule failed.
+func (f *FaultyTransport) Injected() uint64 { return f.injected.Load() }
+
+// Attempts returns how many send attempts were made in total.
+func (f *FaultyTransport) Attempts() uint64 { return f.attemptCount.Load() }

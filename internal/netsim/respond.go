@@ -302,8 +302,11 @@ func NewLink(in *Internet, buffer int, timeScale float64) *Link {
 }
 
 // Send injects one probe frame. The frame is processed synchronously
-// (loss, host model) and responses are scheduled for delivery.
-func (l *Link) Send(frame []byte) {
+// (loss, host model) and responses are scheduled for delivery. The
+// lossless in-process link never fails; the error return exists so Link
+// satisfies the engine's fallible Transport contract (wrap it in a
+// FaultyTransport to inject failures).
+func (l *Link) Send(frame []byte) error {
 	l.sent.Add(1)
 	responses := l.in.Respond(frame)
 	for _, r := range responses {
@@ -319,6 +322,7 @@ func (l *Link) Send(frame []byte) {
 			l.deliver(resp)
 		})
 	}
+	return nil
 }
 
 func (l *Link) deliver(frame []byte) {

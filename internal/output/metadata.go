@@ -49,6 +49,16 @@ type Metadata struct {
 	ThreadProgress []uint64 `json:"thread_progress,omitempty"`
 	HitRate        float64  `json:"hit_rate"`
 	SendRatePPS    float64  `json:"achieved_send_pps"`
+
+	// Send-path fault accounting: failed transport attempts, retries
+	// after transient errors, probes dropped once the retry budget ran
+	// out, supervised sender restarts, and wall time spent below the
+	// configured rate because the transport was failing.
+	SendErrors     uint64  `json:"send_errors"`
+	SendRetries    uint64  `json:"retries"`
+	SendDrops      uint64  `json:"send_drops"`
+	SenderRestarts uint64  `json:"sender_restarts"`
+	DegradedSecs   float64 `json:"degraded_seconds"`
 }
 
 // Emit writes the metadata as a single indented JSON document.

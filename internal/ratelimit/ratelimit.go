@@ -70,6 +70,23 @@ func New(rate float64, clock Clock) *Limiter {
 // Rate returns the configured packets-per-second target (0 = unlimited).
 func (l *Limiter) Rate() float64 { return l.rate }
 
+// SetRate retargets the limiter to a new packets-per-second rate and
+// re-anchors the schedule, so tokens granted under the old rate cannot
+// burst into the new one. The engine uses it for graceful degradation:
+// a sender whose transport keeps failing temporarily lowers its share,
+// then restores it when sends succeed again. Like Wait, it must only be
+// called from the goroutine that owns the limiter.
+func (l *Limiter) SetRate(rate float64) {
+	if rate == l.rate {
+		return
+	}
+	l.rate = rate
+	l.batchSize = batchFor(rate)
+	l.start = time.Time{}
+	l.granted = 0
+	l.inBatch = 0
+}
+
 // Wait blocks until the caller may send one packet. The first call
 // anchors the schedule.
 func (l *Limiter) Wait() {

@@ -88,6 +88,38 @@ func TestLimiterDefaultsToRealClock(t *testing.T) {
 	}
 }
 
+func TestSetRateRetargets(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(10_000, clock)
+	for i := 0; i < 1000; i++ { // 100ms at 10 kpps
+		l.Wait()
+	}
+	l.SetRate(1000) // degrade to 10%
+	mark := clock.now
+	for i := 0; i < 100; i++ { // 100ms at 1 kpps
+		l.Wait()
+	}
+	elapsed := clock.now.Sub(mark).Seconds()
+	achieved := 100 / elapsed
+	if achieved < 900 || achieved > 1200 {
+		t.Errorf("post-degrade rate %.0f pps, want ~1000", achieved)
+	}
+	if l.Rate() != 1000 {
+		t.Errorf("Rate() = %v", l.Rate())
+	}
+	// Restoring must not burst: the schedule re-anchors.
+	l.SetRate(10_000)
+	mark = clock.now
+	for i := 0; i < 1000; i++ {
+		l.Wait()
+	}
+	elapsed = clock.now.Sub(mark).Seconds()
+	achieved = 1000 / elapsed
+	if achieved < 9000 || achieved > 12000 {
+		t.Errorf("post-restore rate %.0f pps, want ~10000", achieved)
+	}
+}
+
 func TestBandwidthToRate(t *testing.T) {
 	// 1 GbE with 84-byte minimum wire frames = 1.488 Mpps (§4.3).
 	got := BandwidthToRate(1e9, 84)

@@ -1,0 +1,77 @@
+package target
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// DefaultOptOutTTL is how long an opt-out request stays in force when no
+// explicit TTL is configured. The paper reports operators honoring
+// exclusion requests for one to two years before re-confirming (§6); we
+// default to the conservative end.
+const DefaultOptOutTTL = 2 * 365 * 24 * time.Hour
+
+// OptOutEntry is one operator exclusion request: a prefix plus the date
+// the request was received.
+type OptOutEntry struct {
+	Prefix uint32 // masked network address, host byte order
+	Bits   int    // prefix length
+	Added  time.Time
+}
+
+// Expired reports whether the entry is older than ttl at time now.
+// Entries without a recorded date never expire (they are kept until an
+// operator re-confirms, the safe direction for exclusions).
+func (e OptOutEntry) Expired(now time.Time, ttl time.Duration) bool {
+	if e.Added.IsZero() {
+		return false
+	}
+	return e.Added.Add(ttl).Before(now)
+}
+
+// ParseOptOutList reads an opt-out file: one CIDR (or bare address) per
+// line, optionally followed by whitespace-separated key=value
+// annotations, of which added=YYYY-MM-DD records the request date. '#'
+// starts a comment.
+//
+//	198.51.100.0/24  added=2023-04-01  contact=noc@example.net
+func ParseOptOutList(r io.Reader) ([]OptOutEntry, error) {
+	scanner := bufio.NewScanner(r)
+	var entries []OptOutEntry
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		base, bits, err := parseCIDR(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("target: opt-out line %d: %w", line, err)
+		}
+		entry := OptOutEntry{Prefix: base, Bits: bits}
+		for _, f := range fields[1:] {
+			key, value, found := strings.Cut(f, "=")
+			if !found || key != "added" {
+				continue
+			}
+			t, err := time.Parse("2006-01-02", value)
+			if err != nil {
+				return nil, fmt.Errorf("target: opt-out line %d: bad date %q", line, value)
+			}
+			entry.Added = t
+		}
+		entries = append(entries, entry)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}

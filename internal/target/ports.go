@@ -1,0 +1,102 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PortSet is an ordered set of ports forming one axis of the (IP, port)
+// target space (§4.1 multiport). Ports are kept sorted ascending so a
+// permutation index maps to a stable port.
+type PortSet struct {
+	ports []uint16
+}
+
+// ParsePorts parses ZMap port syntax: comma-separated ports and
+// inclusive ranges ("80", "80,443", "8000-8010"), or "*" for all 2^16
+// ports. Port 0 is legal (ICMP scans use it as a placeholder).
+func ParsePorts(spec string) (*PortSet, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("target: empty port spec")
+	}
+	if spec == "*" {
+		ports := make([]uint16, 65536)
+		for i := range ports {
+			ports[i] = uint16(i)
+		}
+		return &PortSet{ports: ports}, nil
+	}
+	seen := make(map[uint16]bool)
+	var ports []uint16
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("target: empty element in port spec %q", spec)
+		}
+		lo, hi := part, part
+		if dash := strings.IndexByte(part, '-'); dash >= 0 {
+			lo, hi = part[:dash], part[dash+1:]
+		}
+		start, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("target: bad port %q", lo)
+		}
+		end, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("target: bad port %q", hi)
+		}
+		if end < start {
+			return nil, fmt.Errorf("target: inverted port range %q", part)
+		}
+		for p := start; p <= end; p++ {
+			if !seen[uint16(p)] {
+				seen[uint16(p)] = true
+				ports = append(ports, uint16(p))
+			}
+		}
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return &PortSet{ports: ports}, nil
+}
+
+// Len returns the number of ports in the set.
+func (s *PortSet) Len() int { return len(s.ports) }
+
+// At returns the i-th port in ascending order.
+func (s *PortSet) At(i int) uint16 { return s.ports[i] }
+
+// Contains reports set membership.
+func (s *PortSet) Contains(p uint16) bool {
+	i := sort.Search(len(s.ports), func(i int) bool { return s.ports[i] >= p })
+	return i < len(s.ports) && s.ports[i] == p
+}
+
+// String renders the set in ZMap syntax with ranges compressed.
+func (s *PortSet) String() string {
+	if len(s.ports) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(s.ports); {
+		j := i
+		for j+1 < len(s.ports) && s.ports[j+1] == s.ports[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s.ports[i])))
+		if j > i+1 {
+			b.WriteByte('-')
+			b.WriteString(strconv.Itoa(int(s.ports[j])))
+		} else if j == i+1 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(int(s.ports[j])))
+		}
+		i = j + 1
+	}
+	return b.String()
+}

@@ -92,11 +92,18 @@ func (h *Hitlist) Len() int { return len(h.addrs) }
 // At returns the i-th address.
 func (h *Hitlist) At(i int) [16]byte { return h.addrs[i] }
 
-// Transport matches the v4 engine's wire interface.
+// Transport matches the v4 engine's wire interface, including its
+// fallible Send contract.
 type Transport interface {
-	Send(frame []byte)
+	Send(frame []byte) error
 	Recv() <-chan []byte
 	Stats() (sent, received, dropped uint64)
+}
+
+// transientSendError mirrors core's structural error classifier without
+// importing the v4 engine: transport errors self-describe retryability.
+type transientSendError interface {
+	Transient() bool
 }
 
 // Result is one classified v6 response.
@@ -274,8 +281,35 @@ func (s *Scanner) sendLoop(ctx context.Context, a shard.Assignment) {
 		port := cfg.Ports.At(int(portIdx))
 		limiter.Wait()
 		buf = s.makeProbe(buf[:0], addr, port)
-		s.transport.Send(buf)
-		s.counters.Sent()
+		if !s.sendWithRetry(buf) {
+			return // fatal transport error: stop this sender
+		}
+	}
+}
+
+// sendWithRetry pushes one frame with a small fixed retry budget for
+// transient transport errors (the v6 path keeps core's policy in
+// miniature: 10 attempts, 1ms doubling backoff). It reports false on a
+// fatal error.
+func (s *Scanner) sendWithRetry(frame []byte) bool {
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := s.transport.Send(frame)
+		if err == nil {
+			s.counters.Sent()
+			return true
+		}
+		var te transientSendError
+		if !errors.As(err, &te) || !te.Transient() {
+			return false
+		}
+		if attempt >= 10 {
+			return true // drop this probe, keep scanning
+		}
+		time.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
 	}
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI gate: vet + full test suite under the race detector.
+# Usage: ./scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt check"
+unformatted=$(gofmt -l cmd internal zmap examples)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"

@@ -46,13 +46,62 @@ func (i *Internet) NewLink(buffer int, timeScale float64) *Link {
 	return &Link{inner: netsim.NewLink(i.inner, buffer, timeScale)}
 }
 
-// Link is a simulated network attachment implementing Transport.
+// Link is a simulated network attachment implementing Transport. A
+// fault schedule (see NewFaultyLink) can sit between the scanner and the
+// simulated wire to exercise the engine's retry and supervision paths.
 type Link struct {
 	inner *netsim.Link
+	send  netsim.Transport // inner, possibly wrapped by a fault injector
+}
+
+// FaultOptions injects deterministic transport failures into a simulated
+// link, for testing scanner resilience. See core's retry policy for how
+// each class of failure is handled.
+type FaultOptions struct {
+	// Seed keys the probabilistic schedule.
+	Seed uint64
+	// FailFirstN fails the first N send attempts of each distinct frame
+	// with a transient (retryable) error.
+	FailFirstN int
+	// TransientProb fails each attempt with this probability.
+	TransientProb float64
+	// FailFirstSends fails the first N attempts overall (burst fault).
+	FailFirstSends int
+	// FatalAfter makes every send fail permanently once this many
+	// attempts have been made (0 = never).
+	FatalAfter int
+	// StallEvery/StallFor block every k-th attempt for the duration,
+	// modeling a wedged driver.
+	StallEvery int
+	StallFor   time.Duration
+}
+
+// NewFaultyLink attaches a transport whose sends fail per the given
+// deterministic schedule. Responses to probes that do get through are
+// delivered normally.
+func (i *Internet) NewFaultyLink(buffer int, timeScale float64, faults FaultOptions) *Link {
+	inner := netsim.NewLink(i.inner, buffer, timeScale)
+	return &Link{
+		inner: inner,
+		send: netsim.NewFaultyTransport(inner, netsim.FaultConfig{
+			Seed:           faults.Seed,
+			FailFirstN:     faults.FailFirstN,
+			TransientProb:  faults.TransientProb,
+			FailFirstSends: faults.FailFirstSends,
+			FatalAfter:     faults.FatalAfter,
+			StallEvery:     faults.StallEvery,
+			StallFor:       faults.StallFor,
+		}),
+	}
 }
 
 // Send implements Transport.
-func (l *Link) Send(frame []byte) { l.inner.Send(frame) }
+func (l *Link) Send(frame []byte) error {
+	if l.send != nil {
+		return l.send.Send(frame)
+	}
+	return l.inner.Send(frame)
+}
 
 // Recv implements Transport.
 func (l *Link) Recv() <-chan []byte { return l.inner.Recv() }

@@ -31,8 +31,15 @@ import (
 const Version = core.Version
 
 // Transport moves frames between the scanner and a network. It is
-// satisfied by the simulated link returned from Internet.NewLink.
+// satisfied by the simulated link returned from Internet.NewLink. Send
+// may fail; see ErrSenderAborted for how unrecoverable failures surface.
 type Transport = core.Transport
+
+// ErrSenderAborted is returned (wrapped) by Scanner.Run when sender
+// threads died on fatal transport errors and exhausted their restart
+// budget. The Summary is still returned and its ThreadProgress can seed
+// Options.ResumeProgress to finish the scan.
+var ErrSenderAborted = core.ErrSenderAborted
 
 // Summary is the end-of-scan metadata document.
 type Summary = output.Metadata
@@ -94,6 +101,18 @@ type Options struct {
 
 	// MaxRuntime stops sending after this duration (0 = unlimited).
 	MaxRuntime time.Duration
+
+	// Retries bounds per-probe re-sends after transient transport
+	// errors, ZMap's ENOBUFS behavior (0 = default 10, negative = none).
+	Retries int
+
+	// Backoff is the initial retry backoff, doubled per attempt and
+	// capped at 64x (0 = 1ms default).
+	Backoff time.Duration
+
+	// MaxSenderRestarts bounds supervised sender-thread restarts after
+	// panics or fatal transport errors (0 = default 2, negative = none).
+	MaxSenderRestarts int
 
 	// ResumeProgress continues an interrupted scan from the per-thread
 	// element counts in the previous run's Summary.ThreadProgress. All
@@ -209,30 +228,33 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 	}
 
 	cfg := core.Config{
-		ProbeModule:     o.Probe,
-		Constraint:      cons,
-		Ports:           ports,
-		Seed:            o.Seed,
-		Shards:          o.Shards,
-		ShardIndex:      o.ShardIndex,
-		Threads:         o.Threads,
-		ShardMode:       mode,
-		Rate:            rate,
-		ProbesPerTarget: o.ProbesPerTarget,
-		MaxTargets:      o.MaxTargets,
-		Cooldown:        o.Cooldown,
-		MaxRuntime:      o.MaxRuntime,
-		ResumeProgress:  o.ResumeProgress,
-		SourceIP:        srcIP,
-		SourceMAC:       packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
-		GatewayMAC:      packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
-		OptionLayout:    layout,
-		RandomIPID:      !o.StaticIPID,
-		Results:         results,
-		StatusWriter:    o.StatusUpdates,
-		Logger:          o.Logger,
-		MetadataOut:     o.Metadata,
-		DedupWindow:     o.DedupWindow,
+		ProbeModule:       o.Probe,
+		Constraint:        cons,
+		Ports:             ports,
+		Seed:              o.Seed,
+		Shards:            o.Shards,
+		ShardIndex:        o.ShardIndex,
+		Threads:           o.Threads,
+		ShardMode:         mode,
+		Rate:              rate,
+		ProbesPerTarget:   o.ProbesPerTarget,
+		MaxTargets:        o.MaxTargets,
+		Cooldown:          o.Cooldown,
+		MaxRuntime:        o.MaxRuntime,
+		Retries:           o.Retries,
+		Backoff:           o.Backoff,
+		MaxSenderRestarts: o.MaxSenderRestarts,
+		ResumeProgress:    o.ResumeProgress,
+		SourceIP:          srcIP,
+		SourceMAC:         packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
+		GatewayMAC:        packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
+		OptionLayout:      layout,
+		RandomIPID:        !o.StaticIPID,
+		Results:           results,
+		StatusWriter:      o.StatusUpdates,
+		Logger:            o.Logger,
+		MetadataOut:       o.Metadata,
+		DedupWindow:       o.DedupWindow,
 	}
 	inner, err := core.New(cfg, transport)
 	if err != nil {
