@@ -57,7 +57,10 @@ func run(args []string) int {
 		filter      = fs.String("output-filter", "", `output filter (default "success = 1 && repeat = 0")`)
 		outFile     = fs.String("o", "-", "output file (- = stdout)")
 		metaFile    = fs.String("metadata-file", "", "write end-of-scan JSON metadata here")
-		statusFile  = fs.String("status-updates-file", "", "write 1 Hz CSV status lines here")
+		statusFile  = fs.String("status-updates-file", "", "write 1 Hz status lines here")
+		statusFmt   = fs.String("status-format", "csv", "status line format: csv (ZMap columns) or json (adds latency quantiles, per-thread rates)")
+		statusHdr   = fs.Bool("status-header", true, "prepend the CSV column header to status updates")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9100; empty = off)")
 		verbose     = fs.Bool("v", false, "verbose logging to stderr")
 		showSchema  = fs.Bool("schema", false, "print the output record schema as JSON and exit")
 		showVersion = fs.Bool("version", false, "print the version and exit")
@@ -176,6 +179,10 @@ func run(args []string) int {
 		defer f.Close()
 		opts.Metadata = f
 	}
+	if *statusFmt != "csv" && *statusFmt != "json" {
+		fmt.Fprintf(os.Stderr, "zmapgo: unknown --status-format %q (want csv or json)\n", *statusFmt)
+		return 2
+	}
 	if *statusFile != "" {
 		f, err := os.Create(*statusFile)
 		if err != nil {
@@ -184,6 +191,8 @@ func run(args []string) int {
 		}
 		defer f.Close()
 		opts.StatusUpdates = f
+		opts.StatusFormat = *statusFmt
+		opts.StatusCSVHeader = *statusHdr
 	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
@@ -223,6 +232,16 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "zmapgo:", err)
 		return 1
+	}
+
+	if *metricsAddr != "" {
+		srv, err := zmap.NewMetricsServer(*metricsAddr, scanner.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmapgo:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "zmapgo: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -251,3 +251,83 @@ func TestCLIVersionFlag(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+func TestCLIMetricsAndJSONStatus(t *testing.T) {
+	// The acceptance path: a sim scan with the metrics endpoint bound to
+	// an ephemeral port and a JSON status stream. The endpoint must come
+	// up (run prints its address) and the status file must carry latency
+	// quantiles on every line.
+	dir := t.TempDir()
+	status := filepath.Join(dir, "status.jsonl")
+	meta := filepath.Join(dir, "meta.json")
+	code := run([]string{
+		"-r", "10.0.0.0/20",
+		"-p", "80",
+		"--seed", "5",
+		"--sim-lossless",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "200ms",
+		"--metrics-addr", "127.0.0.1:0",
+		"--status-format", "json",
+		"--status-updates-file", status,
+		"--metadata-file", meta,
+		"-o", os.DevNull,
+		"-T", "2",
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no status lines written")
+	}
+	for _, want := range []string{`"send_latency_p50_secs"`, `"send_latency_p90_secs"`, `"send_latency_p99_secs"`, `"thread_pps"`} {
+		if !strings.Contains(lines[len(lines)-1], want) {
+			t.Errorf("last status line missing %s: %s", want, lines[len(lines)-1])
+		}
+	}
+	metadata, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{`"generation"`, `"send"`, `"cooldown"`, `"drain"`, `"done"`} {
+		if !strings.Contains(string(metadata), `"phase": `+phase) {
+			t.Errorf("metadata missing lifecycle phase %s", phase)
+		}
+	}
+}
+
+func TestCLIStatusCSVHeaderDefault(t *testing.T) {
+	dir := t.TempDir()
+	status := filepath.Join(dir, "status.csv")
+	code := run([]string{
+		"-r", "10.0.0.0/22",
+		"-p", "80",
+		"--seed", "5",
+		"--sim-lossless",
+		"--sim-time-scale", "0",
+		"--cooldown-time", "150ms",
+		"--status-updates-file", status,
+		"-o", os.DevNull,
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_unix,sent,") {
+		t.Errorf("status file does not start with the CSV header: %.60q", string(data))
+	}
+}
+
+func TestCLIBadStatusFormat(t *testing.T) {
+	if code := run([]string{"--status-format", "xml", "-o", os.DevNull}); code != 2 {
+		t.Errorf("bad --status-format exit %d, want 2", code)
+	}
+}

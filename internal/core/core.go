@@ -28,6 +28,7 @@ import (
 
 	"zmapgo/internal/cyclic"
 	"zmapgo/internal/dedup"
+	"zmapgo/internal/metrics"
 	"zmapgo/internal/monitor"
 	"zmapgo/internal/output"
 	"zmapgo/internal/packet"
@@ -138,9 +139,30 @@ type Config struct {
 
 	// Output streams.
 	Results      output.Writer // required (use CountingWriter to discard)
-	StatusWriter io.Writer     // optional 1 Hz status CSV
+	StatusWriter io.Writer     // optional status stream (see StatusFormat)
 	Logger       *slog.Logger  // optional; defaults to a no-op logger
 	MetadataOut  io.Writer     // optional end-of-scan JSON
+
+	// StatusFormat selects the status stream encoding: "csv" (default,
+	// ZMap's --status-updates-file line format) or "json" (one object
+	// per tick, carrying per-thread rates, hit rate, and send-latency
+	// quantiles the CSV cannot).
+	StatusFormat string
+
+	// StatusCSVHeader emits the CSV column header before the first
+	// status row (ZMap compatibility). Ignored for JSON.
+	StatusCSVHeader bool
+
+	// StatusInterval is the tick period of the status stream (0 = 1s).
+	// Tests shorten it to observe multiple ticks quickly.
+	StatusInterval time.Duration
+
+	// Metrics receives every engine metric: counters mirroring the
+	// status stream, plus send/backoff/validate latency histograms,
+	// rate-limiter wait time, and dedup outcomes. Nil creates a private
+	// registry (reachable via Scanner.Registry). Pass a shared registry
+	// to aggregate several scans into one /metrics page.
+	Metrics *metrics.Registry
 
 	// Clock is for tests; nil uses the wall clock.
 	Clock ratelimit.Clock
@@ -228,6 +250,40 @@ type Scanner struct {
 	sentCount atomic.Uint64 // targets probed (for MaxTargets)
 	progress  []atomic.Uint64
 	start     time.Time
+
+	// Instrumentation (see Config.Metrics). Histograms are sharded per
+	// sender thread so hot-path records never contend.
+	registry    *metrics.Registry
+	sendLat     *metrics.Histogram // per-attempt transport.Send latency
+	backoffLat  *metrics.Histogram // retry backoff delay
+	recvLat     *metrics.Histogram // receive→validate latency
+	rlWait      *metrics.Histogram // time blocked in the rate limiter
+	dedupHits   *metrics.Counter
+	dedupMisses *metrics.Counter
+
+	// Lifecycle phases (generation, send, cooldown, drain, done):
+	// appended by the Run goroutine, summarized into Metadata.Phases.
+	phases     []output.PhaseTiming
+	curPhase   string
+	curPhaseAt time.Time
+}
+
+// markPhase closes the current lifecycle phase, opens the next, and
+// logs the transition — §5's status/log stream carries the same events
+// the metadata document later summarizes. An empty name just closes.
+func (s *Scanner) markPhase(name string) {
+	now := time.Now()
+	if s.curPhase != "" {
+		s.phases = append(s.phases, output.PhaseTiming{
+			Phase:        s.curPhase,
+			Start:        s.curPhaseAt,
+			DurationSecs: now.Sub(s.curPhaseAt).Seconds(),
+		})
+	}
+	s.curPhase, s.curPhaseAt = name, now
+	if name != "" {
+		s.cfg.Logger.Info("scan phase", "phase", name)
+	}
 }
 
 // New prepares a scanner: it finalizes the constraint, sizes the cyclic
@@ -244,6 +300,10 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Target generation: finalize the constraint, size the cyclic group,
+	// and search for a generator. This is the first lifecycle phase; its
+	// timing lands in Metadata.Phases alongside send/cooldown/drain.
+	genStart := time.Now()
 	cfg.Constraint.Finalize()
 	numIPs := cfg.Constraint.Count()
 	if numIPs == 0 {
@@ -264,6 +324,7 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 	var key [validate.KeySize]byte
 	rng.Read(key[:])
 	validator := validate.New(key)
+	genDur := time.Since(genStart)
 
 	deduper := cfg.Deduper
 	if deduper == nil && cfg.DedupWindow >= 0 {
@@ -274,7 +335,7 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		deduper = dedup.NewWindow(size)
 	}
 
-	return &Scanner{
+	s := &Scanner{
 		cfg:       cfg,
 		module:    mod,
 		transport: transport,
@@ -294,8 +355,84 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 			TTL:             cfg.TTL,
 			TimestampValue:  uint32(seed),
 		},
-	}, nil
+	}
+	s.phases = append(s.phases, output.PhaseTiming{
+		Phase:        "generation",
+		Start:        genStart,
+		DurationSecs: genDur.Seconds(),
+	})
+	cfg.Logger.Info("scan phase", "phase", "generation", "duration", genDur)
+	s.initMetrics(validator)
+	return s, nil
 }
+
+// initMetrics wires the scan's registry: owned histograms and counters
+// for the latency paths, plus read-only views over the monitor counters
+// and transport stats, so /metrics and the status stream agree without
+// double bookkeeping on the hot path.
+func (s *Scanner) initMetrics(validator *validate.Validator) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.registry = reg
+	threads := s.cfg.Threads
+
+	s.sendLat = reg.Histogram("zmapgo_send_latency_seconds",
+		"Transport send latency per attempt.", threads)
+	s.backoffLat = reg.Histogram("zmapgo_send_backoff_seconds",
+		"Backoff delay before re-sending after a transient transport error.", threads)
+	s.recvLat = reg.Histogram("zmapgo_recv_validate_seconds",
+		"Latency from frame receipt to parse+validate completion.", 1)
+	s.rlWait = reg.Histogram("zmapgo_ratelimit_wait_seconds",
+		"Time sender threads spent blocked in the rate limiter.", threads)
+	s.dedupHits = reg.Counter("zmapgo_dedup_hits_total",
+		"Validated responses identified as duplicates by the dedup window.")
+	s.dedupMisses = reg.Counter("zmapgo_dedup_misses_total",
+		"Validated responses seen for the first time.")
+	validator.Instrument(reg.Counter("zmapgo_validate_computes_total",
+		"Validation-word (HMAC) computations across send and receive paths."))
+
+	c := &s.counters
+	reg.CounterFunc("zmapgo_sent_total",
+		"Probes sent on the wire.", func() uint64 { return c.Snapshot().Sent })
+	reg.CounterFunc("zmapgo_recv_total",
+		"Frames received, pre-validation.", func() uint64 { return c.Snapshot().Recv })
+	reg.CounterFunc("zmapgo_valid_total",
+		"Responses passing stateless validation.", func() uint64 { return c.Snapshot().Valid })
+	reg.CounterFunc("zmapgo_success_total",
+		"Successful classifications.", func() uint64 { return c.Snapshot().Success })
+	reg.CounterFunc("zmapgo_unique_success_total",
+		"First-sighting successes after dedup.", func() uint64 { return c.Snapshot().UniqueSucc })
+	reg.CounterFunc("zmapgo_duplicate_total",
+		"Deduplicated repeat responses.", func() uint64 { return c.Snapshot().Duplicates })
+	reg.CounterFunc("zmapgo_send_errors_total",
+		"Failed transport send attempts.", func() uint64 { return c.Snapshot().SendErrors })
+	reg.CounterFunc("zmapgo_send_retries_total",
+		"Send re-attempts after transient transport errors.", func() uint64 { return c.Snapshot().Retries })
+	reg.CounterFunc("zmapgo_send_drops_total",
+		"Probes abandoned after exhausting the retry budget.", func() uint64 { return c.Snapshot().SendDrops })
+	reg.CounterFunc("zmapgo_sender_restarts_total",
+		"Supervised sender-thread restarts.", func() uint64 { return c.Snapshot().SenderRestarts })
+	reg.GaugeFunc("zmapgo_degraded_seconds",
+		"Wall time senders spent below their configured rate share.",
+		func() float64 { return c.Snapshot().Degraded.Seconds() })
+
+	t := s.transport
+	reg.GaugeFunc("zmapgo_recv_ring_drops",
+		"Frames dropped at the transport receive ring (kernel-drop analogue).",
+		func() float64 { _, _, d := t.Stats(); return float64(d) })
+	reg.GaugeFunc("zmapgo_link_sent_total",
+		"Frames the transport accepted onto the wire.",
+		func() float64 { n, _, _ := t.Stats(); return float64(n) })
+	reg.GaugeFunc("zmapgo_link_delivered_total",
+		"Frames the transport delivered to the receiver.",
+		func() float64 { _, n, _ := t.Stats(); return float64(n) })
+}
+
+// Registry exposes the scan's metrics registry, for serving /metrics
+// (see metrics.NewServer) or programmatic inspection.
+func (s *Scanner) Registry() *metrics.Registry { return s.registry }
 
 // Space exposes the target space (for tests and tooling).
 func (s *Scanner) Space() *cyclic.Space { return s.space }
@@ -336,7 +473,12 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 
 	var status *monitor.StatusWriter
 	if cfg.StatusWriter != nil {
-		status = monitor.NewStatusWriter(cfg.StatusWriter, &s.counters, time.Second)
+		status = monitor.NewStatusWriterWith(cfg.StatusWriter, &s.counters, monitor.StatusOptions{
+			Interval: cfg.StatusInterval,
+			Format:   cfg.StatusFormat,
+			Header:   cfg.StatusCSVHeader,
+			Extra:    s.statusExtra(),
+		})
 	}
 
 	// Senders. MaxRuntime bounds the sending phase via a derived context.
@@ -346,6 +488,7 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		sendCtx, cancelSend = context.WithTimeout(ctx, cfg.MaxRuntime)
 		defer cancelSend()
 	}
+	s.markPhase("send")
 	var wg sync.WaitGroup
 	var abortedThreads atomic.Uint64
 	order := s.space.Group().Order()
@@ -378,17 +521,21 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	}()
 
 	wg.Wait()
+	s.markPhase("cooldown")
 	log.Debug("senders finished; entering cooldown", "cooldown", cfg.Cooldown)
 	cooldownAt.Store(time.Now().UnixNano())
 	select {
 	case <-ctx.Done():
 	case <-time.After(cfg.Cooldown):
 	}
+	s.markPhase("drain")
 	close(stopRecv)
 	<-recvDone
 	if status != nil {
 		status.Stop()
 	}
+	s.markPhase("done")
+	s.markPhase("") // close "done" with its (near-zero) duration
 
 	meta := s.buildMetadata()
 	if cfg.MetadataOut != nil {
@@ -408,6 +555,37 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		return meta, fmt.Errorf("%w (%d of %d threads)", ErrSenderAborted, n, cfg.Threads)
 	}
 	return meta, nil
+}
+
+// statusExtra builds the per-tick enrichment callback for the status
+// stream: the receive-ring drop gauge, the probes-per-target-aware hit
+// rate, per-thread send rates (from the progress counters), and
+// send-latency quantiles. It runs on the status goroutine; the closure
+// state (previous progress values) is confined to it.
+func (s *Scanner) statusExtra() func(st *monitor.Status, dt time.Duration) {
+	lastProgress := make([]uint64, len(s.progress))
+	return func(st *monitor.Status, dt time.Duration) {
+		_, _, dropped := s.transport.Stats()
+		s.counters.SetDrops(dropped)
+		st.Drops = dropped
+		if st.Sent > 0 {
+			st.HitRate = float64(st.Unique) * float64(s.cfg.ProbesPerTarget) / float64(st.Sent)
+		}
+		secs := dt.Seconds()
+		pps := make([]float64, len(s.progress))
+		for i := range s.progress {
+			cur := s.progress[i].Load()
+			if secs > 0 {
+				pps[i] = float64(cur-lastProgress[i]) * float64(s.cfg.ProbesPerTarget) / secs
+			}
+			lastProgress[i] = cur
+		}
+		st.ThreadPPS = pps
+		snap := s.sendLat.Snapshot()
+		st.SendLatencyP50 = snap.Quantile(0.50).Seconds()
+		st.SendLatencyP90 = snap.Quantile(0.90).Seconds()
+		st.SendLatencyP99 = snap.Quantile(0.99).Seconds()
+	}
 }
 
 // superviseSender runs one sender thread under supervision: the subshard
@@ -477,6 +655,11 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 		share = cfg.Rate / float64(cfg.Threads)
 	}
 	limiter := ratelimit.New(share, cfg.Clock)
+	sendLat := s.sendLat.Shard(thread)
+	backoffLat := s.backoffLat.Shard(thread)
+	if share > 0 {
+		limiter.SetWaitRecorder(s.rlWait.Shard(thread))
+	}
 	rate := share
 	degraded := false
 	var degradedAt time.Time
@@ -516,7 +699,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 		for p := 0; p < cfg.ProbesPerTarget; p++ {
 			limiter.Wait()
 			buf = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
-			outcome, retried, err := s.sendWithRetry(ctx, buf)
+			outcome, retried, err := s.sendWithRetry(ctx, buf, sendLat, backoffLat)
 			switch outcome {
 			case sendOK:
 				s.counters.Sent()
@@ -582,11 +765,16 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 // sendWithRetry pushes one frame through the transport under the
 // transient-retry policy: up to cfg.Retries re-attempts with bounded
 // exponential backoff (on cfg.Clock). retried reports whether any
-// attempt failed, which feeds the adaptive rate controller.
-func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte) (outcome sendOutcome, retried bool, err error) {
+// attempt failed, which feeds the adaptive rate controller. Every
+// attempt's transport latency lands in lat; every backoff sleep lands
+// in backoff — both are per-thread histogram shards, so recording is
+// two uncontended atomic adds.
+func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte, lat, backoff *metrics.HistShard) (outcome sendOutcome, retried bool, err error) {
 	cfg := &s.cfg
 	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
 		err = s.transport.Send(frame)
+		lat.Record(time.Since(t0))
 		if err == nil {
 			return sendOK, attempt > 0, nil
 		}
@@ -603,7 +791,9 @@ func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte) (outcome send
 		default:
 		}
 		s.counters.Retry()
-		cfg.Clock.Sleep(backoffFor(cfg.Backoff, attempt))
+		d := backoffFor(cfg.Backoff, attempt)
+		backoff.Record(d)
+		cfg.Clock.Sleep(d)
 	}
 }
 
@@ -611,6 +801,7 @@ func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte) (outcome send
 // stop closes (end of cooldown) or the context dies.
 func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt *atomic.Int64) {
 	cfg := &s.cfg
+	recvLat := s.recvLat.Shard(0) // single receiver goroutine
 	for {
 		select {
 		case <-ctx.Done():
@@ -618,6 +809,7 @@ func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt
 		case <-stop:
 			return
 		case frame := <-s.transport.Recv():
+			t0 := time.Now()
 			s.counters.Recv()
 			f, err := packet.Parse(frame)
 			if err != nil {
@@ -625,6 +817,7 @@ func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt
 				continue
 			}
 			res, ok := s.module.Classify(s.probeCtx, f)
+			recvLat.Record(time.Since(t0))
 			if !ok {
 				continue
 			}
@@ -632,6 +825,11 @@ func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt
 			repeat := false
 			if s.deduper != nil {
 				repeat = s.deduper.Seen(res.IP, res.Port)
+				if repeat {
+					s.dedupHits.Inc()
+				} else {
+					s.dedupMisses.Inc()
+				}
 			}
 			if repeat {
 				s.counters.Duplicate()
@@ -652,6 +850,7 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 	cfg := &s.cfg
 	snap := s.counters.Snapshot()
 	_, _, dropped := s.transport.Stats()
+	s.counters.SetDrops(dropped)
 	end := time.Now()
 	dur := end.Sub(s.start).Seconds()
 	hitRate := 0.0
@@ -699,6 +898,7 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 		SendDrops:      snap.SendDrops,
 		SenderRestarts: snap.SenderRestarts,
 		DegradedSecs:   snap.Degraded.Seconds(),
+		Phases:         append([]output.PhaseTiming(nil), s.phases...),
 	}
 }
 

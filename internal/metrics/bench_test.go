@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// The send loop records once per packet, so a record must cost less
+// than ~50 ns and never allocate — otherwise the instrumentation would
+// distort the throughput it exists to measure. Run with:
+//
+//	go test -bench . -benchmem ./internal/metrics
+func BenchmarkHistShardRecord(b *testing.B) {
+	h := NewHistogram(1)
+	sh := h.Shard(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Record(time.Duration(i) * time.Nanosecond)
+	}
+}
+
+func BenchmarkHistShardRecordParallel(b *testing.B) {
+	h := NewHistogram(16)
+	var next int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sh := h.Shard(int(next))
+		next++
+		d := 37 * time.Microsecond
+		for pb.Next() {
+			sh.Record(d)
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkSnapshotQuantile(b *testing.B) {
+	h := NewHistogram(8)
+	for i := 0; i < 100000; i++ {
+		h.Shard(i).Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		s.Quantile(0.99)
+	}
+}

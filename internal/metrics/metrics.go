@@ -1,0 +1,193 @@
+// Package metrics is the scanner's instrumentation substrate: a
+// hot-path-safe registry of counters, gauges, and log-bucketed latency
+// histograms. §5 of "Ten Years of ZMap" makes the four output streams
+// (data, logs, status updates, metadata) a first-class design principle;
+// this package feeds two of them — the 1 Hz status stream gets histogram
+// quantiles, and the metadata document gets final counter values — and
+// adds a fifth, pull-based view: Prometheus text exposition plus pprof
+// over HTTP (see Server).
+//
+// Design constraints, in order:
+//
+//  1. Recording must be safe from any goroutine and effectively free: a
+//     counter increment is one atomic add; a histogram record is two
+//     atomic adds on a per-thread shard (no locks, no allocation, no
+//     time formatting). The send loop records per packet at millions of
+//     packets per second, so anything slower would show up in the very
+//     throughput numbers it measures.
+//  2. Reading (snapshot, quantile, exposition) may be arbitrarily slow;
+//     it happens at 1 Hz or on scrape, never on the hot path.
+//  3. No external dependencies: exposition is hand-rolled Prometheus
+//     text format (version 0.0.4), which every Prometheus scraper since
+//     2014 accepts.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use, but counters are normally created through Registry.Counter so
+// they appear in the exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (stored as atomic bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind tags registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	cfn     func() uint64
+	gfn     func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them as Prometheus text.
+// All methods are safe for concurrent use. Registration is get-or-create:
+// asking for an existing name of the same kind returns the existing
+// metric (so two scans may share one registry); re-registering a func
+// metric replaces its callback (the latest scan wins); asking for an
+// existing name with a different kind panics, since that is always a
+// programming error.
+type Registry struct {
+	mu      sync.Mutex
+	order   []*entry
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// lookup returns the entry for name, creating it with the given kind if
+// absent. Panics on a kind mismatch.
+func (r *Registry) lookup(name, help string, kind metricKind) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
+		}
+		return e, true
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	r.entries[name] = e
+	r.order = append(r.order, e)
+	return e, false
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	e, existed := r.lookup(name, help, kindCounter)
+	if !existed {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e, existed := r.lookup(name, help, kindGauge)
+	if !existed {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// CounterFunc registers a read-only counter whose value is fetched from
+// fn at exposition time. Use it to expose atomics that already exist
+// (e.g. monitor.Counters) without double bookkeeping on the hot path.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	e, _ := r.lookup(name, help, kindCounterFunc)
+	r.mu.Lock()
+	e.cfn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a read-only gauge computed by fn at exposition.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	e, _ := r.lookup(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	e.gfn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it with the given
+// shard count if needed. Shards decouple writer threads: give each
+// sender thread its own shard index and records never contend.
+func (r *Registry) Histogram(name, help string, shards int) *Histogram {
+	e, existed := r.lookup(name, help, kindHistogram)
+	if !existed {
+		e.hist = NewHistogram(shards)
+	}
+	return e.hist
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	for i, e := range r.order {
+		out[i] = e.name
+	}
+	return out
+}
+
+// sortedSnapshot copies the entry list under the lock so exposition can
+// run without holding it (func metrics may themselves take locks).
+func (r *Registry) sortedSnapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, len(r.order))
+	copy(out, r.order)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sanitizeHelp keeps HELP lines single-line per the text format.
+func sanitizeHelp(h string) string {
+	h = strings.ReplaceAll(h, "\\", `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,13 +1,18 @@
 // Package monitor implements the real-time status stream — the third of
 // the four output streams §5 prescribes (data, logs, status updates,
 // metadata). Counters are lock-free atomics updated by send and receive
-// goroutines; a snapshot loop emits one machine-parsable line per second,
-// like ZMap's --status-updates-file.
+// goroutines; a snapshot loop emits one machine-parsable line per second
+// in CSV (ZMap's --status-updates-file format, optionally with a header)
+// or JSON (one object per line, with room for per-thread rates and
+// latency quantiles contributed by the engine).
 package monitor
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -77,8 +82,12 @@ func (c *Counters) Success(unique bool) {
 // Duplicate increments deduplicated repeats.
 func (c *Counters) Duplicate() { c.duplicates.Add(1) }
 
-// AddDrops records receive-ring drops (gauge snapshot from the link).
-func (c *Counters) AddDrops(n uint64) { c.drops.Store(n) }
+// SetDrops records the receive-ring drop gauge, as last reported by the
+// link. It is a set, not an increment: the link tracks the cumulative
+// total itself, so each report replaces the previous one. (A single
+// aggregated transport reports here; per-link totals would need summing
+// by the caller before the set.)
+func (c *Counters) SetDrops(n uint64) { c.drops.Store(n) }
 
 // Snapshot is a point-in-time view of the counters.
 type Snapshot struct {
@@ -117,28 +126,95 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 }
 
-// StatusWriter periodically emits CSV status lines:
-// unix_ts,sent,sent_pps,recv,recv_pps,success,unique,duplicates,drops,
-// send_errors,retries,send_drops,sender_restarts,degraded_secs.
+// Status is one status-stream tick. CSV emits the first 14 fields in
+// csvColumns order; JSON emits everything, including the fields only an
+// engine callback can fill (hit rate, per-thread rates, quantiles).
+type Status struct {
+	TimeUnix       int64   `json:"time_unix"`
+	Sent           uint64  `json:"sent"`
+	SentPPS        float64 `json:"sent_pps"`
+	Recv           uint64  `json:"recv"`
+	RecvPPS        float64 `json:"recv_pps"`
+	Success        uint64  `json:"success"`
+	Unique         uint64  `json:"unique"`
+	Duplicates     uint64  `json:"duplicates"`
+	Drops          uint64  `json:"drops"`
+	SendErrors     uint64  `json:"send_errors"`
+	Retries        uint64  `json:"retries"`
+	SendDrops      uint64  `json:"send_drops"`
+	SenderRestarts uint64  `json:"sender_restarts"`
+	DegradedSecs   float64 `json:"degraded_secs"`
+
+	// Enriched fields (JSON only). HitRate defaults to unique/sent; the
+	// engine's Extra callback overrides it with the probes-per-target
+	// aware value and fills the rest.
+	HitRate        float64   `json:"hit_rate"`
+	ThreadPPS      []float64 `json:"thread_pps,omitempty"`
+	SendLatencyP50 float64   `json:"send_latency_p50_secs"`
+	SendLatencyP90 float64   `json:"send_latency_p90_secs"`
+	SendLatencyP99 float64   `json:"send_latency_p99_secs"`
+}
+
+// csvColumns pins the CSV column order. Appending a column is fine;
+// reordering or renaming breaks every parser of --status-updates-file,
+// so TestStatusCSVHeaderPinned fails if this list silently changes.
+var csvColumns = []string{
+	"time_unix", "sent", "sent_pps", "recv", "recv_pps",
+	"success", "unique", "duplicates", "drops",
+	"send_errors", "retries", "send_drops", "sender_restarts",
+	"degraded_secs",
+}
+
+// CSVHeader returns the status CSV header line (without newline).
+func CSVHeader() string { return strings.Join(csvColumns, ",") }
+
+// StatusOptions configures a StatusWriter beyond the defaults.
+type StatusOptions struct {
+	// Interval between ticks (default 1s).
+	Interval time.Duration
+	// Format is "csv" (default) or "json" (one object per line).
+	Format string
+	// Header emits the CSV header line before the first row (ZMap's
+	// --status-updates-file carries one). Ignored for JSON.
+	Header bool
+	// Extra, if set, is called once per tick with the assembled Status
+	// and the measured interval, before formatting. The engine uses it
+	// to fill hit rate, per-thread rates, latency quantiles, and the
+	// receive-ring drop gauge. It runs on the status goroutine.
+	Extra func(st *Status, dt time.Duration)
+}
+
+// StatusWriter periodically emits one status line per tick.
 type StatusWriter struct {
 	w        io.Writer
 	counters *Counters
-	interval time.Duration
+	opts     StatusOptions
 	stop     chan struct{}
 	done     chan struct{}
+	stopOnce sync.Once
 	last     Snapshot
+	headed   bool
 }
 
-// NewStatusWriter starts a status loop writing to w every interval. Call
-// Stop to end it. A nil w disables output but still permits Stop.
+// NewStatusWriter starts a CSV status loop writing to w every interval —
+// the legacy headerless format. Call Stop to end it. A nil w disables
+// output but still permits Stop.
 func NewStatusWriter(w io.Writer, c *Counters, interval time.Duration) *StatusWriter {
-	if interval <= 0 {
-		interval = time.Second
+	return NewStatusWriterWith(w, c, StatusOptions{Interval: interval})
+}
+
+// NewStatusWriterWith starts a status loop with full options.
+func NewStatusWriterWith(w io.Writer, c *Counters, opts StatusOptions) *StatusWriter {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Format == "" {
+		opts.Format = "csv"
 	}
 	s := &StatusWriter{
 		w:        w,
 		counters: c,
-		interval: interval,
+		opts:     opts,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		last:     c.Snapshot(),
@@ -149,7 +225,7 @@ func NewStatusWriter(w io.Writer, c *Counters, interval time.Duration) *StatusWr
 
 func (s *StatusWriter) loop() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.interval)
+	ticker := time.NewTicker(s.opts.Interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -164,24 +240,59 @@ func (s *StatusWriter) loop() {
 
 func (s *StatusWriter) emit() {
 	now := s.counters.Snapshot()
-	dt := now.Time.Sub(s.last.Time).Seconds()
+	dt := now.Time.Sub(s.last.Time)
 	if dt <= 0 {
-		dt = s.interval.Seconds()
+		dt = s.opts.Interval
 	}
-	if s.w != nil {
-		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
-			now.Time.Unix(),
-			now.Sent, float64(now.Sent-s.last.Sent)/dt,
-			now.Recv, float64(now.Recv-s.last.Recv)/dt,
-			now.Success, now.UniqueSucc, now.Duplicates, now.Drops,
-			now.SendErrors, now.Retries, now.SendDrops, now.SenderRestarts,
-			now.Degraded.Seconds())
+	secs := dt.Seconds()
+	st := Status{
+		TimeUnix:       now.Time.Unix(),
+		Sent:           now.Sent,
+		SentPPS:        float64(now.Sent-s.last.Sent) / secs,
+		Recv:           now.Recv,
+		RecvPPS:        float64(now.Recv-s.last.Recv) / secs,
+		Success:        now.Success,
+		Unique:         now.UniqueSucc,
+		Duplicates:     now.Duplicates,
+		Drops:          now.Drops,
+		SendErrors:     now.SendErrors,
+		Retries:        now.Retries,
+		SendDrops:      now.SendDrops,
+		SenderRestarts: now.SenderRestarts,
+		DegradedSecs:   now.Degraded.Seconds(),
+	}
+	if now.Sent > 0 {
+		st.HitRate = float64(now.UniqueSucc) / float64(now.Sent)
+	}
+	if s.opts.Extra != nil {
+		s.opts.Extra(&st, dt)
 	}
 	s.last = now
+	if s.w == nil {
+		return
+	}
+	switch s.opts.Format {
+	case "json":
+		_ = json.NewEncoder(s.w).Encode(&st)
+	default:
+		if s.opts.Header && !s.headed {
+			s.headed = true
+			fmt.Fprintln(s.w, CSVHeader())
+		}
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+			st.TimeUnix,
+			st.Sent, st.SentPPS,
+			st.Recv, st.RecvPPS,
+			st.Success, st.Unique, st.Duplicates, st.Drops,
+			st.SendErrors, st.Retries, st.SendDrops, st.SenderRestarts,
+			st.DegradedSecs)
+	}
 }
 
-// Stop ends the loop after a final line.
+// Stop ends the loop after a final line. It is idempotent: concurrent
+// and repeated calls all block until the final line is written, then
+// return.
 func (s *StatusWriter) Stop() {
-	close(s.stop)
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }

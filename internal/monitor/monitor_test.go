@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -34,12 +35,16 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 }
 
-func TestAddDropsIsGauge(t *testing.T) {
+func TestSetDropsIsGauge(t *testing.T) {
 	var c Counters
-	c.AddDrops(5)
-	c.AddDrops(7)
+	c.SetDrops(5)
+	c.SetDrops(7)
 	if c.Snapshot().Drops != 7 {
 		t.Error("drops should store the latest gauge value")
+	}
+	c.SetDrops(6) // a later, smaller report replaces — it is a gauge
+	if c.Snapshot().Drops != 6 {
+		t.Error("drops gauge must be replaceable, not monotonic")
 	}
 }
 
@@ -105,6 +110,139 @@ func TestStatusWriterNilWriter(t *testing.T) {
 	s := NewStatusWriter(nil, &c, time.Millisecond)
 	time.Sleep(5 * time.Millisecond)
 	s.Stop() // must not panic
+}
+
+func TestStatusWriterStopIdempotent(t *testing.T) {
+	var c Counters
+	s := NewStatusWriter(nil, &c, time.Millisecond)
+	s.Stop()
+	s.Stop() // second call must not panic on a closed channel
+
+	// Concurrent stops must all return.
+	s2 := NewStatusWriter(nil, &c, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s2.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStatusCSVHeaderPinned(t *testing.T) {
+	// The column order is a compatibility contract for parsers of
+	// --status-updates-file. New counters must be APPENDED; any reorder
+	// or rename must be a deliberate, test-breaking decision.
+	const want = "time_unix,sent,sent_pps,recv,recv_pps," +
+		"success,unique,duplicates,drops," +
+		"send_errors,retries,send_drops,sender_restarts,degraded_secs"
+	if got := CSVHeader(); got != want {
+		t.Errorf("CSV header changed:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestStatusWriterHeaderLine(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := &lockedWriter{mu: &mu, w: &buf}
+	var c Counters
+	s := NewStatusWriterWith(w, &c, StatusOptions{
+		Interval: 5 * time.Millisecond,
+		Header:   true,
+	})
+	time.Sleep(15 * time.Millisecond)
+	s.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != CSVHeader() {
+		t.Fatalf("first line %q, want header", lines[0])
+	}
+	if strings.Count(out, CSVHeader()) != 1 {
+		t.Error("header emitted more than once")
+	}
+	if len(lines) < 2 {
+		t.Fatal("no data rows after header")
+	}
+	if cols := strings.Split(lines[1], ","); len(cols) != len(strings.Split(CSVHeader(), ",")) {
+		t.Errorf("data row has %d fields, header has %d", len(cols), len(strings.Split(CSVHeader(), ",")))
+	}
+}
+
+func TestStatusWriterJSONFormat(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := &lockedWriter{mu: &mu, w: &buf}
+	var c Counters
+	for i := 0; i < 50; i++ {
+		c.Sent()
+		c.Recv()
+		c.Success(i%2 == 0)
+	}
+	s := NewStatusWriterWith(w, &c, StatusOptions{
+		Interval: 5 * time.Millisecond,
+		Format:   "json",
+		Extra: func(st *Status, dt time.Duration) {
+			st.ThreadPPS = []float64{12.5, 14}
+			st.SendLatencyP50 = 0.001
+			st.SendLatencyP90 = 0.002
+			st.SendLatencyP99 = 0.004
+		},
+	})
+	time.Sleep(15 * time.Millisecond)
+	s.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 1 {
+		t.Fatalf("no JSON status lines: %q", out)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &st); err != nil {
+		t.Fatalf("unmarshal %q: %v", lines[len(lines)-1], err)
+	}
+	if st.Sent != 50 || st.Recv != 50 {
+		t.Errorf("sent/recv = %d/%d", st.Sent, st.Recv)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", st.HitRate)
+	}
+	if len(st.ThreadPPS) != 2 || st.SendLatencyP99 != 0.004 {
+		t.Errorf("extra fields lost: %+v", st)
+	}
+	// Quantile keys must appear literally (the acceptance contract).
+	for _, key := range []string{"send_latency_p50_secs", "send_latency_p90_secs", "send_latency_p99_secs", "hit_rate", "thread_pps"} {
+		if !strings.Contains(lines[len(lines)-1], key) {
+			t.Errorf("JSON line missing %q: %s", key, lines[len(lines)-1])
+		}
+	}
+}
+
+func TestStatusWriterCSVOutputUnchanged(t *testing.T) {
+	// The legacy constructor must keep the exact pre-header format: 14
+	// comma-separated fields, no header line.
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := &lockedWriter{mu: &mu, w: &buf}
+	var c Counters
+	s := NewStatusWriter(w, &c, 5*time.Millisecond)
+	time.Sleep(12 * time.Millisecond)
+	s.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "time_unix") {
+			t.Fatal("legacy constructor emitted a header")
+		}
+		if got := len(strings.Split(line, ",")); got != 14 {
+			t.Fatalf("line has %d fields: %q", got, line)
+		}
+	}
 }
 
 type lockedWriter struct {

@@ -897,3 +897,33 @@ func TestRespond6RejectsGarbage(t *testing.T) {
 		t.Error("v4 frame answered by v6 responder")
 	}
 }
+
+// recordedDelays collects DelayRecorder calls for assertions.
+type recordedDelays struct {
+	ds []time.Duration
+}
+
+func (r *recordedDelays) Record(d time.Duration) { r.ds = append(r.ds, d) }
+
+func TestLinkDelayRecorder(t *testing.T) {
+	in := New(lossless(29))
+	link := NewLink(in, 1024, 0)
+	defer link.Close()
+	rec := &recordedDelays{}
+	link.SetDelayRecorder(rec)
+	var ip uint32
+	for ; ; ip++ {
+		if in.ExpectedSYNACK(ip, 80, packet.BuildOptions(packet.LayoutMSS, 0)) {
+			break
+		}
+	}
+	link.Send(buildSYNProbe(ip, 80, packet.LayoutMSS))
+	if len(rec.ds) == 0 {
+		t.Fatal("delay recorder never called")
+	}
+	// The recorded delay is the UNSCALED simulated value (timeScale 0
+	// still reports the modeled RTT).
+	if rec.ds[0] != in.RTT(ip) {
+		t.Errorf("recorded delay %v, want RTT %v", rec.ds[0], in.RTT(ip))
+	}
+}

@@ -277,6 +277,7 @@ type Link struct {
 	in        *Internet
 	recv      chan []byte
 	timeScale float64
+	delays    DelayRecorder
 
 	mu      sync.Mutex
 	closed  bool
@@ -284,6 +285,14 @@ type Link struct {
 	drops   atomic.Uint64
 	sent    atomic.Uint64
 	rcvd    atomic.Uint64
+}
+
+// DelayRecorder observes the simulated (unscaled) delay of each
+// response the link schedules — the modeled RTT plus any blowback gap.
+// Satisfied by *metrics.HistShard; a local interface keeps netsim free
+// of dependencies on the instrumentation layer.
+type DelayRecorder interface {
+	Record(d time.Duration)
 }
 
 // NewLink attaches to the simulated Internet. buffer is the receive ring
@@ -301,6 +310,11 @@ func NewLink(in *Internet, buffer int, timeScale float64) *Link {
 	}
 }
 
+// SetDelayRecorder attaches a recorder for simulated response delays.
+// Call before the scan starts; concurrent Sends observe it racily
+// otherwise.
+func (l *Link) SetDelayRecorder(r DelayRecorder) { l.delays = r }
+
 // Send injects one probe frame. The frame is processed synchronously
 // (loss, host model) and responses are scheduled for delivery. The
 // lossless in-process link never fails; the error return exists so Link
@@ -310,6 +324,9 @@ func (l *Link) Send(frame []byte) error {
 	l.sent.Add(1)
 	responses := l.in.Respond(frame)
 	for _, r := range responses {
+		if l.delays != nil {
+			l.delays.Record(r.Delay)
+		}
 		delay := time.Duration(float64(r.Delay) * l.timeScale)
 		if delay <= 0 {
 			l.deliver(r.Frame)

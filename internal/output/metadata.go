@@ -6,6 +6,17 @@ import (
 	"time"
 )
 
+// PhaseTiming records one scan lifecycle phase: generation (cyclic
+// group and generator search), send, cooldown, drain, and done. The
+// engine logs each transition through slog as it happens and summarizes
+// the full sequence here, so a scan's wall time can be attributed
+// post-hoc without parsing the log stream.
+type PhaseTiming struct {
+	Phase        string    `json:"phase"`
+	Start        time.Time `json:"start"`
+	DurationSecs float64   `json:"duration_secs"`
+}
+
 // Metadata is the machine-readable end-of-scan summary — the fourth
 // output stream from §5 ("be liberal in what environment and execution
 // information is included"). One JSON document is written at completion.
@@ -33,9 +44,10 @@ type Metadata struct {
 	Flags         []string `json:"flags,omitempty"`
 
 	// Timing.
-	StartTime time.Time `json:"start_time"`
-	EndTime   time.Time `json:"end_time"`
-	Duration  float64   `json:"duration_secs"`
+	StartTime time.Time     `json:"start_time"`
+	EndTime   time.Time     `json:"end_time"`
+	Duration  float64       `json:"duration_secs"`
+	Phases    []PhaseTiming `json:"phases,omitempty"`
 
 	// Counters.
 	TargetsScanned uint64   `json:"targets_scanned"`

@@ -30,11 +30,20 @@ func (RealClock) Now() time.Time { return time.Now() }
 // Sleep implements Clock.
 func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
 
+// WaitRecorder observes time spent blocked inside Wait. It is satisfied
+// by *metrics.HistShard; a local interface keeps this package free of
+// dependencies. Record is called from the goroutine that owns the
+// limiter, once per sleeping batch (not per packet).
+type WaitRecorder interface {
+	Record(d time.Duration)
+}
+
 // Limiter releases up to rate tokens (packets) per second in batches.
 type Limiter struct {
 	rate      float64
 	batchSize int
 	clock     Clock
+	waits     WaitRecorder
 
 	start   time.Time
 	granted uint64 // tokens granted since start
@@ -70,6 +79,11 @@ func New(rate float64, clock Clock) *Limiter {
 // Rate returns the configured packets-per-second target (0 = unlimited).
 func (l *Limiter) Rate() float64 { return l.rate }
 
+// SetWaitRecorder attaches a recorder for time spent blocked in Wait.
+// The recorder survives SetRate. Like Wait, it must only be called from
+// the goroutine that owns the limiter, before pacing begins.
+func (l *Limiter) SetWaitRecorder(r WaitRecorder) { l.waits = r }
+
 // SetRate retargets the limiter to a new packets-per-second rate and
 // re-anchors the schedule, so tokens granted under the old rate cannot
 // burst into the new one. The engine uses it for graceful degradation:
@@ -102,7 +116,13 @@ func (l *Limiter) Wait() {
 		return
 	}
 	// Sleep until the schedule catches up with granted tokens, then
-	// release a fresh batch.
+	// release a fresh batch. The wait recorder charges only this slow
+	// path — the in-batch fast path above never blocks — so recording
+	// costs nothing at the per-packet level.
+	var waitStart time.Time
+	if l.waits != nil {
+		waitStart = l.clock.Now()
+	}
 	for {
 		elapsed := l.clock.Now().Sub(l.start).Seconds()
 		allowed := elapsed * l.rate
@@ -111,6 +131,9 @@ func (l *Limiter) Wait() {
 		}
 		deficit := (float64(l.granted) - allowed + float64(l.batchSize)) / l.rate
 		l.clock.Sleep(time.Duration(deficit * float64(time.Second)))
+	}
+	if l.waits != nil {
+		l.waits.Record(l.clock.Now().Sub(waitStart))
 	}
 	l.inBatch = l.batchSize - 1
 	l.granted++

@@ -166,3 +166,56 @@ func BenchmarkLimiterWait(b *testing.B) {
 		l.Wait()
 	}
 }
+
+// waitLog records WaitRecorder observations.
+type waitLog struct {
+	n     int
+	total time.Duration
+}
+
+func (w *waitLog) Record(d time.Duration) { w.n++; w.total += d }
+
+func TestWaitRecorderChargesOnlySleepingBatches(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(1000, clock) // batch size 1 at this rate
+	rec := &waitLog{}
+	l.SetWaitRecorder(rec)
+	for i := 0; i < 100; i++ {
+		l.Wait()
+	}
+	if rec.n == 0 {
+		t.Fatal("recorder never called despite paced sends")
+	}
+	// 100 packets at 1000 pps is ~100ms of schedule; the recorder must
+	// account for (roughly) the full blocked time on the fake clock.
+	if rec.total < 50*time.Millisecond || rec.total > 200*time.Millisecond {
+		t.Errorf("recorded %v blocked across %d waits, want ~100ms", rec.total, rec.n)
+	}
+}
+
+func TestWaitRecorderUnlimitedRateNeverRecords(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(0, clock)
+	rec := &waitLog{}
+	l.SetWaitRecorder(rec)
+	for i := 0; i < 1000; i++ {
+		l.Wait()
+	}
+	if rec.n != 0 {
+		t.Errorf("unlimited limiter recorded %d waits", rec.n)
+	}
+}
+
+func TestWaitRecorderSurvivesSetRate(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(1000, clock)
+	rec := &waitLog{}
+	l.SetWaitRecorder(rec)
+	l.SetRate(500)
+	for i := 0; i < 10; i++ {
+		l.Wait()
+	}
+	if rec.n == 0 {
+		t.Error("recorder lost across SetRate")
+	}
+}

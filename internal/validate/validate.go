@@ -23,10 +23,24 @@ import (
 // KeySize is the size of the per-scan validation key in bytes.
 const KeySize = 32
 
+// ComputeCounter counts validation-word computations; satisfied by
+// *metrics.Counter. A local interface keeps this package dependency-free.
+type ComputeCounter interface {
+	Add(n uint64)
+}
+
 // Validator computes per-target validation words for one scan.
 type Validator struct {
-	key [KeySize]byte
+	key      [KeySize]byte
+	computes ComputeCounter
 }
+
+// Instrument attaches a counter incremented once per validation-word
+// computation (MakeProbe computes twice per probe — source port and
+// sequence — and Classify once per candidate response, so this tracks
+// validator load on both hot paths). Call before the scan starts; a nil
+// counter disables counting.
+func (v *Validator) Instrument(c ComputeCounter) { v.computes = c }
 
 // New creates a Validator with the given per-scan key.
 func New(key [KeySize]byte) *Validator {
@@ -50,6 +64,9 @@ func (v *Validator) Key() [KeySize]byte { return v.key }
 // lookup table. srcIP/dstIP are the PROBE's source and destination; when
 // validating a response the caller swaps them back.
 func (v *Validator) Compute(srcIP, dstIP uint32, dstPort uint16) uint64 {
+	if v.computes != nil {
+		v.computes.Add(1)
+	}
 	mac := hmac.New(sha256.New, v.key[:])
 	var tuple [10]byte
 	binary.BigEndian.PutUint32(tuple[0:4], srcIP)
@@ -87,6 +104,9 @@ func (v *Validator) ICMPIDSeq(srcIP, dstIP uint32) (id, seq uint16) {
 // Compute6 is the IPv6 analogue of Compute, MACing the 16-byte source
 // and destination addresses plus the destination port.
 func (v *Validator) Compute6(src, dst [16]byte, dstPort uint16) uint64 {
+	if v.computes != nil {
+		v.computes.Add(1)
+	}
 	mac := hmac.New(sha256.New, v.key[:])
 	var tuple [34]byte
 	copy(tuple[0:16], src[:])

@@ -136,3 +136,32 @@ func BenchmarkCompute(b *testing.B) {
 }
 
 var benchSink uint64
+
+// countingAdder satisfies ComputeCounter.
+type countingAdder struct{ n uint64 }
+
+func (c *countingAdder) Add(n uint64) { c.n += n }
+
+func TestInstrumentCountsComputes(t *testing.T) {
+	v := New([KeySize]byte{1})
+	c := &countingAdder{}
+	v.Instrument(c)
+	v.Compute(1, 2, 80)
+	v.TCPSeq(1, 2, 80) // one Compute
+	v.ICMPIDSeq(1, 2)  // one Compute
+	v.Compute6([16]byte{1}, [16]byte{2}, 443)
+	if c.n != 4 {
+		t.Errorf("compute counter = %d, want 4", c.n)
+	}
+	// SourcePort with a range consults the validator too.
+	v.SourcePort(32768, 256, 9, 80)
+	if c.n != 5 {
+		t.Errorf("compute counter = %d after SourcePort, want 5", c.n)
+	}
+	// Detaching stops counting without breaking computation.
+	v.Instrument(nil)
+	v.Compute(1, 2, 80)
+	if c.n != 5 {
+		t.Errorf("counter advanced after detach: %d", c.n)
+	}
+}

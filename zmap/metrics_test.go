@@ -1,0 +1,235 @@
+package zmap
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricValue extracts a single un-labeled sample from Prometheus text
+// exposition output.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, exposition)
+	return 0
+}
+
+// The acceptance path: scan the simulator with a JSON status stream and
+// a live registry; the Prometheus exposition must agree with the
+// metadata summary, the status lines must carry latency quantiles, and
+// the lifecycle phases must all be present.
+func TestScanMetricsAgreeWithSummary(t *testing.T) {
+	in := NewInternet(SimOptions{Seed: 500, Lossless: true, DisableBlowback: true})
+	link := in.NewLink(1<<16, 0)
+	defer link.Close()
+
+	var status bytes.Buffer
+	opts := Options{
+		Ranges:         []string{"10.0.0.0/20"},
+		Ports:          "80",
+		Seed:           7,
+		Threads:        2,
+		Cooldown:       300 * time.Millisecond,
+		StatusUpdates:  &status,
+		StatusFormat:   "json",
+		StatusInterval: 20 * time.Millisecond,
+	}
+	s, err := opts.Compile(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var expo bytes.Buffer
+	if err := WriteMetrics(&expo, s.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	text := expo.String()
+
+	// Counters exposed on /metrics must match the metadata document.
+	if got := metricValue(t, text, "zmapgo_sent_total"); uint64(got) != sum.PacketsSent {
+		t.Errorf("zmapgo_sent_total = %v, metadata says %d", got, sum.PacketsSent)
+	}
+	if got := metricValue(t, text, "zmapgo_unique_success_total"); uint64(got) != sum.UniqueSucc {
+		t.Errorf("zmapgo_unique_success_total = %v, metadata says %d", got, sum.UniqueSucc)
+	}
+	if got := metricValue(t, text, "zmapgo_recv_total"); uint64(got) != sum.PacketsRecv {
+		t.Errorf("zmapgo_recv_total = %v, metadata says %d", got, sum.PacketsRecv)
+	}
+
+	// Latency histograms recorded on the hot paths must have samples.
+	for _, h := range []string{
+		"zmapgo_send_latency_seconds",
+		"zmapgo_recv_validate_seconds",
+		"zmapgo_sim_response_delay_seconds",
+	} {
+		if got := metricValue(t, text, h+"_count"); got == 0 {
+			t.Errorf("%s_count = 0, want samples", h)
+		}
+	}
+	if got := metricValue(t, text, "zmapgo_send_latency_seconds_count"); uint64(got) < sum.PacketsSent {
+		t.Errorf("send latency count %v < packets sent %d", got, sum.PacketsSent)
+	}
+	if got := metricValue(t, text, "zmapgo_validate_computes_total"); got == 0 {
+		t.Error("validator compute counter never incremented")
+	}
+	// Every validated response consults the deduper exactly once, so
+	// hits + misses must equal the validated-response count.
+	hits := metricValue(t, text, "zmapgo_dedup_hits_total")
+	misses := metricValue(t, text, "zmapgo_dedup_misses_total")
+	if uint64(hits+misses) != sum.ValidResponses {
+		t.Errorf("dedup hits %v + misses %v != valid responses %d", hits, misses, sum.ValidResponses)
+	}
+
+	// Lifecycle phases, in order, each with a start and a duration.
+	wantPhases := []string{"generation", "send", "cooldown", "drain", "done"}
+	if len(sum.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %v", sum.Phases, wantPhases)
+	}
+	for i, p := range sum.Phases {
+		if p.Phase != wantPhases[i] {
+			t.Errorf("phase[%d] = %q, want %q", i, p.Phase, wantPhases[i])
+		}
+		if p.Start.IsZero() || p.DurationSecs < 0 {
+			t.Errorf("phase %q has zero start or negative duration", p.Phase)
+		}
+	}
+
+	// JSON status stream: every line is an object; the last carries
+	// latency quantiles and per-thread rates.
+	lines := strings.Split(strings.TrimSpace(status.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no status lines emitted")
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("last status line not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"sent", "recv", "hit_rate", "thread_pps",
+		"send_latency_p50_secs", "send_latency_p90_secs", "send_latency_p99_secs",
+	} {
+		if _, ok := last[key]; !ok {
+			t.Errorf("status line missing %q: %v", key, last)
+		}
+	}
+	p50, _ := last["send_latency_p50_secs"].(float64)
+	p90, _ := last["send_latency_p90_secs"].(float64)
+	p99, _ := last["send_latency_p99_secs"].(float64)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	if threads, ok := last["thread_pps"].([]any); !ok || len(threads) != 2 {
+		t.Errorf("thread_pps = %v, want 2 entries", last["thread_pps"])
+	}
+}
+
+// The HTTP endpoint serves the same registry the scan records into.
+func TestMetricsServerServesScanRegistry(t *testing.T) {
+	in := NewInternet(SimOptions{Seed: 500, Lossless: true, DisableBlowback: true})
+	link := in.NewLink(1<<16, 0)
+	defer link.Close()
+
+	opts := Options{
+		Ranges:   []string{"10.0.0.0/22"},
+		Ports:    "80",
+		Seed:     7,
+		Cooldown: 100 * time.Millisecond,
+	}
+	s, err := opts.Compile(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewMetricsServer("127.0.0.1:0", s.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sum, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q lacks exposition version", ct)
+	}
+	if got := metricValue(t, string(body), "zmapgo_sent_total"); uint64(got) != sum.PacketsSent {
+		t.Errorf("served zmapgo_sent_total = %v, metadata says %d", got, sum.PacketsSent)
+	}
+
+	// pprof rides along on the same mux.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status %d", resp.StatusCode)
+	}
+}
+
+// CSV status keeps the legacy column set, optionally preceded by the
+// pinned header, regardless of the metrics wiring.
+func TestScanStatusCSVWithHeader(t *testing.T) {
+	in := NewInternet(SimOptions{Seed: 500, Lossless: true, DisableBlowback: true})
+	link := in.NewLink(1<<16, 0)
+	defer link.Close()
+
+	var status bytes.Buffer
+	opts := Options{
+		Ranges:          []string{"10.0.0.0/22"},
+		Ports:           "80",
+		Seed:            7,
+		Cooldown:        150 * time.Millisecond,
+		StatusUpdates:   &status,
+		StatusCSVHeader: true,
+		StatusInterval:  20 * time.Millisecond,
+	}
+	s, err := opts.Compile(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(status.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want header plus data, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_unix,sent,") {
+		t.Errorf("first line is not the header: %q", lines[0])
+	}
+	if fields := strings.Split(lines[1], ","); len(fields) != len(strings.Split(lines[0], ",")) {
+		t.Errorf("data width %d != header width %d", len(strings.Split(lines[1], ",")), len(strings.Split(lines[0], ",")))
+	}
+}

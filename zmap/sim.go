@@ -95,6 +95,13 @@ func (i *Internet) NewFaultyLink(buffer int, timeScale float64, faults FaultOpti
 	}
 }
 
+// SetSimDelayRecorder attaches a recorder for each scheduled response's
+// simulated (unscaled) delay. Compile calls this automatically when the
+// transport is a sim Link, feeding zmapgo_sim_response_delay_seconds.
+func (l *Link) SetSimDelayRecorder(r interface{ Record(d time.Duration) }) {
+	l.inner.SetDelayRecorder(r)
+}
+
 // Send implements Transport.
 func (l *Link) Send(frame []byte) error {
 	if l.send != nil {

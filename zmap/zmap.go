@@ -20,12 +20,35 @@ import (
 	"time"
 
 	"zmapgo/internal/core"
+	"zmapgo/internal/metrics"
 	"zmapgo/internal/output"
 	"zmapgo/internal/packet"
 	"zmapgo/internal/ratelimit"
 	"zmapgo/internal/shard"
 	"zmapgo/internal/target"
 )
+
+// MetricsRegistry is the scan's metric registry: counters, gauges, and
+// latency histograms recorded on the engine's hot paths. Obtain one from
+// Scanner.Metrics, render it with WriteMetrics, or serve it over HTTP
+// (Prometheus text format plus pprof) with NewMetricsServer.
+type MetricsRegistry = metrics.Registry
+
+// MetricsServer serves a registry over HTTP; see NewMetricsServer.
+type MetricsServer = metrics.Server
+
+// NewMetricsServer starts an HTTP server on addr (e.g. ":9100" or
+// "127.0.0.1:0") exposing /metrics in Prometheus text format and the
+// /debug/pprof profiling endpoints. Close it when the scan ends.
+func NewMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.NewServer(addr, reg)
+}
+
+// WriteMetrics renders the registry in Prometheus text exposition
+// format — useful for one-shot dumps without running a server.
+func WriteMetrics(w io.Writer, reg *MetricsRegistry) error {
+	return reg.WritePrometheus(w)
+}
 
 // Version is the library version (semantic versioning, per §5).
 const Version = core.Version
@@ -135,8 +158,18 @@ type Options struct {
 	Filter  string
 	Results io.Writer
 
-	// StatusUpdates receives 1 Hz CSV progress lines.
-	StatusUpdates io.Writer
+	// StatusUpdates receives 1 Hz progress lines (ZMap's third output
+	// stream). StatusFormat selects "csv" (default, ZMap-compatible
+	// columns) or "json" (one object per line with per-thread rates and
+	// send-latency quantiles). StatusCSVHeader prepends the CSV column
+	// header line. StatusInterval overrides the 1 s cadence (tests).
+	StatusUpdates   io.Writer
+	StatusFormat    string
+	StatusCSVHeader bool
+	StatusInterval  time.Duration
+	// Metrics optionally supplies the registry the scan records into;
+	// nil creates a private one, available via Scanner.Metrics.
+	Metrics *MetricsRegistry
 	// Metadata receives the end-of-scan JSON document.
 	Metadata io.Writer
 	// Logger receives structured logs; nil discards them.
@@ -252,6 +285,10 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		RandomIPID:        !o.StaticIPID,
 		Results:           results,
 		StatusWriter:      o.StatusUpdates,
+		StatusFormat:      o.StatusFormat,
+		StatusCSVHeader:   o.StatusCSVHeader,
+		StatusInterval:    o.StatusInterval,
+		Metrics:           o.Metrics,
 		Logger:            o.Logger,
 		MetadataOut:       o.Metadata,
 		DedupWindow:       o.DedupWindow,
@@ -260,13 +297,31 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// When scanning the simulated Internet, record each scheduled
+	// response's modeled delay (RTT + blowback gap) as a histogram, so
+	// the sim's latency distribution is visible next to the real ones.
+	if dr, ok := transport.(delayRecordable); ok {
+		h := inner.Registry().Histogram("zmapgo_sim_response_delay_seconds",
+			"Simulated (unscaled) response delay scheduled by the netsim link.", 1)
+		dr.SetSimDelayRecorder(h.Shard(0))
+	}
 	return &Scanner{inner: inner}, nil
+}
+
+// delayRecordable is satisfied by *Link; Compile uses it to attach the
+// sim-delay histogram without binding Options to the simulator.
+type delayRecordable interface {
+	SetSimDelayRecorder(r interface{ Record(d time.Duration) })
 }
 
 // Run executes the scan and returns its summary.
 func (s *Scanner) Run(ctx context.Context) (*Summary, error) {
 	return s.inner.Run(ctx)
 }
+
+// Metrics returns the scan's registry (Options.Metrics, or the private
+// one Compile created). Valid before, during, and after Run.
+func (s *Scanner) Metrics() *MetricsRegistry { return s.inner.Registry() }
 
 // Targets returns the number of (IP, port) targets the full scan covers.
 func (s *Scanner) Targets() uint64 { return s.inner.Space().Targets() }
