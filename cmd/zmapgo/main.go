@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"zmapgo/internal/target"
@@ -53,6 +54,9 @@ func run(args []string) int {
 		maxRestarts = fs.Int("max-sender-restarts", 0, "sender restarts after fatal errors or panics (0 = default 2, negative = none)")
 		stateFile   = fs.String("state-file", "", "write resumable scan state (JSON) here at exit")
 		resumeFile  = fs.String("resume", "", "resume from a state file written by --state-file")
+		ckptFile    = fs.String("checkpoint", "", "write a crash-safe scan checkpoint here periodically and at exit")
+		ckptEvery   = fs.Duration("checkpoint-interval", 0, "how often to snapshot scan state (0 = default 5s)")
+		resumeCkpt  = fs.String("resume-from", "", "resume from a checkpoint written by --checkpoint (config must match; seed 0 is adopted)")
 		format      = fs.String("O", "text", "output format: text|csv|jsonl")
 		filter      = fs.String("output-filter", "", `output filter (default "success = 1 && repeat = 0")`)
 		outFile     = fs.String("o", "-", "output file (- = stdout)")
@@ -75,6 +79,15 @@ func run(args []string) int {
 		simFaultFirstN = fs.Int("sim-fault-first-n", 0, "fail the first N send attempts of every probe with a transient error")
 		simFaultProb   = fs.Float64("sim-fault-prob", 0, "fail each send attempt with this probability (seeded, deterministic)")
 		simFaultFatal  = fs.Int("sim-fault-fatal-after", 0, "fail every send permanently after this many attempts (0 = never)")
+
+		// Receive-path fault injection (testing the parse/validate/dedup
+		// pipeline's hardening end to end). Probabilities are per frame.
+		simRecvTrunc   = fs.Float64("sim-recv-fault-truncate", 0, "truncate received frames with this probability")
+		simRecvCorrupt = fs.Float64("sim-recv-fault-corrupt", 0, "flip random bits in received frames with this probability")
+		simRecvDup     = fs.Float64("sim-recv-fault-dup", 0, "deliver received frames twice with this probability")
+		simRecvReorder = fs.Float64("sim-recv-fault-reorder", 0, "delay received frames so later traffic overtakes them, with this probability")
+		simRecvSpoof   = fs.Float64("sim-recv-fault-spoof", 0, "inject forged-but-well-formed SYN-ACKs with this probability")
+		simRecvSeed    = fs.Int64("sim-recv-fault-seed", 0, "seed for the receive-fault schedule (default: --sim-seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -114,6 +127,8 @@ func run(args []string) int {
 		Retries:             *retries,
 		Backoff:             *sendBackoff,
 		MaxSenderRestarts:   *maxRestarts,
+		CheckpointPath:      *ckptFile,
+		CheckpointInterval:  *ckptEvery,
 		Format:              *format,
 		Filter:              *filter,
 	}
@@ -198,6 +213,17 @@ func run(args []string) int {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
+	if *resumeCkpt != "" {
+		snap, err := zmap.LoadCheckpoint(*resumeCkpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmapgo:", err)
+			return 1
+		}
+		opts.Resume = snap
+		fmt.Fprintf(os.Stderr, "zmapgo: resuming run %d from %s (phase %q, %d sent, progress %v)\n",
+			snap.Runs+1, *resumeCkpt, snap.Phase, snap.PacketsSent, snap.Progress)
+	}
+
 	if *resumeFile != "" {
 		st, err := loadState(*resumeFile)
 		if err != nil {
@@ -226,6 +252,18 @@ func run(args []string) int {
 	} else {
 		link = internet.NewLink(1<<16, *timeScale)
 	}
+	rfSeed := *simRecvSeed
+	if rfSeed == 0 {
+		rfSeed = int64(*simSeed)
+	}
+	link.WithRecvFaults(zmap.RecvFaultOptions{
+		Seed:          rfSeed,
+		TruncateProb:  *simRecvTrunc,
+		CorruptProb:   *simRecvCorrupt,
+		DuplicateProb: *simRecvDup,
+		ReorderProb:   *simRecvReorder,
+		SpoofProb:     *simRecvSpoof,
+	})
 	defer link.Close()
 
 	scanner, err := opts.Compile(link)
@@ -244,8 +282,29 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "zmapgo: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// Two-stage signal handling: the first SIGINT/SIGTERM requests a
+	// graceful stop (drain, flush, final checkpoint); a second one aborts
+	// hard by canceling the scan context.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "zmapgo: %v: stopping gracefully — draining receives and flushing output (signal again to abort hard)\n", sig)
+			scanner.Stop()
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case <-sigCh:
+			fmt.Fprintln(os.Stderr, "zmapgo: second signal: aborting")
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	summary, err := scanner.Run(ctx)
 	aborted := err != nil && errors.Is(err, zmap.ErrSenderAborted)
 	if err != nil && !aborted {
@@ -278,6 +337,12 @@ func run(args []string) int {
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "zmapgo: state written to %s\n", *stateFile)
+	}
+	if summary.Interrupted {
+		if *ckptFile != "" {
+			fmt.Fprintf(os.Stderr, "zmapgo: interrupted; resume with --resume-from %s\n", *ckptFile)
+		}
+		return 130
 	}
 	if aborted {
 		return 3

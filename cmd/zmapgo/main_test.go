@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // run the CLI end-to-end against the simulator, capturing files.
@@ -329,5 +332,170 @@ func TestCLIStatusCSVHeaderDefault(t *testing.T) {
 func TestCLIBadStatusFormat(t *testing.T) {
 	if code := run([]string{"--status-format", "xml", "-o", os.DevNull}); code != 2 {
 		t.Errorf("bad --status-format exit %d, want 2", code)
+	}
+}
+
+func TestCLISigintCheckpointResume(t *testing.T) {
+	// The crash-safety acceptance path: interrupt a live scan with a real
+	// SIGINT, watch it exit 130 after a graceful drain and a final
+	// checkpoint, then resume with --resume-from and verify the union of
+	// both halves covers the target space exactly once.
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "scan.ckpt")
+	out1 := filepath.Join(dir, "half1.txt")
+	out2 := filepath.Join(dir, "half2.txt")
+	ref := filepath.Join(dir, "ref.txt")
+	meta1 := filepath.Join(dir, "meta1.json")
+	meta2 := filepath.Join(dir, "meta2.json")
+	common := []string{
+		"-r", "10.0.0.0/20", "-p", "80", "-T", "2",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "100ms",
+	}
+	// First run: rate-limited so there is time to interrupt mid-send.
+	args := append(append([]string{}, common...),
+		"--seed", "21", "--rate", "2000",
+		"--checkpoint", ck, "--checkpoint-interval", "20ms",
+		"-o", out1, "--metadata-file", meta1)
+	codeCh := make(chan int, 1)
+	go func() { codeCh <- run(args) }()
+	// A periodic checkpoint on disk proves the scan is mid-send and the
+	// signal handler is installed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ck); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-codeCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("interrupted scan did not exit")
+	}
+	if code != 130 {
+		t.Fatalf("interrupted exit code %d, want 130", code)
+	}
+	m1, err := os.ReadFile(meta1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"interrupted": true`, `"runs": 1`} {
+		if !strings.Contains(string(m1), want) {
+			t.Errorf("first-run metadata missing %s", want)
+		}
+	}
+
+	// Resume. No --seed: zero is adopted from the checkpoint.
+	args = append(append([]string{}, common...),
+		"--resume-from", ck, "--checkpoint", ck,
+		"-o", out2, "--metadata-file", meta2)
+	if code := run(args); code != 0 {
+		t.Fatalf("resume exit %d", code)
+	}
+	m2, err := os.ReadFile(meta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"interrupted": false`, `"runs": 2`, `"seed": 21`} {
+		if !strings.Contains(string(m2), want) {
+			t.Errorf("resume metadata missing %s", want)
+		}
+	}
+
+	// Reference: the same scan, uninterrupted, on a fresh simulator.
+	args = append(append([]string{}, common...), "--seed", "21", "-o", ref)
+	if code := run(args); code != 0 {
+		t.Fatalf("reference exit %d", code)
+	}
+	union := map[string]int{}
+	for _, f := range []string{out1, out2} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, addr := range strings.Fields(string(data)) {
+			union[addr]++
+		}
+	}
+	for addr, n := range union {
+		if n > 1 {
+			t.Errorf("%s reported by both halves (%d times)", addr, n)
+		}
+	}
+	refData, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAddrs := strings.Fields(string(refData))
+	if len(union) != len(refAddrs) {
+		t.Errorf("union of halves has %d addresses, uninterrupted scan found %d", len(union), len(refAddrs))
+	}
+	for _, addr := range refAddrs {
+		if union[addr] == 0 {
+			t.Errorf("%s found by uninterrupted scan but missed across the two halves", addr)
+		}
+	}
+}
+
+func TestCLIResumeFromMismatchedConfigFails(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "scan.ckpt")
+	common := []string{
+		"-r", "10.0.0.0/22", "-p", "80", "--seed", "31",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "50ms",
+	}
+	args := append(append([]string{}, common...), "--checkpoint", ck, "-o", os.DevNull)
+	if code := run(args); code != 0 {
+		t.Fatalf("seed run exit %d", code)
+	}
+	// Different port set: the fingerprint must reject the resume.
+	bad := []string{
+		"-r", "10.0.0.0/22", "-p", "443", "--seed", "31",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "50ms",
+		"--resume-from", ck, "-o", os.DevNull,
+	}
+	if code := run(bad); code == 0 {
+		t.Error("resume with mismatched ports accepted")
+	}
+}
+
+func TestCLIRecvFaultFlags(t *testing.T) {
+	// Aggressive receive faults through the CLI: the scan must complete,
+	// report no error, and account for rejected frames per class.
+	dir := t.TempDir()
+	meta := filepath.Join(dir, "meta.json")
+	code := run([]string{
+		"-r", "10.0.0.0/20", "-p", "80", "--seed", "41",
+		"--sim-lossless", "--sim-time-scale", "0", "--cooldown-time", "300ms",
+		"--sim-recv-fault-truncate", "0.2",
+		"--sim-recv-fault-corrupt", "0.2",
+		"--sim-recv-fault-dup", "0.2",
+		"--sim-recv-fault-spoof", "0.2",
+		"--sim-recv-fault-seed", "41",
+		"-o", os.DevNull, "--metadata-file", meta,
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	metadata, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(metadata, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"recv_truncated", "recv_checksum_fail", "recv_invalid", "duplicate_responses"} {
+		n, ok := doc[key].(float64)
+		if !ok || n == 0 {
+			t.Errorf("metadata %s = %v, want nonzero", key, doc[key])
+		}
 	}
 }

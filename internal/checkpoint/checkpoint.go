@@ -1,0 +1,238 @@
+// Package checkpoint persists scan state across process restarts — the
+// crash-safety layer the paper's operational lessons call for: scans
+// that run for hours must survive operator interrupts and machine
+// failure without either re-probing the covered prefix or silently
+// skipping the rest.
+//
+// A Snapshot is a small versioned JSON document: the configuration
+// fingerprint that determines the permutation (seed, group/shard spec,
+// port set, target-set digest), per-thread progress counters, the scan
+// phase, wall-clock accounting across runs, and (optionally) the dedup
+// sliding-window contents. Save writes it atomically — temp file in the
+// same directory, fsync, rename — so a crash mid-write leaves the
+// previous checkpoint intact. Load + Snapshot.Verify gate resumption: a
+// fingerprint mismatch is a hard error, because resuming with a
+// different permutation yields a silently wrong scan, which is worse
+// than no scan.
+package checkpoint
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FormatVersion identifies the snapshot schema. Readers reject files
+// with a different version rather than guess at field semantics.
+const FormatVersion = 1
+
+// ErrFingerprintMismatch is wrapped by Snapshot.Verify when the
+// checkpoint was written by a scan with different permutation-affecting
+// configuration.
+var ErrFingerprintMismatch = errors.New("checkpoint: configuration fingerprint mismatch")
+
+// ErrVersion is wrapped by Load for snapshots written with an unknown
+// format version.
+var ErrVersion = errors.New("checkpoint: unsupported format version")
+
+// Fingerprint captures every configuration value that affects which
+// (IP, port) element the i-th permutation step probes. Two runs with
+// equal fingerprints walk identical permutations, so per-thread progress
+// counters carry over exactly.
+type Fingerprint struct {
+	Seed            int64  `json:"seed"`
+	Shards          int    `json:"shards"`
+	ShardIndex      int    `json:"shard_index"`
+	Threads         int    `json:"threads"`
+	ShardMode       string `json:"shard_mode"`
+	ProbeModule     string `json:"probe_module"`
+	Ports           string `json:"ports"`
+	ProbesPerTarget int    `json:"probes_per_target"`
+	TargetsDigest   string `json:"targets_digest"` // Constraint.Digest over allow-minus-deny
+}
+
+// DedupState is the serialized dedup sliding window: the key ring in
+// insertion order (oldest first), packed little-endian uint64 and
+// base64-encoded — at the default 10^6-entry window a JSON number array
+// would be ~10 MB of text; this is ~10.7 MB raw halved by being binary,
+// and keeps the document a single string field.
+type DedupState struct {
+	Size int    `json:"size"`
+	Keys string `json:"keys_b64"`
+}
+
+// EncodeKeys packs window keys for embedding in a Snapshot.
+func EncodeKeys(keys []uint64) string {
+	raw := make([]byte, 8*len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(raw[8*i:], k)
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeKeys unpacks a key string written by EncodeKeys.
+func DecodeKeys(s string) ([]uint64, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: dedup keys: %w", err)
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("checkpoint: dedup keys: %d bytes is not a multiple of 8", len(raw))
+	}
+	keys := make([]uint64, len(raw)/8)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	return keys, nil
+}
+
+// Snapshot is one persisted scan state document.
+type Snapshot struct {
+	FormatVersion int       `json:"format_version"`
+	Tool          string    `json:"tool"`
+	ToolVersion   string    `json:"tool_version"`
+	WrittenAt     time.Time `json:"written_at"`
+
+	Fingerprint Fingerprint `json:"fingerprint"`
+
+	// Phase is the scan lifecycle phase at write time ("send",
+	// "cooldown", "done", ...). A "done" snapshot means the scan
+	// completed; resuming it is a no-op covered by progress.
+	Phase string `json:"phase"`
+
+	// Progress holds permutation elements consumed per sender thread.
+	// Final (graceful-shutdown) snapshots are exact; periodic snapshots
+	// taken while senders run are rounded down by up to one element per
+	// thread so a crash-resume re-probes rather than skips the element
+	// that was in flight.
+	Progress []uint64 `json:"progress"`
+
+	// Wall-clock accounting across the runs of this scan.
+	Runs           int       `json:"runs"`
+	FirstStart     time.Time `json:"first_start"`
+	CumulativeSecs float64   `json:"cumulative_secs"`
+	PacketsSent    uint64    `json:"packets_sent"`
+
+	// Dedup carries the sliding-window contents so responses straddling
+	// the checkpoint boundary are still deduplicated after resume. Nil
+	// when dedup is disabled.
+	Dedup *DedupState `json:"dedup,omitempty"`
+}
+
+// Verify reports nil when the snapshot's fingerprint equals want, or an
+// error wrapping ErrFingerprintMismatch naming every differing field.
+func (s *Snapshot) Verify(want Fingerprint) error {
+	got := s.Fingerprint
+	var diffs []string
+	add := func(field string, g, w any) {
+		diffs = append(diffs, fmt.Sprintf("%s: checkpoint has %v, scan has %v", field, g, w))
+	}
+	if got.Seed != want.Seed {
+		add("seed", got.Seed, want.Seed)
+	}
+	if got.Shards != want.Shards {
+		add("shards", got.Shards, want.Shards)
+	}
+	if got.ShardIndex != want.ShardIndex {
+		add("shard_index", got.ShardIndex, want.ShardIndex)
+	}
+	if got.Threads != want.Threads {
+		add("threads", got.Threads, want.Threads)
+	}
+	if got.ShardMode != want.ShardMode {
+		add("shard_mode", got.ShardMode, want.ShardMode)
+	}
+	if got.ProbeModule != want.ProbeModule {
+		add("probe_module", got.ProbeModule, want.ProbeModule)
+	}
+	if got.Ports != want.Ports {
+		add("ports", got.Ports, want.Ports)
+	}
+	if got.ProbesPerTarget != want.ProbesPerTarget {
+		add("probes_per_target", got.ProbesPerTarget, want.ProbesPerTarget)
+	}
+	if got.TargetsDigest != want.TargetsDigest {
+		add("targets_digest", got.TargetsDigest, want.TargetsDigest)
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrFingerprintMismatch, joinDiffs(diffs))
+}
+
+func joinDiffs(diffs []string) string {
+	out := diffs[0]
+	for _, d := range diffs[1:] {
+		out += "; " + d
+	}
+	return out
+}
+
+// Save writes the snapshot atomically: marshal, write to a temp file in
+// the target directory, fsync, then rename over path. Readers therefore
+// always see either the previous complete snapshot or the new one, never
+// a torn write — the property resume correctness rests on.
+func Save(path string, s *Snapshot) error {
+	s.FormatVersion = FormatVersion
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems reject fsync on directories, which is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates a snapshot written by Save.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	if s.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("%w: file has %d, this build reads %d",
+			ErrVersion, s.FormatVersion, FormatVersion)
+	}
+	if s.Phase == "" || s.Progress == nil {
+		return nil, fmt.Errorf("checkpoint: %s: missing phase or progress", path)
+	}
+	return &s, nil
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Tool:        "zmapgo",
+		ToolVersion: "1.0.0",
+		WrittenAt:   time.Unix(1700000000, 0).UTC(),
+		Fingerprint: Fingerprint{
+			Seed: 7, Shards: 2, ShardIndex: 1, Threads: 4,
+			ShardMode: "pizza", ProbeModule: "tcp_synscan", Ports: "80,443",
+			ProbesPerTarget: 1, TargetsDigest: "abc123",
+		},
+		Phase:          "send",
+		Progress:       []uint64{10, 20, 30, 40},
+		Runs:           1,
+		FirstStart:     time.Unix(1699999000, 0).UTC(),
+		CumulativeSecs: 12.5,
+		PacketsSent:    100,
+		Dedup:          &DedupState{Size: 100, Keys: EncodeKeys([]uint64{1, 2, 3})},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint {
+		t.Errorf("fingerprint round trip: got %+v want %+v", got.Fingerprint, want.Fingerprint)
+	}
+	if got.Phase != "send" || got.Runs != 1 || got.PacketsSent != 100 {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if len(got.Progress) != 4 || got.Progress[3] != 40 {
+		t.Errorf("progress round trip: %v", got.Progress)
+	}
+	keys, err := DecodeKeys(got.Dedup.Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Errorf("dedup keys round trip: %v", keys)
+	}
+	// No temp litter after a clean save.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestSaveIsAtomicOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	first := sampleSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleSnapshot()
+	second.Progress = []uint64{99, 99, 99, 99}
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Progress[0] != 99 {
+		t.Errorf("overwrite not visible: %v", got.Progress)
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	if err := os.WriteFile(path,
+		[]byte(`{"format_version": 999, "phase": "send", "progress": [1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrVersion) {
+		t.Errorf("Load of v999 = %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"nonjson":   "not json at all",
+		"truncated": `{"format_version": 1, "phase": "se`,
+		"empty_doc": `{"format_version": 1}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: Load accepted garbage", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestVerifyMismatch(t *testing.T) {
+	s := sampleSnapshot()
+	want := s.Fingerprint
+	if err := s.Verify(want); err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Fingerprint)
+	}{
+		{"seed", func(f *Fingerprint) { f.Seed = 8 }},
+		{"shards", func(f *Fingerprint) { f.Shards = 3 }},
+		{"shard_index", func(f *Fingerprint) { f.ShardIndex = 0 }},
+		{"threads", func(f *Fingerprint) { f.Threads = 2 }},
+		{"shard_mode", func(f *Fingerprint) { f.ShardMode = "interleaved" }},
+		{"probe_module", func(f *Fingerprint) { f.ProbeModule = "udp" }},
+		{"ports", func(f *Fingerprint) { f.Ports = "22" }},
+		{"probes_per_target", func(f *Fingerprint) { f.ProbesPerTarget = 2 }},
+		{"targets_digest", func(f *Fingerprint) { f.TargetsDigest = "zzz" }},
+	}
+	for _, tc := range cases {
+		w := want
+		tc.mutate(&w)
+		err := s.Verify(w)
+		if !errors.Is(err, ErrFingerprintMismatch) {
+			t.Errorf("%s: Verify = %v, want ErrFingerprintMismatch", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: error does not name the field: %v", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeKeysRejectsBadInput(t *testing.T) {
+	if _, err := DecodeKeys("!!! not base64 !!!"); err == nil {
+		t.Error("bad base64 accepted")
+	}
+	if _, err := DecodeKeys("AAAA"); err == nil { // 3 raw bytes, not /8
+		t.Error("non-multiple-of-8 accepted")
+	}
+	keys, err := DecodeKeys("")
+	if err != nil || len(keys) != 0 {
+		t.Errorf("empty decode = %v, %v", keys, err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zmapgo/internal/checkpoint"
 	"zmapgo/internal/cyclic"
 	"zmapgo/internal/dedup"
 	"zmapgo/internal/metrics"
@@ -121,6 +122,26 @@ type Config struct {
 	// identical to the original scan or coverage guarantees are void.
 	ResumeProgress []uint64
 
+	// Resume restores an interrupted scan from a checkpoint snapshot
+	// (see internal/checkpoint). The snapshot's configuration fingerprint
+	// must match this scan's — New fails hard on any mismatch, because a
+	// resumed scan with a different permutation is silently wrong. When
+	// Seed is zero it is adopted from the snapshot; everything else must
+	// be configured identically. Resume overrides ResumeProgress and also
+	// restores the dedup sliding window when the snapshot carries one.
+	Resume *checkpoint.Snapshot
+
+	// CheckpointPath, when non-empty, makes the scan crash-safe: a
+	// snapshot is written atomically to this path every
+	// CheckpointInterval (default 5s) while the scan runs, and a final
+	// exact snapshot is written when the scan finishes or is gracefully
+	// stopped. Periodic snapshots round still-running threads' progress
+	// down by one element, so a crash-resume re-probes at most
+	// Threads elements (at-least-once); the final snapshot is exact
+	// (exactly-once).
+	CheckpointPath     string
+	CheckpointInterval time.Duration
+
 	// DedupWindow sizes the sliding window (0 = ZMap default 10^6;
 	// negative disables dedup). Deduper overrides it when non-nil (e.g.
 	// the legacy full bitmap).
@@ -212,6 +233,9 @@ func (c *Config) setDefaults() {
 	if c.ProbeModule == "" {
 		c.ProbeModule = "tcp_synscan"
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 5 * time.Second
+	}
 }
 
 // Validate reports configuration errors.
@@ -251,6 +275,29 @@ type Scanner struct {
 	progress  []atomic.Uint64
 	start     time.Time
 
+	// Crash-safety state. fingerprint identifies the permutation this
+	// scan walks; threadDone marks senders whose subshard is complete
+	// (their progress needs no conservative rounding in periodic
+	// checkpoints); dedupMu serializes the deduper between the receive
+	// loop and the checkpoint writer; runs/firstStart/prevSecs carry
+	// wall-clock accounting across resumed runs.
+	fingerprint checkpoint.Fingerprint
+	threadDone  []atomic.Bool
+	dedupMu     sync.Mutex
+	runs        int
+	firstStart  time.Time
+	prevSecs    float64
+	ckptWrites  atomic.Uint64
+	probeErrs   atomic.Uint64
+	phaseNow    atomic.Value // string; read by the checkpoint goroutine
+
+	// Graceful shutdown: Stop closes stopCh (once), which cancels the
+	// send side only — cooldown, drain, output flush, and the final
+	// checkpoint still run.
+	stopCh        chan struct{}
+	stopOnce      sync.Once
+	stopRequested atomic.Bool
+
 	// Instrumentation (see Config.Metrics). Histograms are sharded per
 	// sender thread so hot-path records never contend.
 	registry    *metrics.Registry
@@ -282,6 +329,7 @@ func (s *Scanner) markPhase(name string) {
 	}
 	s.curPhase, s.curPhaseAt = name, now
 	if name != "" {
+		s.phaseNow.Store(name)
 		s.cfg.Logger.Info("scan phase", "phase", name)
 	}
 }
@@ -314,6 +362,12 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		return nil, err
 	}
 	seed := cfg.Seed
+	if seed == 0 && cfg.Resume != nil {
+		// Zero means "derive from entropy", which can never match a
+		// checkpoint; adopt the original scan's seed instead. An explicit
+		// non-zero seed still must match (Verify below).
+		seed = cfg.Resume.Fingerprint.Seed
+	}
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
@@ -335,14 +389,60 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		deduper = dedup.NewWindow(size)
 	}
 
+	// The fingerprint pins every input that decides which (IP, port) the
+	// i-th permutation element maps to. Resume verifies against it; the
+	// checkpoint writer embeds it in every snapshot.
+	fp := checkpoint.Fingerprint{
+		Seed:            cfg.Seed,
+		Shards:          cfg.Shards,
+		ShardIndex:      cfg.ShardIndex,
+		Threads:         cfg.Threads,
+		ShardMode:       cfg.ShardMode.String(),
+		ProbeModule:     cfg.ProbeModule,
+		Ports:           cfg.Ports.String(),
+		ProbesPerTarget: cfg.ProbesPerTarget,
+		TargetsDigest:   cfg.Constraint.Digest(),
+	}
+	runs, firstStart, prevSecs := 1, time.Time{}, 0.0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Verify(fp); err != nil {
+			return nil, err
+		}
+		// Verify guarantees the thread counts agree; a progress array of
+		// a different length means the snapshot is internally corrupt.
+		if len(cfg.Resume.Progress) != cfg.Threads {
+			return nil, fmt.Errorf("core: checkpoint has progress for %d threads, fingerprint says %d",
+				len(cfg.Resume.Progress), cfg.Threads)
+		}
+		cfg.ResumeProgress = append([]uint64(nil), cfg.Resume.Progress...)
+		if d := cfg.Resume.Dedup; d != nil {
+			if w, ok := deduper.(*dedup.Window); ok {
+				keys, err := checkpoint.DecodeKeys(d.Keys)
+				if err != nil {
+					return nil, err
+				}
+				w.Restore(keys)
+			}
+		}
+		runs = cfg.Resume.Runs + 1
+		firstStart = cfg.Resume.FirstStart
+		prevSecs = cfg.Resume.CumulativeSecs
+	}
+
 	s := &Scanner{
-		cfg:       cfg,
-		module:    mod,
-		transport: transport,
-		space:     space,
-		cycle:     cycle,
-		deduper:   deduper,
-		progress:  make([]atomic.Uint64, cfg.Threads),
+		cfg:         cfg,
+		module:      mod,
+		transport:   transport,
+		space:       space,
+		cycle:       cycle,
+		deduper:     deduper,
+		progress:    make([]atomic.Uint64, cfg.Threads),
+		threadDone:  make([]atomic.Bool, cfg.Threads),
+		fingerprint: fp,
+		runs:        runs,
+		firstStart:  firstStart,
+		prevSecs:    prevSecs,
+		stopCh:      make(chan struct{}),
 		probeCtx: &probe.Context{
 			SrcIP:           cfg.SourceIP,
 			SrcMAC:          cfg.SourceMAC,
@@ -417,6 +517,24 @@ func (s *Scanner) initMetrics(validator *validate.Validator) {
 	reg.GaugeFunc("zmapgo_degraded_seconds",
 		"Wall time senders spent below their configured rate share.",
 		func() float64 { return c.Snapshot().Degraded.Seconds() })
+	reg.CounterFunc("zmapgo_recv_truncated_total",
+		"Frames rejected by the parser as truncated.",
+		func() uint64 { return c.Snapshot().RecvTruncated })
+	reg.CounterFunc("zmapgo_recv_unsupported_total",
+		"Frames rejected by the parser as unsupported.",
+		func() uint64 { return c.Snapshot().RecvUnsupported })
+	reg.CounterFunc("zmapgo_recv_checksum_fail_total",
+		"Frames that parsed but failed IP/transport checksum verification.",
+		func() uint64 { return c.Snapshot().RecvChecksum })
+	reg.CounterFunc("zmapgo_recv_invalid_total",
+		"Well-formed frames rejected by stateless validation/classification.",
+		func() uint64 { return c.Snapshot().RecvInvalid })
+	reg.CounterFunc("zmapgo_probe_build_errors_total",
+		"Probes the engine could not build and skipped.",
+		func() uint64 { return s.probeErrs.Load() })
+	reg.CounterFunc("zmapgo_checkpoints_written_total",
+		"Checkpoint snapshots successfully persisted.",
+		func() uint64 { return s.ckptWrites.Load() })
 
 	t := s.transport
 	reg.GaugeFunc("zmapgo_recv_ring_drops",
@@ -454,11 +572,31 @@ func (s *Scanner) Progress() []uint64 {
 	return out
 }
 
+// Stop requests a graceful shutdown: target generation stops, in-flight
+// sends drain, the cooldown and drain phases still run so straggler
+// responses are collected, all output streams flush, and (when
+// CheckpointPath is set) a final exact checkpoint is written. Safe to
+// call from any goroutine, any number of times. Contrast with canceling
+// Run's context, which aborts the receive side too.
+func (s *Scanner) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopRequested.Store(true)
+		close(s.stopCh)
+	})
+}
+
+// Interrupted reports whether Stop was called (or a graceful interrupt
+// otherwise ended the send phase early).
+func (s *Scanner) Interrupted() bool { return s.stopRequested.Load() }
+
 // Run executes the scan to completion (or ctx cancellation) and returns
 // the metadata summary. Run may be called once.
 func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	cfg := &s.cfg
 	s.start = time.Now()
+	if s.firstStart.IsZero() {
+		s.firstStart = s.start
+	}
 	log := cfg.Logger
 	excluded, excludedFrac := cfg.Constraint.Excluded()
 	log.Info("scan starting",
@@ -481,13 +619,25 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		})
 	}
 
-	// Senders. MaxRuntime bounds the sending phase via a derived context.
-	sendCtx := ctx
+	// Senders. The send side gets its own cancelable context so a
+	// graceful Stop (or MaxRuntime) ends generation without killing the
+	// receiver; cooldown and drain still run afterwards.
+	var sendCtx context.Context
 	var cancelSend context.CancelFunc
 	if cfg.MaxRuntime > 0 {
 		sendCtx, cancelSend = context.WithTimeout(ctx, cfg.MaxRuntime)
-		defer cancelSend()
+	} else {
+		sendCtx, cancelSend = context.WithCancel(ctx)
 	}
+	defer cancelSend()
+	go func() {
+		select {
+		case <-s.stopCh:
+			log.Info("graceful stop requested; draining senders")
+			cancelSend()
+		case <-sendCtx.Done():
+		}
+	}()
 	s.markPhase("send")
 	var wg sync.WaitGroup
 	var abortedThreads atomic.Uint64
@@ -504,6 +654,7 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		wg.Add(1)
 		go func(t int, base shard.Assignment) {
 			defer wg.Done()
+			defer s.threadDone[t].Store(true)
 			if err := s.superviseSender(sendCtx, t, base); err != nil {
 				abortedThreads.Add(1)
 				log.Error("sender aborted", "thread", t, "err", err)
@@ -520,6 +671,35 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		s.recvLoop(ctx, stopRecv, &cooldownAt)
 	}()
 
+	// Periodic checkpointer: a snapshot every CheckpointInterval while
+	// the scan runs, so a crash loses at most one interval of progress
+	// (and re-probes at most one in-flight element per thread).
+	var ckptDone chan struct{}
+	var ckptStop chan struct{}
+	if cfg.CheckpointPath != "" {
+		ckptStop = make(chan struct{})
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(cfg.CheckpointInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := checkpoint.Save(cfg.CheckpointPath, s.snapshot(false)); err != nil {
+						log.Error("checkpoint write failed", "path", cfg.CheckpointPath, "err", err)
+					} else {
+						s.ckptWrites.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
 	s.markPhase("cooldown")
 	log.Debug("senders finished; entering cooldown", "cooldown", cfg.Cooldown)
@@ -534,8 +714,22 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	if status != nil {
 		status.Stop()
 	}
+	if ckptStop != nil {
+		close(ckptStop)
+		<-ckptDone
+	}
 	s.markPhase("done")
 	s.markPhase("") // close "done" with its (near-zero) duration
+
+	// Final checkpoint: senders and receiver have stopped, so per-thread
+	// progress is exact — a resume from this file is exactly-once.
+	if cfg.CheckpointPath != "" {
+		if err := checkpoint.Save(cfg.CheckpointPath, s.snapshot(true)); err != nil {
+			log.Error("final checkpoint write failed", "path", cfg.CheckpointPath, "err", err)
+		} else {
+			s.ckptWrites.Add(1)
+		}
+	}
 
 	meta := s.buildMetadata()
 	if cfg.MetadataOut != nil {
@@ -555,6 +749,53 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		return meta, fmt.Errorf("%w (%d of %d threads)", ErrSenderAborted, n, cfg.Threads)
 	}
 	return meta, nil
+}
+
+// snapshot assembles a checkpoint document from live scan state. With
+// final=false (periodic, senders still running) each unfinished thread's
+// progress is rounded down by one element: its counter may have ticked
+// for an element whose probe has not hit the wire yet, and a resume must
+// re-probe rather than skip it — at-least-once, with the duplicate (if
+// any) suppressed by the restored dedup window. With final=true the
+// counters are exact because every sender has returned.
+func (s *Scanner) snapshot(final bool) *checkpoint.Snapshot {
+	prog := make([]uint64, len(s.progress))
+	for i := range s.progress {
+		n := s.progress[i].Load()
+		if !final && !s.threadDone[i].Load() && n > 0 {
+			n--
+		}
+		prog[i] = n
+	}
+	phase, _ := s.phaseNow.Load().(string)
+	if final {
+		if s.stopRequested.Load() {
+			phase = "interrupted"
+		} else {
+			phase = "done"
+		}
+	}
+	if phase == "" {
+		phase = "send"
+	}
+	snap := &checkpoint.Snapshot{
+		Tool:           "zmapgo",
+		ToolVersion:    Version,
+		WrittenAt:      time.Now().UTC(),
+		Fingerprint:    s.fingerprint,
+		Phase:          phase,
+		Progress:       prog,
+		Runs:           s.runs,
+		FirstStart:     s.firstStart,
+		CumulativeSecs: s.prevSecs + time.Since(s.start).Seconds(),
+		PacketsSent:    s.counters.Snapshot().Sent,
+	}
+	if w, ok := s.deduper.(*dedup.Window); ok {
+		s.dedupMu.Lock()
+		snap.Dedup = &checkpoint.DedupState{Size: w.Size(), Keys: checkpoint.EncodeKeys(w.Keys())}
+		s.dedupMu.Unlock()
+	}
+	return snap
 }
 
 // statusExtra builds the per-tick enrichment callback for the status
@@ -698,7 +939,16 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 		port := cfg.Ports.At(int(portIdx))
 		for p := 0; p < cfg.ProbesPerTarget; p++ {
 			limiter.Wait()
-			buf = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
+			var perr error
+			buf, perr = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
+			if perr != nil {
+				// Unbuildable probe: count it and move on. A partial
+				// frame must never reach the wire.
+				s.probeErrs.Add(1)
+				cfg.Logger.Debug("probe build failed",
+					"thread", thread, "ip", ip, "port", port, "err", perr)
+				continue
+			}
 			outcome, retried, err := s.sendWithRetry(ctx, buf, sendLat, backoffLat)
 			switch outcome {
 			case sendOK:
@@ -813,18 +1063,37 @@ func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt
 			s.counters.Recv()
 			f, err := packet.Parse(frame)
 			if err != nil {
+				// Parser taxonomy: truncated frames and unsupported
+				// protocols are counted separately so a hostile or lossy
+				// path shows up with the right shape in the status stream.
+				if errors.Is(err, packet.ErrTruncated) {
+					s.counters.RecvTruncated()
+				} else {
+					s.counters.RecvUnsupported()
+				}
 				cfg.Logger.Debug("unparseable frame", "err", err)
+				continue
+			}
+			if !packet.VerifyChecksums(frame) {
+				// Parsed but corrupt: a flipped bit anywhere in the IP
+				// header or transport segment lands here, never in results.
+				s.counters.RecvChecksum()
 				continue
 			}
 			res, ok := s.module.Classify(s.probeCtx, f)
 			recvLat.Record(time.Since(t0))
 			if !ok {
+				// Well-formed but unvalidatable: spoofed or unsolicited
+				// traffic that carries no proof it answers our probe.
+				s.counters.RecvInvalid()
 				continue
 			}
 			s.counters.Valid()
 			repeat := false
 			if s.deduper != nil {
+				s.dedupMu.Lock()
 				repeat = s.deduper.Seen(res.IP, res.Port)
+				s.dedupMu.Unlock()
 				if repeat {
 					s.dedupHits.Inc()
 				} else {
@@ -899,6 +1168,18 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 		SenderRestarts: snap.SenderRestarts,
 		DegradedSecs:   snap.Degraded.Seconds(),
 		Phases:         append([]output.PhaseTiming(nil), s.phases...),
+
+		RecvTruncated:    snap.RecvTruncated,
+		RecvUnsupported:  snap.RecvUnsupported,
+		RecvChecksumFail: snap.RecvChecksum,
+		RecvInvalid:      snap.RecvInvalid,
+		ProbeBuildErrors: s.probeErrs.Load(),
+
+		Runs:           s.runs,
+		FirstStartTime: s.firstStart,
+		CumulativeSecs: s.prevSecs + dur,
+		Interrupted:    s.stopRequested.Load(),
+		CheckpointFile: cfg.CheckpointPath,
 	}
 }
 

@@ -128,6 +128,33 @@ func (w *Window) Seen(ip uint32, port uint16) bool {
 // Len implements Deduper.
 func (w *Window) Len() int { return w.used }
 
+// Size returns the configured window capacity.
+func (w *Window) Size() int { return w.size }
+
+// Keys returns the window contents in insertion order, oldest first —
+// the serializable state a checkpoint needs to carry dedup across a
+// process restart. Replaying the returned slice through Seen on an empty
+// window of the same size reproduces the exact membership and eviction
+// order.
+func (w *Window) Keys() []uint64 {
+	out := make([]uint64, 0, w.used)
+	start := w.head - w.used
+	for i := 0; i < w.used; i++ {
+		out = append(out, w.ring[((start+i)%w.size+w.size)%w.size])
+	}
+	return out
+}
+
+// Restore replays previously captured keys (oldest first) into the
+// window, as if each had been Seen. Keys beyond the window size evict
+// the oldest, matching live behavior, so restoring into a smaller window
+// keeps the most recent keys.
+func (w *Window) Restore(keys []uint64) {
+	for _, k := range keys {
+		w.Seen(uint32(k>>16), uint16(k&0xFFFF))
+	}
+}
+
 // MemoryBytes implements Deduper: the ring plus an estimate of the hash
 // index (Go maps cost roughly 48 bytes per uint64 key entry including
 // bucket overhead at typical load factors).

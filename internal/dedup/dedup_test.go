@@ -286,3 +286,87 @@ func TestKeyedWindowPanicsOnBadSize(t *testing.T) {
 	}()
 	NewKeyedWindow[int](0)
 }
+
+func TestWindowKeysOldestFirst(t *testing.T) {
+	w := NewWindow(4)
+	for i := uint32(1); i <= 3; i++ {
+		w.Seen(i, 80)
+	}
+	keys := w.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys len = %d", len(keys))
+	}
+	for i, k := range keys {
+		if uint32(k>>16) != uint32(i+1) {
+			t.Errorf("key %d = ip %d, want oldest-first order", i, k>>16)
+		}
+	}
+}
+
+func TestWindowKeysAfterWraparound(t *testing.T) {
+	// Fill past capacity so the ring wraps; Keys must return exactly the
+	// surviving window, oldest first.
+	w := NewWindow(4)
+	for i := uint32(1); i <= 10; i++ {
+		w.Seen(i, 80)
+	}
+	keys := w.Keys()
+	if len(keys) != 4 {
+		t.Fatalf("keys len = %d, want 4", len(keys))
+	}
+	for i, k := range keys {
+		if want := uint32(7 + i); uint32(k>>16) != want {
+			t.Errorf("key %d = ip %d, want %d", i, k>>16, want)
+		}
+	}
+}
+
+func TestWindowRestoreReproducesStateExactly(t *testing.T) {
+	// The checkpoint contract: replaying Keys() into a fresh window of
+	// the same size reproduces both membership and eviction order, so a
+	// resumed scan dedupes exactly as the original would have.
+	orig := NewWindow(8)
+	for i := uint32(0); i < 20; i++ {
+		orig.Seen(1000+i, uint16(i%3))
+	}
+	restored := NewWindow(8)
+	restored.Restore(orig.Keys())
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored len %d, orig %d", restored.Len(), orig.Len())
+	}
+	// Same membership.
+	for _, k := range orig.Keys() {
+		if !restored.Seen(uint32(k>>16), uint16(k&0xFFFF)) {
+			t.Errorf("restored window missing %x", k)
+		}
+	}
+	// Same eviction order from here on: drive both with identical new
+	// keys and compare verdicts (restored was just mutated by the
+	// membership probes above, so rebuild it first).
+	restored = NewWindow(8)
+	restored.Restore(orig.Keys())
+	for i := uint32(0); i < 30; i++ {
+		a := orig.Seen(2000+i*7, 443)
+		b := restored.Seen(2000+i*7, 443)
+		if a != b {
+			t.Fatalf("divergence at step %d: orig %v restored %v", i, a, b)
+		}
+	}
+}
+
+func TestWindowRestoreIntoSmallerWindowKeepsNewest(t *testing.T) {
+	orig := NewWindow(8)
+	for i := uint32(1); i <= 8; i++ {
+		orig.Seen(i, 80)
+	}
+	small := NewWindow(3)
+	small.Restore(orig.Keys())
+	if small.Len() != 3 {
+		t.Fatalf("len = %d", small.Len())
+	}
+	for i := uint32(6); i <= 8; i++ {
+		if !small.Seen(i, 80) {
+			t.Errorf("newest key ip=%d lost in smaller restore", i)
+		}
+	}
+}

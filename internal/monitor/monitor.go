@@ -36,6 +36,17 @@ type Counters struct {
 	sendDrops      atomic.Uint64
 	senderRestarts atomic.Uint64
 	degradedNanos  atomic.Int64
+
+	// Receive-path fault counters: frames rejected before they could
+	// produce a result, bucketed by failure class so a hostile or lossy
+	// receive path is visible in the status stream (truncated and
+	// unsupported from the parser's error taxonomy, checksum failures
+	// from corruption, invalid from validation/classification refusals —
+	// the spoofed-response bucket).
+	recvTruncated   atomic.Uint64
+	recvUnsupported atomic.Uint64
+	recvChecksum    atomic.Uint64
+	recvInvalid     atomic.Uint64
 }
 
 // Sent increments packets sent.
@@ -66,6 +77,22 @@ func (c *Counters) AddDegraded(d time.Duration) {
 
 // Recv increments packets received (pre-validation).
 func (c *Counters) Recv() { c.recv.Add(1) }
+
+// RecvTruncated increments frames the parser rejected as truncated.
+func (c *Counters) RecvTruncated() { c.recvTruncated.Add(1) }
+
+// RecvUnsupported increments frames the parser rejected as an
+// unsupported protocol or shape.
+func (c *Counters) RecvUnsupported() { c.recvUnsupported.Add(1) }
+
+// RecvChecksum increments frames that parsed but failed IP or transport
+// checksum verification (bit corruption on the path).
+func (c *Counters) RecvChecksum() { c.recvChecksum.Add(1) }
+
+// RecvInvalid increments well-formed frames the validator or classifier
+// refused — unsolicited or spoofed traffic that carried no proof it
+// answers one of this scan's probes.
+func (c *Counters) RecvInvalid() { c.recvInvalid.Add(1) }
 
 // Valid increments validated responses.
 func (c *Counters) Valid() { c.valid.Add(1) }
@@ -105,6 +132,11 @@ type Snapshot struct {
 	SendDrops      uint64
 	SenderRestarts uint64
 	Degraded       time.Duration
+
+	RecvTruncated   uint64
+	RecvUnsupported uint64
+	RecvChecksum    uint64
+	RecvInvalid     uint64
 }
 
 // Snapshot captures current values.
@@ -123,6 +155,11 @@ func (c *Counters) Snapshot() Snapshot {
 		SendDrops:      c.sendDrops.Load(),
 		SenderRestarts: c.senderRestarts.Load(),
 		Degraded:       time.Duration(c.degradedNanos.Load()),
+
+		RecvTruncated:   c.recvTruncated.Load(),
+		RecvUnsupported: c.recvUnsupported.Load(),
+		RecvChecksum:    c.recvChecksum.Load(),
+		RecvInvalid:     c.recvInvalid.Load(),
 	}
 }
 
@@ -145,6 +182,12 @@ type Status struct {
 	SenderRestarts uint64  `json:"sender_restarts"`
 	DegradedSecs   float64 `json:"degraded_secs"`
 
+	// Receive-path fault classes (appended CSV columns; always in JSON).
+	RecvTruncated   uint64 `json:"recv_truncated"`
+	RecvUnsupported uint64 `json:"recv_unsupported"`
+	RecvChecksum    uint64 `json:"recv_checksum_fail"`
+	RecvInvalid     uint64 `json:"recv_invalid"`
+
 	// Enriched fields (JSON only). HitRate defaults to unique/sent; the
 	// engine's Extra callback overrides it with the probes-per-target
 	// aware value and fills the rest.
@@ -163,6 +206,7 @@ var csvColumns = []string{
 	"success", "unique", "duplicates", "drops",
 	"send_errors", "retries", "send_drops", "sender_restarts",
 	"degraded_secs",
+	"recv_truncated", "recv_unsupported", "recv_checksum_fail", "recv_invalid",
 }
 
 // CSVHeader returns the status CSV header line (without newline).
@@ -260,6 +304,11 @@ func (s *StatusWriter) emit() {
 		SendDrops:      now.SendDrops,
 		SenderRestarts: now.SenderRestarts,
 		DegradedSecs:   now.Degraded.Seconds(),
+
+		RecvTruncated:   now.RecvTruncated,
+		RecvUnsupported: now.RecvUnsupported,
+		RecvChecksum:    now.RecvChecksum,
+		RecvInvalid:     now.RecvInvalid,
 	}
 	if now.Sent > 0 {
 		st.HitRate = float64(now.UniqueSucc) / float64(now.Sent)
@@ -279,13 +328,14 @@ func (s *StatusWriter) emit() {
 			s.headed = true
 			fmt.Fprintln(s.w, CSVHeader())
 		}
-		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d\n",
 			st.TimeUnix,
 			st.Sent, st.SentPPS,
 			st.Recv, st.RecvPPS,
 			st.Success, st.Unique, st.Duplicates, st.Drops,
 			st.SendErrors, st.Retries, st.SendDrops, st.SenderRestarts,
-			st.DegradedSecs)
+			st.DegradedSecs,
+			st.RecvTruncated, st.RecvUnsupported, st.RecvChecksum, st.RecvInvalid)
 	}
 }
 

@@ -67,7 +67,7 @@ func TestStatusWriterEmitsLines(t *testing.T) {
 		t.Fatalf("expected >= 2 status lines, got %q", out)
 	}
 	fields := strings.Split(lines[len(lines)-1], ",")
-	if len(fields) != 14 {
+	if len(fields) != 18 {
 		t.Fatalf("status line has %d fields: %q", len(fields), lines[len(lines)-1])
 	}
 	if fields[1] != "100" {
@@ -137,7 +137,8 @@ func TestStatusCSVHeaderPinned(t *testing.T) {
 	// or rename must be a deliberate, test-breaking decision.
 	const want = "time_unix,sent,sent_pps,recv,recv_pps," +
 		"success,unique,duplicates,drops," +
-		"send_errors,retries,send_drops,sender_restarts,degraded_secs"
+		"send_errors,retries,send_drops,sender_restarts,degraded_secs," +
+		"recv_truncated,recv_unsupported,recv_checksum_fail,recv_invalid"
 	if got := CSVHeader(); got != want {
 		t.Errorf("CSV header changed:\n got %q\nwant %q", got, want)
 	}
@@ -223,8 +224,8 @@ func TestStatusWriterJSONFormat(t *testing.T) {
 }
 
 func TestStatusWriterCSVOutputUnchanged(t *testing.T) {
-	// The legacy constructor must keep the exact pre-header format: 14
-	// comma-separated fields, no header line.
+	// The legacy constructor must keep the exact pre-header format:
+	// comma-separated fields matching csvColumns, no header line.
 	var mu sync.Mutex
 	var buf bytes.Buffer
 	w := &lockedWriter{mu: &mu, w: &buf}
@@ -239,7 +240,7 @@ func TestStatusWriterCSVOutputUnchanged(t *testing.T) {
 		if strings.HasPrefix(line, "time_unix") {
 			t.Fatal("legacy constructor emitted a header")
 		}
-		if got := len(strings.Split(line, ",")); got != 14 {
+		if got := len(strings.Split(line, ",")); got != 18 {
 			t.Fatalf("line has %d fields: %q", got, line)
 		}
 	}

@@ -26,7 +26,7 @@ func buildSYNProbe(dst uint32, port uint16, layout packet.OptionLayout) []byte {
 		ID: packet.ZMapIPID, TTL: 255, Protocol: packet.ProtocolTCP,
 		Src: 0xC0000201, Dst: dst,
 	}, packet.TCPHeaderLen+len(opts))
-	buf = packet.AppendTCP(buf, packet.TCP{
+	buf, _ = packet.AppendTCP(buf, packet.TCP{
 		SrcPort: 54321, DstPort: port, Seq: 0x1000, Flags: packet.FlagSYN,
 		Window: 65535, Options: opts,
 	}, 0xC0000201, dst, nil)
@@ -672,10 +672,11 @@ func TestSYNACKProbeGetsRSTFromLiveHost(t *testing.T) {
 	probe := func(dst uint32) []byte {
 		buf := packet.AppendEthernet(nil, probeSrcMAC, packet.MAC{}, packet.EtherTypeIPv4)
 		buf = packet.AppendIPv4(buf, packet.IPv4{TTL: 255, Protocol: packet.ProtocolTCP, Src: 9, Dst: dst}, packet.TCPHeaderLen)
-		return packet.AppendTCP(buf, packet.TCP{
+		buf, _ = packet.AppendTCP(buf, packet.TCP{
 			SrcPort: 54321, DstPort: 80, Seq: 100, Ack: 0xABCDEF01,
 			Flags: packet.FlagSYN | packet.FlagACK,
 		}, 9, dst, nil)
+		return buf
 	}
 	rs := in.Respond(probe(live))
 	if len(rs) != 1 {

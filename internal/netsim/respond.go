@@ -130,12 +130,12 @@ func (in *Internet) respondSYNACKProbe(f *packet.Frame) []Response {
 		Src:      f.IP.Dst,
 		Dst:      f.IP.Src,
 	}, packet.TCPHeaderLen)
-	buf = packet.AppendTCP(buf, packet.TCP{
+	buf, _ = packet.AppendTCP(buf, packet.TCP{
 		SrcPort: f.TCP.DstPort,
 		DstPort: f.TCP.SrcPort,
 		Seq:     f.TCP.Ack, // RST takes its seq from the offending ack
 		Flags:   packet.FlagRST,
-	}, f.IP.Dst, f.IP.Src, nil)
+	}, f.IP.Dst, f.IP.Src, nil) // options are empty; cannot fail
 	return []Response{{Delay: in.RTT(ip), Frame: buf}}
 }
 
@@ -174,7 +174,7 @@ func (in *Internet) buildTCPReply(f *packet.Frame, flags byte) []byte {
 		Src:      f.IP.Dst,
 		Dst:      f.IP.Src,
 	}, packet.TCPHeaderLen+len(opts))
-	buf = packet.AppendTCP(buf, packet.TCP{
+	buf, _ = packet.AppendTCP(buf, packet.TCP{
 		SrcPort: port,
 		DstPort: f.TCP.SrcPort,
 		Seq:     seq,
@@ -182,7 +182,7 @@ func (in *Internet) buildTCPReply(f *packet.Frame, flags byte) []byte {
 		Flags:   flags,
 		Window:  28960,
 		Options: opts,
-	}, f.IP.Dst, f.IP.Src, nil)
+	}, f.IP.Dst, f.IP.Src, nil) // BuildOptions layouts are 4-aligned; cannot fail
 	return buf
 }
 

@@ -118,7 +118,7 @@ func (in *Internet) buildTCP6Reply(f *packet.Frame6, flags byte) []byte {
 		Src:        f.IP.Dst,
 		Dst:        f.IP.Src,
 	}, packet.TCPHeaderLen+len(opts))
-	return packet.AppendTCP6(buf, packet.TCP{
+	buf, _ = packet.AppendTCP6(buf, packet.TCP{
 		SrcPort: port,
 		DstPort: f.TCP.SrcPort,
 		Seq:     uint32(in.v6hash(purposeService+32, addr, port)),
@@ -126,5 +126,6 @@ func (in *Internet) buildTCP6Reply(f *packet.Frame6, flags byte) []byte {
 		Flags:   flags,
 		Window:  28960,
 		Options: opts,
-	}, f.IP.Dst, f.IP.Src, nil)
+	}, f.IP.Dst, f.IP.Src, nil) // BuildOptions layouts are 4-aligned; cannot fail
+	return buf
 }

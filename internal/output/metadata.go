@@ -71,6 +71,26 @@ type Metadata struct {
 	SendDrops      uint64  `json:"send_drops"`
 	SenderRestarts uint64  `json:"sender_restarts"`
 	DegradedSecs   float64 `json:"degraded_seconds"`
+
+	// Receive-path fault accounting: frames rejected before producing a
+	// result, by failure class (parser truncation, unsupported protocol,
+	// checksum failure, validation/classification refusal). Probes the
+	// engine could not build at all are counted as probe_build_errors.
+	RecvTruncated    uint64 `json:"recv_truncated"`
+	RecvUnsupported  uint64 `json:"recv_unsupported"`
+	RecvChecksumFail uint64 `json:"recv_checksum_fail"`
+	RecvInvalid      uint64 `json:"recv_invalid"`
+	ProbeBuildErrors uint64 `json:"probe_build_errors"`
+
+	// Crash-safety accounting across interrupted runs: how many runs
+	// contributed to this scan, when the first began, cumulative active
+	// wall clock, whether this run ended on a graceful interrupt, and the
+	// checkpoint file (if any) that carries the resumable state.
+	Runs           int       `json:"runs"`
+	FirstStartTime time.Time `json:"first_start_time"`
+	CumulativeSecs float64   `json:"cumulative_secs"`
+	Interrupted    bool      `json:"interrupted"`
+	CheckpointFile string    `json:"checkpoint_file,omitempty"`
 }
 
 // Emit writes the metadata as a single indented JSON document.

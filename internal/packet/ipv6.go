@@ -50,11 +50,13 @@ func pseudoHeaderSum6(src, dst [16]byte, nextHeader byte, length int) uint32 {
 	return sum
 }
 
-// AppendTCP6 appends a TCP header over IPv6 with a correct checksum.
-func AppendTCP6(buf []byte, h TCP, src, dst [16]byte, payload []byte) []byte {
+// AppendTCP6 appends a TCP header over IPv6 with a correct checksum. It
+// fails with ErrBadOptions when h.Options is not a multiple of 4 bytes,
+// leaving buf unmodified.
+func AppendTCP6(buf []byte, h TCP, src, dst [16]byte, payload []byte) ([]byte, error) {
 	start := len(buf)
 	if len(h.Options)%4 != 0 {
-		panic("packet: TCP options length must be a multiple of 4")
+		return buf, ErrBadOptions
 	}
 	dataOffset := byte((TCPHeaderLen + len(h.Options)) / 4)
 	buf = binary.BigEndian.AppendUint16(buf, h.SrcPort)
@@ -70,7 +72,7 @@ func AppendTCP6(buf []byte, h TCP, src, dst [16]byte, payload []byte) []byte {
 	segLen := len(buf) - start
 	ck := Checksum(buf[start:], pseudoHeaderSum6(src, dst, ProtocolTCP, segLen))
 	binary.BigEndian.PutUint16(buf[start+16:start+18], ck)
-	return buf
+	return buf, nil
 }
 
 // Frame6 is a parsed IPv6 frame (TCP only; that is all the v6 scanner

@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -20,10 +21,11 @@ func buildSYN6(layout OptionLayout) []byte {
 	buf = AppendIPv6(buf, IPv6Header{
 		NextHeader: ProtocolTCP, HopLimit: 255, Src: src, Dst: dst,
 	}, TCPHeaderLen+len(opts))
-	return AppendTCP6(buf, TCP{
+	buf, _ = AppendTCP6(buf, TCP{
 		SrcPort: 40000, DstPort: 443, Seq: 0x01020304,
 		Flags: FlagSYN, Window: 65535, Options: opts,
 	}, src, dst, nil)
+	return buf
 }
 
 func TestIPv6SYNRoundTrip(t *testing.T) {
@@ -93,20 +95,44 @@ func TestParseIPv6NeverPanics(t *testing.T) {
 	}
 }
 
-func TestAppendTCP6PanicsOnUnalignedOptions(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	AppendTCP6(nil, TCP{Options: []byte{1}}, v6Addr(1), v6Addr(2), nil)
+func TestAppendTCP6RejectsUnalignedOptions(t *testing.T) {
+	if _, err := AppendTCP6(nil, TCP{Options: []byte{1}}, v6Addr(1), v6Addr(2), nil); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("AppendTCP6 error = %v, want ErrBadOptions", err)
+	}
 }
 
+// FuzzParseIPv6 mirrors FuzzParse for the v6 path: no panics on
+// arbitrary input and every rejection wraps ErrTruncated or
+// ErrUnsupported.
 func FuzzParseIPv6(f *testing.F) {
-	f.Add(buildSYN6(LayoutMSS))
+	syn := buildSYN6(LayoutMSS)
+	f.Add(syn)
 	f.Add([]byte{})
+	for _, n := range []int{1, 13, 14, 30, 54, 55, len(syn) - 1} {
+		if n > 0 && n < len(syn) {
+			f.Add(syn[:n])
+		}
+	}
+	for _, i := range []int{12, 18, 40, 60} {
+		if i < len(syn) {
+			c := append([]byte(nil), syn...)
+			c[i] ^= 0xFF
+			f.Add(c)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ParseIPv6(data)
+		frame, err := ParseIPv6(data)
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("ParseIPv6 error outside taxonomy: %v", err)
+			}
+			if frame != nil {
+				t.Fatal("non-nil frame alongside error")
+			}
+		case frame == nil:
+			t.Fatal("nil frame, nil error")
+		}
 	})
 }
 
@@ -119,7 +145,7 @@ func BenchmarkBuildSYN6(b *testing.B) {
 		buf = buf[:0]
 		buf = AppendEthernet(buf, srcMAC, dstMAC, EtherTypeIPv6)
 		buf = AppendIPv6(buf, IPv6Header{NextHeader: ProtocolTCP, HopLimit: 255, Src: src, Dst: dst}, TCPHeaderLen+len(opts))
-		buf = AppendTCP6(buf, TCP{SrcPort: 1, DstPort: 443, Seq: uint32(i), Flags: FlagSYN, Options: opts}, src, dst, nil)
+		buf, _ = AppendTCP6(buf, TCP{SrcPort: 1, DstPort: 443, Seq: uint32(i), Flags: FlagSYN, Options: opts}, src, dst, nil)
 	}
 	benchLen = len(buf)
 }

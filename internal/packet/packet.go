@@ -165,13 +165,20 @@ func AppendIPv4(buf []byte, h IPv4, payloadLen int) []byte {
 	return buf
 }
 
+// ErrBadOptions reports a TCP option slice whose length is not a
+// multiple of 4, which cannot be encoded in the data-offset field. It is
+// a builder error, returned rather than panicked per the package's
+// "malformed input yields an error, never a panic" contract.
+var ErrBadOptions = errors.New("packet: TCP options length must be a multiple of 4")
+
 // AppendTCP appends a TCP header (with h.Options) and computes its checksum
 // over the pseudo-header; payload is the TCP payload (usually empty for
-// probes).
-func AppendTCP(buf []byte, h TCP, src, dst uint32, payload []byte) []byte {
+// probes). It fails with ErrBadOptions when h.Options is not a multiple
+// of 4 bytes, leaving buf unmodified.
+func AppendTCP(buf []byte, h TCP, src, dst uint32, payload []byte) ([]byte, error) {
 	start := len(buf)
 	if len(h.Options)%4 != 0 {
-		panic("packet: TCP options length must be a multiple of 4")
+		return buf, ErrBadOptions
 	}
 	dataOffset := byte((TCPHeaderLen + len(h.Options)) / 4)
 	buf = binary.BigEndian.AppendUint16(buf, h.SrcPort)
@@ -188,7 +195,7 @@ func AppendTCP(buf []byte, h TCP, src, dst uint32, payload []byte) []byte {
 	sum := pseudoHeaderSum(src, dst, ProtocolTCP, segLen)
 	ck := Checksum(buf[start:], sum)
 	binary.BigEndian.PutUint16(buf[start+16:start+18], ck)
-	return buf
+	return buf, nil
 }
 
 // AppendUDP appends a UDP header plus payload with checksum.
@@ -255,7 +262,13 @@ func Parse(data []byte) (*Frame, error) {
 	if etherType != EtherTypeIPv4 {
 		return nil, fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, etherType)
 	}
-	return &f, parseIPv4(&f, data[EthernetHeaderLen:])
+	if err := parseIPv4(&f, data[EthernetHeaderLen:]); err != nil {
+		// Never hand back a half-populated frame: a caller that misses
+		// the error must get a nil dereference, not silently read
+		// whichever headers happened to parse before the fault.
+		return nil, err
+	}
+	return &f, nil
 }
 
 func parseIPv4(f *Frame, data []byte) error {
@@ -381,6 +394,56 @@ func VerifyIPv4Checksum(frame []byte) bool {
 		return false
 	}
 	return Checksum(frame[EthernetHeaderLen:EthernetHeaderLen+ihl], 0) == 0
+}
+
+// VerifyChecksums reports whether both the IPv4 header checksum and the
+// transport (TCP/UDP/ICMP) checksum in an encoded frame are valid. The
+// receive path uses it to discard bit-corrupted frames that still parse:
+// a raw-socket receiver sees frames the kernel never checksummed, so a
+// stateless scanner must do its own verification before validation.
+// Frames too short or oddly shaped verify false; a UDP checksum of zero
+// (legitimately unchecksummed per RFC 768) is accepted.
+func VerifyChecksums(frame []byte) bool {
+	if len(frame) < EthernetHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	ip := frame[EthernetHeaderLen:]
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return false
+	}
+	if Checksum(ip[:ihl], 0) != 0 {
+		return false
+	}
+	total := int(binary.BigEndian.Uint16(ip[2:4]))
+	if total < ihl || total > len(ip) {
+		return false
+	}
+	seg := ip[ihl:total]
+	src := binary.BigEndian.Uint32(ip[12:16])
+	dst := binary.BigEndian.Uint32(ip[16:20])
+	switch ip[9] {
+	case ProtocolTCP:
+		if len(seg) < TCPHeaderLen {
+			return false
+		}
+		return Checksum(seg, pseudoHeaderSum(src, dst, ProtocolTCP, len(seg))) == 0
+	case ProtocolUDP:
+		if len(seg) < UDPHeaderLen {
+			return false
+		}
+		if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+			return true // sender elected not to checksum
+		}
+		return Checksum(seg, pseudoHeaderSum(src, dst, ProtocolUDP, len(seg))) == 0
+	case ProtocolICMP:
+		if len(seg) < ICMPHeaderLen {
+			return false
+		}
+		return Checksum(seg, 0) == 0
+	default:
+		return false
+	}
 }
 
 // WireLen returns the number of byte times a frame of frameLen bytes

@@ -3,6 +3,7 @@ package packet
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -22,10 +23,13 @@ func buildSYN(t *testing.T, layout OptionLayout) []byte {
 		ID: ZMapIPID, DontFrag: true, TTL: DefaultProbeTTL, Protocol: ProtocolTCP,
 		Src: 0x01020304, Dst: 0x05060708,
 	}, TCPHeaderLen+len(opts))
-	buf = AppendTCP(buf, TCP{
+	buf, err := AppendTCP(buf, TCP{
 		SrcPort: 54321, DstPort: 80, Seq: 0xCAFEBABE,
 		Flags: FlagSYN, Window: 65535, Options: opts,
 	}, 0x01020304, 0x05060708, nil)
+	if err != nil {
+		t.Fatalf("AppendTCP: %v", err)
+	}
 	return buf
 }
 
@@ -336,13 +340,14 @@ func TestParseOptionLayout(t *testing.T) {
 	}
 }
 
-func TestAppendTCPPanicsOnUnalignedOptions(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unaligned options")
-		}
-	}()
-	AppendTCP(nil, TCP{Options: []byte{1, 2, 3}}, 0, 0, nil)
+func TestAppendTCPRejectsUnalignedOptions(t *testing.T) {
+	buf, err := AppendTCP([]byte{0xAA}, TCP{Options: []byte{1, 2, 3}}, 0, 0, nil)
+	if !errors.Is(err, ErrBadOptions) {
+		t.Errorf("AppendTCP error = %v, want ErrBadOptions", err)
+	}
+	if len(buf) != 1 {
+		t.Errorf("buf modified on error: %d bytes", len(buf))
+	}
 }
 
 func TestMACString(t *testing.T) {
@@ -352,14 +357,45 @@ func TestMACString(t *testing.T) {
 	}
 }
 
+// FuzzParse hammers the parser with arbitrary frames. Two invariants:
+// no panic (the receive path feeds this function raw network input),
+// and every error stays inside the documented taxonomy — wrapping
+// ErrTruncated or ErrUnsupported — so the engine's per-class fault
+// counters classify every rejection.
 func FuzzParse(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(buildSYNForFuzz())
+	syn := buildSYNForFuzz()
+	f.Add(syn)
+	// Truncations at every structural boundary: mid-Ethernet, mid-IP,
+	// mid-TCP, mid-options.
+	for _, n := range []int{1, 13, 14, 20, 33, 34, 40, 53, len(syn) - 1} {
+		if n > 0 && n < len(syn) {
+			f.Add(syn[:n])
+		}
+	}
+	// Bit corruption in each header region.
+	for _, i := range []int{12, 14, 23, 34, 47} {
+		c := append([]byte(nil), syn...)
+		c[i] ^= 0xFF
+		f.Add(c)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := Parse(data)
-		if err == nil && frame == nil {
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("Parse error outside taxonomy: %v", err)
+			}
+			if frame != nil {
+				t.Fatal("non-nil frame alongside error")
+			}
+		case frame == nil:
 			t.Fatal("nil frame, nil error")
+		case frame.TCP == nil && frame.UDP == nil && frame.ICMP == nil:
+			t.Fatal("parsed frame carries no transport header")
 		}
+		// Checksum verification must tolerate anything the parser does.
+		VerifyChecksums(data)
 	})
 }
 
@@ -367,7 +403,8 @@ func buildSYNForFuzz() []byte {
 	opts := BuildOptions(LayoutLinux, 7)
 	buf := AppendEthernet(nil, srcMAC, dstMAC, EtherTypeIPv4)
 	buf = AppendIPv4(buf, IPv4{TTL: 64, Protocol: ProtocolTCP, Src: 1, Dst: 2}, TCPHeaderLen+len(opts))
-	return AppendTCP(buf, TCP{SrcPort: 1, DstPort: 2, Flags: FlagSYN, Options: opts}, 1, 2, nil)
+	buf, _ = AppendTCP(buf, TCP{SrcPort: 1, DstPort: 2, Flags: FlagSYN, Options: opts}, 1, 2, nil)
+	return buf
 }
 
 func BenchmarkBuildSYNNoOptions(b *testing.B) { benchBuildSYN(b, LayoutNone) }
@@ -384,7 +421,7 @@ func benchBuildSYN(b *testing.B, layout OptionLayout) {
 		buf = buf[:0]
 		buf = AppendEthernet(buf, srcMAC, dstMAC, EtherTypeIPv4)
 		buf = AppendIPv4(buf, IPv4{ID: uint16(i), TTL: 255, Protocol: ProtocolTCP, Src: 1, Dst: uint32(i)}, TCPHeaderLen+len(opts))
-		buf = AppendTCP(buf, TCP{SrcPort: 54321, DstPort: 80, Seq: uint32(i), Flags: FlagSYN, Window: 65535, Options: opts}, 1, uint32(i), nil)
+		buf, _ = AppendTCP(buf, TCP{SrcPort: 54321, DstPort: 80, Seq: uint32(i), Flags: FlagSYN, Window: 65535, Options: opts}, 1, uint32(i), nil)
 	}
 	benchLen = len(buf)
 }

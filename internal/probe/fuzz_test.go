@@ -1,0 +1,72 @@
+package probe
+
+import (
+	"testing"
+
+	"zmapgo/internal/packet"
+)
+
+// FuzzValidate feeds arbitrary frames through the full
+// parse-then-classify pipeline of every registered probe module: the
+// exact path a hostile network drives in the receiver. Invariants: no
+// panic, and no classifier accepts a frame that is not addressed to the
+// scanner — the cheapest possible validator-bypass check, holding for
+// every input the fuzzer can construct.
+func FuzzValidate(f *testing.F) {
+	ctx := testContext()
+	// True positive: the simulator-shaped SYN-ACK a live host would send
+	// in response to our own probe (correct ack = our seq + 1).
+	tcpMod, _ := Lookup("tcp_synscan")
+	probeFrame := mustProbe(f, tcpMod, nil, ctx, 0x0A000001, 443)
+	pf, err := packet.Parse(probeFrame)
+	if err != nil {
+		f.Fatal(err)
+	}
+	synack := packet.AppendEthernet(nil, ctx.GwMAC, ctx.SrcMAC, packet.EtherTypeIPv4)
+	synack = packet.AppendIPv4(synack, packet.IPv4{
+		TTL: 64, Protocol: packet.ProtocolTCP, Src: 0x0A000001, Dst: ctx.SrcIP,
+	}, packet.TCPHeaderLen)
+	synack, err = packet.AppendTCP(synack, packet.TCP{
+		SrcPort: 443, DstPort: pf.TCP.SrcPort,
+		Seq: 99, Ack: pf.TCP.Seq + 1,
+		Flags: packet.FlagSYN | packet.FlagACK, Window: 65535,
+	}, 0x0A000001, ctx.SrcIP, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(synack)
+	// Spoof: structurally identical but with a forged ack number.
+	spoof := append([]byte(nil), synack...)
+	spoof[len(spoof)-12] ^= 0xA5 // inside the ack field
+	f.Add(spoof)
+	f.Add(probeFrame) // our own probe looped back
+	f.Add([]byte{})
+
+	mods := make([]Module, 0, len(Names()))
+	for _, n := range Names() {
+		m, err := Lookup(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := packet.Parse(data)
+		if err != nil {
+			return // parser rejections are FuzzParse's concern
+		}
+		for _, m := range mods {
+			res, ok := m.Classify(ctx, frame)
+			if !ok {
+				continue
+			}
+			if frame.IP.Dst != ctx.SrcIP {
+				t.Fatalf("%s accepted a frame not addressed to the scanner (dst %08x)", m.Name(), frame.IP.Dst)
+			}
+			if res.IP != frame.IP.Src {
+				t.Fatalf("%s classified result IP %08x from frame src %08x", m.Name(), res.IP, frame.IP.Src)
+			}
+		}
+	})
+}

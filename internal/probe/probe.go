@@ -76,8 +76,11 @@ type Result struct {
 type Module interface {
 	// Name is the registry key (e.g. "tcp_synscan").
 	Name() string
-	// MakeProbe appends a complete Ethernet frame probing (ip, port).
-	MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) []byte
+	// MakeProbe appends a complete Ethernet frame probing (ip, port). A
+	// non-nil error means the frame could not be built (e.g. a malformed
+	// option layout); the engine counts and skips such probes rather
+	// than sending a partial frame.
+	MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) ([]byte, error)
 	// Classify validates a parsed inbound frame against the scan
 	// context. ok is false for frames that are not valid responses to
 	// this scan (wrong validation bytes, irrelevant traffic).
@@ -128,7 +131,7 @@ type SYNScan struct{}
 func (SYNScan) Name() string { return "tcp_synscan" }
 
 // MakeProbe implements Module.
-func (SYNScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) []byte {
+func (SYNScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) ([]byte, error) {
 	opts := packet.BuildOptions(ctx.Options, ctx.TimestampValue)
 	sport := ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, ip, port)
 	buf = packet.AppendEthernet(buf, ctx.SrcMAC, ctx.GwMAC, packet.EtherTypeIPv4)
@@ -187,7 +190,7 @@ type ICMPEchoScan struct{}
 func (ICMPEchoScan) Name() string { return "icmp_echoscan" }
 
 // MakeProbe implements Module.
-func (ICMPEchoScan) MakeProbe(buf []byte, ctx *Context, ip uint32, _ uint16) []byte {
+func (ICMPEchoScan) MakeProbe(buf []byte, ctx *Context, ip uint32, _ uint16) ([]byte, error) {
 	id, seq := ctx.Validator.ICMPIDSeq(ctx.SrcIP, ip)
 	buf = packet.AppendEthernet(buf, ctx.SrcMAC, ctx.GwMAC, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{
@@ -198,7 +201,7 @@ func (ICMPEchoScan) MakeProbe(buf []byte, ctx *Context, ip uint32, _ uint16) []b
 		Src:      ctx.SrcIP,
 		Dst:      ip,
 	}, packet.ICMPHeaderLen)
-	return packet.AppendICMPEcho(buf, packet.ICMPEchoRequest, id, seq, nil)
+	return packet.AppendICMPEcho(buf, packet.ICMPEchoRequest, id, seq, nil), nil
 }
 
 // Classify implements Module.
@@ -230,7 +233,7 @@ func (UDPScan) Name() string { return "udp" }
 var udpPayload = []byte("zmapgo-udp-probe")
 
 // MakeProbe implements Module.
-func (UDPScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) []byte {
+func (UDPScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) ([]byte, error) {
 	sport := ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, ip, port)
 	buf = packet.AppendEthernet(buf, ctx.SrcMAC, ctx.GwMAC, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{
@@ -241,7 +244,7 @@ func (UDPScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) []byt
 		Src:      ctx.SrcIP,
 		Dst:      ip,
 	}, packet.UDPHeaderLen+len(udpPayload))
-	return packet.AppendUDP(buf, sport, port, ctx.SrcIP, ip, udpPayload)
+	return packet.AppendUDP(buf, sport, port, ctx.SrcIP, ip, udpPayload), nil
 }
 
 // Classify implements Module.

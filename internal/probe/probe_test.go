@@ -8,6 +8,17 @@ import (
 	"zmapgo/internal/validate"
 )
 
+// mustProbe builds a probe frame, failing the test on a builder error
+// (valid layouts never produce one).
+func mustProbe(t testing.TB, m Module, buf []byte, ctx *Context, ip uint32, port uint16) []byte {
+	t.Helper()
+	frame, err := m.MakeProbe(buf, ctx, ip, port)
+	if err != nil {
+		t.Fatalf("%s.MakeProbe: %v", m.Name(), err)
+	}
+	return frame
+}
+
 func testContext() *Context {
 	var key [validate.KeySize]byte
 	key[0] = 42
@@ -57,7 +68,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 
 func TestSYNProbeWellFormed(t *testing.T) {
 	ctx := testContext()
-	frame := SYNScan{}.MakeProbe(nil, ctx, 0x08080808, 443)
+	frame := mustProbe(t, SYNScan{}, nil, ctx, 0x08080808, 443)
 	f, err := packet.Parse(frame)
 	if err != nil {
 		t.Fatal(err)
@@ -89,9 +100,9 @@ func TestSYNProbeWellFormed(t *testing.T) {
 func TestSYNProbeRandomIPID(t *testing.T) {
 	ctx := testContext()
 	ctx.RandomIPID = true
-	f1, _ := packet.Parse(SYNScan{}.MakeProbe(nil, ctx, 1, 80))
-	f2, _ := packet.Parse(SYNScan{}.MakeProbe(nil, ctx, 2, 80))
-	f1b, _ := packet.Parse(SYNScan{}.MakeProbe(nil, ctx, 1, 80))
+	f1, _ := packet.Parse(mustProbe(t, SYNScan{}, nil, ctx, 1, 80))
+	f2, _ := packet.Parse(mustProbe(t, SYNScan{}, nil, ctx, 2, 80))
+	f1b, _ := packet.Parse(mustProbe(t, SYNScan{}, nil, ctx, 1, 80))
 	if f1.IP.ID == packet.ZMapIPID && f2.IP.ID == packet.ZMapIPID {
 		t.Error("random IP ID mode still produced static IDs")
 	}
@@ -131,7 +142,7 @@ func TestSYNClassifyAgainstSim(t *testing.T) {
 	opts := packet.BuildOptions(ctx.Options, ctx.TimestampValue)
 	var synacks, rsts int
 	for ip := uint32(0); ip < 300000 && (synacks == 0 || rsts == 0); ip++ {
-		frame := mod.MakeProbe(nil, ctx, ip, 80)
+		frame := mustProbe(t, mod, nil, ctx, ip, 80)
 		resp := respondVia(t, in, frame)
 		if resp == nil {
 			continue
@@ -172,7 +183,7 @@ func TestSYNClassifyRejectsForgeries(t *testing.T) {
 	// Forge a SYN-ACK with a wrong ack number.
 	buf := packet.AppendEthernet(nil, packet.MAC{1}, ctx.SrcMAC, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{TTL: 64, Protocol: packet.ProtocolTCP, Src: 99, Dst: ctx.SrcIP}, packet.TCPHeaderLen)
-	buf = packet.AppendTCP(buf, packet.TCP{
+	buf, _ = packet.AppendTCP(buf, packet.TCP{
 		SrcPort: 80,
 		DstPort: ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, 99, 80),
 		Ack:     12345, // not validator-derived
@@ -186,7 +197,7 @@ func TestSYNClassifyRejectsForgeries(t *testing.T) {
 	seq := ctx.Validator.TCPSeq(ctx.SrcIP, 99, 80)
 	buf2 := packet.AppendEthernet(nil, packet.MAC{1}, ctx.SrcMAC, packet.EtherTypeIPv4)
 	buf2 = packet.AppendIPv4(buf2, packet.IPv4{TTL: 64, Protocol: packet.ProtocolTCP, Src: 99, Dst: 12345}, packet.TCPHeaderLen)
-	buf2 = packet.AppendTCP(buf2, packet.TCP{
+	buf2, _ = packet.AppendTCP(buf2, packet.TCP{
 		SrcPort: 80, DstPort: 32768, Ack: seq + 1, Flags: packet.FlagSYN | packet.FlagACK,
 	}, 99, 12345, nil)
 	f2, _ := packet.Parse(buf2)
@@ -197,7 +208,7 @@ func TestSYNClassifyRejectsForgeries(t *testing.T) {
 	buf3 := packet.AppendEthernet(nil, packet.MAC{1}, ctx.SrcMAC, packet.EtherTypeIPv4)
 	buf3 = packet.AppendIPv4(buf3, packet.IPv4{TTL: 64, Protocol: packet.ProtocolTCP, Src: 99, Dst: ctx.SrcIP}, packet.TCPHeaderLen)
 	badPort := ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, 99, 80) + 1
-	buf3 = packet.AppendTCP(buf3, packet.TCP{
+	buf3, _ = packet.AppendTCP(buf3, packet.TCP{
 		SrcPort: 80, DstPort: badPort, Ack: seq + 1, Flags: packet.FlagSYN | packet.FlagACK,
 	}, 99, ctx.SrcIP, nil)
 	f3, _ := packet.Parse(buf3)
@@ -212,7 +223,7 @@ func TestICMPEchoRoundTrip(t *testing.T) {
 	mod := ICMPEchoScan{}
 	replies := 0
 	for ip := uint32(0); ip < 2000 && replies == 0; ip++ {
-		frame := mod.MakeProbe(nil, ctx, ip, 0)
+		frame := mustProbe(t, mod, nil, ctx, ip, 0)
 		if len(frame) != mod.ProbeLen(ctx) {
 			t.Fatalf("ProbeLen mismatch: %d != %d", len(frame), mod.ProbeLen(ctx))
 		}
@@ -251,7 +262,7 @@ func TestUDPRoundTrip(t *testing.T) {
 	mod := UDPScan{}
 	var udp, unreach int
 	for ip := uint32(0); ip < 3_000_000 && (udp == 0 || unreach == 0); ip++ {
-		frame := mod.MakeProbe(nil, ctx, ip, 53)
+		frame := mustProbe(t, mod, nil, ctx, ip, 53)
 		resp := respondVia(t, in, frame)
 		if resp == nil {
 			continue
@@ -307,7 +318,7 @@ func TestProbeBuildersAppendInPlace(t *testing.T) {
 	// when capacity suffices — the hot-path contract.
 	ctx := testContext()
 	buf := make([]byte, 0, 256)
-	out := SYNScan{}.MakeProbe(buf, ctx, 1, 80)
+	out := mustProbe(t, SYNScan{}, buf, ctx, 1, 80)
 	if &out[0] != &buf[0:1][0] {
 		t.Error("SYN builder reallocated despite capacity")
 	}
@@ -318,7 +329,7 @@ func BenchmarkSYNMakeProbe(b *testing.B) {
 	buf := make([]byte, 0, 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf = SYNScan{}.MakeProbe(buf[:0], ctx, uint32(i), 80)
+		buf, _ = SYNScan{}.MakeProbe(buf[:0], ctx, uint32(i), 80)
 	}
 	benchLen = len(buf)
 }
@@ -328,7 +339,7 @@ func BenchmarkSYNClassify(b *testing.B) {
 	in := losslessSim(53)
 	var frame []byte
 	for ip := uint32(0); ; ip++ {
-		rs := in.Respond(SYNScan{}.MakeProbe(nil, ctx, ip, 80))
+		rs := in.Respond(mustProbe(b, SYNScan{}, nil, ctx, ip, 80))
 		if len(rs) > 0 {
 			frame = rs[0].Frame
 			break
@@ -354,7 +365,7 @@ func TestSYNACKScanRoundTrip(t *testing.T) {
 	mod := SYNACKScan{}
 	rsts := 0
 	for ip := uint32(0); ip < 3000 && rsts == 0; ip++ {
-		frame := mod.MakeProbe(nil, ctx, ip, 80)
+		frame := mustProbe(t, mod, nil, ctx, ip, 80)
 		f, err := packet.Parse(frame)
 		if err != nil {
 			t.Fatal(err)
@@ -402,10 +413,10 @@ func TestSYNACKScanMiddleboxSilent(t *testing.T) {
 	if !found {
 		t.Skip("no dead middlebox address sampled")
 	}
-	if resp := respondVia(t, in, (SYNACKScan{}).MakeProbe(nil, ctx, ip, 80)); resp != nil {
+	if resp := respondVia(t, in, mustProbe(t, SYNACKScan{}, nil, ctx, ip, 80)); resp != nil {
 		t.Error("middlebox answered a SYN-ACK probe")
 	}
-	if resp := respondVia(t, in, (SYNScan{}).MakeProbe(nil, ctx, ip, 80)); resp == nil {
+	if resp := respondVia(t, in, mustProbe(t, SYNScan{}, nil, ctx, ip, 80)); resp == nil {
 		t.Error("middlebox should answer the plain SYN")
 	}
 }
@@ -414,7 +425,7 @@ func TestSYNACKScanRejectsForgedSeq(t *testing.T) {
 	ctx := testContext()
 	buf := packet.AppendEthernet(nil, packet.MAC{1}, ctx.SrcMAC, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{TTL: 64, Protocol: packet.ProtocolTCP, Src: 9, Dst: ctx.SrcIP}, packet.TCPHeaderLen)
-	buf = packet.AppendTCP(buf, packet.TCP{
+	buf, _ = packet.AppendTCP(buf, packet.TCP{
 		SrcPort: 80,
 		DstPort: ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, 9, 80),
 		Seq:     12345, // not the derived ack

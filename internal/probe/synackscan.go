@@ -27,7 +27,7 @@ func synAckAck(ctx *Context, ip uint32, port uint16) uint32 {
 }
 
 // MakeProbe implements Module.
-func (SYNACKScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) []byte {
+func (SYNACKScan) MakeProbe(buf []byte, ctx *Context, ip uint32, port uint16) ([]byte, error) {
 	sport := ctx.Validator.SourcePort(ctx.SourcePortBase, ctx.SourcePortCount, ip, port)
 	buf = packet.AppendEthernet(buf, ctx.SrcMAC, ctx.GwMAC, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{

@@ -2,6 +2,9 @@ package target
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -188,6 +191,24 @@ func (c *Constraint) At(idx uint64) uint32 {
 	c.Finalize()
 	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] > idx }) - 1
 	return uint32(c.flat[i].start + (idx - c.cum[i]))
+}
+
+// Digest returns a stable hex digest of the finalized eligible address
+// set (the flattened allow-minus-deny intervals). Two constraints that
+// admit exactly the same addresses digest identically regardless of how
+// their rules were written, which is what checkpoint fingerprinting
+// needs: resuming a scan against a different target set must be a hard
+// error, not a silently wrong scan.
+func (c *Constraint) Digest() string {
+	c.Finalize()
+	h := sha256.New()
+	var buf [16]byte
+	for _, iv := range c.flat {
+		binary.BigEndian.PutUint64(buf[0:8], iv.start)
+		binary.BigEndian.PutUint64(buf[8:16], iv.end)
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Excluded reports how many allowlisted addresses the blocklist removed

@@ -280,7 +280,11 @@ func (s *Scanner) sendLoop(ctx context.Context, a shard.Assignment) {
 		addr := cfg.Hitlist.At(int(idx))
 		port := cfg.Ports.At(int(portIdx))
 		limiter.Wait()
-		buf = s.makeProbe(buf[:0], addr, port)
+		var err error
+		buf, err = s.makeProbe(buf[:0], addr, port)
+		if err != nil {
+			continue // unbuildable probe: skip the target, never send a partial frame
+		}
 		if !s.sendWithRetry(buf) {
 			return // fatal transport error: stop this sender
 		}
@@ -313,7 +317,7 @@ func (s *Scanner) sendWithRetry(frame []byte) bool {
 	}
 }
 
-func (s *Scanner) makeProbe(buf []byte, dst [16]byte, port uint16) []byte {
+func (s *Scanner) makeProbe(buf []byte, dst [16]byte, port uint16) ([]byte, error) {
 	opts := packet.BuildOptions(s.cfg.Options, uint32(s.cfg.Seed))
 	buf = packet.AppendEthernet(buf, packet.MAC{2, 0x5A, 0x36, 0, 0, 1}, packet.MAC{}, packet.EtherTypeIPv6)
 	buf = packet.AppendIPv6(buf, packet.IPv6Header{

@@ -148,7 +148,7 @@ func acceptsForTest(in *netsim.Internet, addr [16]byte, port uint16, opts []byte
 	src := defaultV6Source
 	buf := packet.AppendEthernet(nil, packet.MAC{1}, packet.MAC{}, packet.EtherTypeIPv6)
 	buf = packet.AppendIPv6(buf, packet.IPv6Header{NextHeader: packet.ProtocolTCP, HopLimit: 255, Src: src, Dst: addr}, packet.TCPHeaderLen+len(opts))
-	buf = packet.AppendTCP6(buf, packet.TCP{SrcPort: 1, DstPort: port, Seq: 5, Flags: packet.FlagSYN, Options: opts}, src, addr, nil)
+	buf, _ = packet.AppendTCP6(buf, packet.TCP{SrcPort: 1, DstPort: port, Seq: 5, Flags: packet.FlagSYN, Options: opts}, src, addr, nil)
 	rs := in.Respond6(buf)
 	if len(rs) == 0 {
 		return false

@@ -19,4 +19,8 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> checkpoint round-trip (interrupt, resume, exactly-once)"
+go test -race -count=1 -run 'TestCLISigintCheckpointResume|TestCheckpointResumeExactlyOnce' \
+    ./cmd/zmapgo ./internal/core
+
 echo "OK"

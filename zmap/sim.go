@@ -51,7 +51,8 @@ func (i *Internet) NewLink(buffer int, timeScale float64) *Link {
 // simulated wire to exercise the engine's retry and supervision paths.
 type Link struct {
 	inner *netsim.Link
-	send  netsim.Transport // inner, possibly wrapped by a fault injector
+	send  netsim.Transport           // inner, possibly wrapped by a fault injector
+	recv  *netsim.RecvFaultTransport // non-nil when receive faults are on
 }
 
 // FaultOptions injects deterministic transport failures into a simulated
@@ -74,6 +75,74 @@ type FaultOptions struct {
 	// modeling a wedged driver.
 	StallEvery int
 	StallFor   time.Duration
+}
+
+// RecvFaultOptions injects seeded receive-path faults into a simulated
+// link: the hostile-network half of fault testing. Each class has its
+// own probability; see the engine's recv_* counters for how rejected
+// frames are accounted.
+type RecvFaultOptions struct {
+	// Seed keys the injector's RNG; equal seeds replay the schedule.
+	Seed int64
+	// TruncateProb cuts frames short at a random byte.
+	TruncateProb float64
+	// CorruptProb flips 1-3 random bits.
+	CorruptProb float64
+	// DuplicateProb delivers frames twice.
+	DuplicateProb float64
+	// ReorderProb holds frames for ReorderDelay (default 2ms) so later
+	// traffic overtakes them.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// SpoofProb additionally injects forged SYN-ACKs with valid
+	// structure and checksums that must die in stateless validation.
+	SpoofProb float64
+}
+
+func (o RecvFaultOptions) enabled() bool {
+	return o.TruncateProb > 0 || o.CorruptProb > 0 || o.DuplicateProb > 0 ||
+		o.ReorderProb > 0 || o.SpoofProb > 0
+}
+
+// WithRecvFaults wraps the link's receive path in a seeded fault
+// injector. Call before handing the link to Compile; returns the same
+// link for chaining.
+func (l *Link) WithRecvFaults(opts RecvFaultOptions) *Link {
+	if !opts.enabled() {
+		return l
+	}
+	var under netsim.Transport = l.inner
+	if l.send != nil {
+		under = l.send
+	}
+	l.recv = netsim.NewRecvFaultTransport(under, netsim.RecvFaultConfig{
+		Seed:          opts.Seed,
+		TruncateProb:  opts.TruncateProb,
+		CorruptProb:   opts.CorruptProb,
+		DuplicateProb: opts.DuplicateProb,
+		ReorderProb:   opts.ReorderProb,
+		ReorderDelay:  opts.ReorderDelay,
+		SpoofProb:     opts.SpoofProb,
+	})
+	return l
+}
+
+// RecvFaultsInjected reports how many receive faults of each class the
+// link's injector applied, keyed by class name ("truncate", "corrupt",
+// "duplicate", "reorder", "spoof"). Nil when WithRecvFaults was never
+// enabled.
+func (l *Link) RecvFaultsInjected() map[string]uint64 {
+	if l.recv == nil {
+		return nil
+	}
+	out := make(map[string]uint64, 5)
+	for _, c := range []netsim.RecvFaultClass{
+		netsim.RecvFaultTruncate, netsim.RecvFaultCorrupt,
+		netsim.RecvFaultDuplicate, netsim.RecvFaultReorder, netsim.RecvFaultSpoof,
+	} {
+		out[c.String()] = l.recv.Injected(c)
+	}
+	return out
 }
 
 // NewFaultyLink attaches a transport whose sends fail per the given
@@ -111,7 +180,12 @@ func (l *Link) Send(frame []byte) error {
 }
 
 // Recv implements Transport.
-func (l *Link) Recv() <-chan []byte { return l.inner.Recv() }
+func (l *Link) Recv() <-chan []byte {
+	if l.recv != nil {
+		return l.recv.Recv()
+	}
+	return l.inner.Recv()
+}
 
 // Stats implements Transport.
 func (l *Link) Stats() (sent, received, dropped uint64) { return l.inner.Stats() }
@@ -119,8 +193,13 @@ func (l *Link) Stats() (sent, received, dropped uint64) { return l.inner.Stats()
 // Drain blocks until in-flight simulated deliveries complete.
 func (l *Link) Drain() { l.inner.Drain() }
 
-// Close stops deliveries.
-func (l *Link) Close() { l.inner.Close() }
+// Close stops deliveries (and the receive-fault pump, if attached).
+func (l *Link) Close() {
+	if l.recv != nil {
+		l.recv.Stop()
+	}
+	l.inner.Close()
+}
 
 // ServiceOpen reports ground truth: a real TCP service at (ip, port),
 // excluding middlebox illusions. Experiments use it as the denominator.

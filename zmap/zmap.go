@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"zmapgo/internal/checkpoint"
 	"zmapgo/internal/core"
 	"zmapgo/internal/metrics"
 	"zmapgo/internal/output"
@@ -66,6 +67,24 @@ var ErrSenderAborted = core.ErrSenderAborted
 
 // Summary is the end-of-scan metadata document.
 type Summary = output.Metadata
+
+// Checkpoint is a persisted scan snapshot; see Options.CheckpointPath
+// and Options.Resume. Produced by the engine, loaded with
+// LoadCheckpoint, never constructed by hand.
+type Checkpoint = checkpoint.Snapshot
+
+// ErrCheckpointMismatch is returned (wrapped) by Compile when
+// Options.Resume carries a snapshot whose configuration fingerprint
+// differs from the scan being compiled. Resuming under a different
+// permutation silently mis-covers the target space, so this is a hard
+// error, never a warning.
+var ErrCheckpointMismatch = checkpoint.ErrFingerprintMismatch
+
+// LoadCheckpoint reads and validates a snapshot written by a previous
+// run's CheckpointPath.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	return checkpoint.Load(path)
+}
 
 // Record is one scan result row; see Schema.
 type Record = output.Record
@@ -142,6 +161,20 @@ type Options struct {
 	// permutation-affecting options (Seed, Shards, ShardIndex, Threads,
 	// sharding mode, ranges, ports) must match the original run.
 	ResumeProgress []uint64
+
+	// CheckpointPath makes the scan crash-safe: a snapshot of scan state
+	// is written atomically to this file every CheckpointInterval
+	// (default 5s) and once more, exactly, at the end of the scan or on
+	// a graceful Stop. Resume a killed scan by loading the file with
+	// LoadCheckpoint into Resume.
+	CheckpointPath     string
+	CheckpointInterval time.Duration
+
+	// Resume restores an interrupted scan from a checkpoint. The
+	// snapshot's fingerprint must match this configuration (Compile
+	// fails with ErrCheckpointMismatch otherwise); a zero Seed is
+	// adopted from the snapshot. Overrides ResumeProgress.
+	Resume *Checkpoint
 
 	// DedupWindow sizes response deduplication (0 = default 10^6,
 	// negative disables).
@@ -261,37 +294,40 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 	}
 
 	cfg := core.Config{
-		ProbeModule:       o.Probe,
-		Constraint:        cons,
-		Ports:             ports,
-		Seed:              o.Seed,
-		Shards:            o.Shards,
-		ShardIndex:        o.ShardIndex,
-		Threads:           o.Threads,
-		ShardMode:         mode,
-		Rate:              rate,
-		ProbesPerTarget:   o.ProbesPerTarget,
-		MaxTargets:        o.MaxTargets,
-		Cooldown:          o.Cooldown,
-		MaxRuntime:        o.MaxRuntime,
-		Retries:           o.Retries,
-		Backoff:           o.Backoff,
-		MaxSenderRestarts: o.MaxSenderRestarts,
-		ResumeProgress:    o.ResumeProgress,
-		SourceIP:          srcIP,
-		SourceMAC:         packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
-		GatewayMAC:        packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
-		OptionLayout:      layout,
-		RandomIPID:        !o.StaticIPID,
-		Results:           results,
-		StatusWriter:      o.StatusUpdates,
-		StatusFormat:      o.StatusFormat,
-		StatusCSVHeader:   o.StatusCSVHeader,
-		StatusInterval:    o.StatusInterval,
-		Metrics:           o.Metrics,
-		Logger:            o.Logger,
-		MetadataOut:       o.Metadata,
-		DedupWindow:       o.DedupWindow,
+		ProbeModule:        o.Probe,
+		Constraint:         cons,
+		Ports:              ports,
+		Seed:               o.Seed,
+		Shards:             o.Shards,
+		ShardIndex:         o.ShardIndex,
+		Threads:            o.Threads,
+		ShardMode:          mode,
+		Rate:               rate,
+		ProbesPerTarget:    o.ProbesPerTarget,
+		MaxTargets:         o.MaxTargets,
+		Cooldown:           o.Cooldown,
+		MaxRuntime:         o.MaxRuntime,
+		Retries:            o.Retries,
+		Backoff:            o.Backoff,
+		MaxSenderRestarts:  o.MaxSenderRestarts,
+		ResumeProgress:     o.ResumeProgress,
+		CheckpointPath:     o.CheckpointPath,
+		CheckpointInterval: o.CheckpointInterval,
+		Resume:             o.Resume,
+		SourceIP:           srcIP,
+		SourceMAC:          packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
+		GatewayMAC:         packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
+		OptionLayout:       layout,
+		RandomIPID:         !o.StaticIPID,
+		Results:            results,
+		StatusWriter:       o.StatusUpdates,
+		StatusFormat:       o.StatusFormat,
+		StatusCSVHeader:    o.StatusCSVHeader,
+		StatusInterval:     o.StatusInterval,
+		Metrics:            o.Metrics,
+		Logger:             o.Logger,
+		MetadataOut:        o.Metadata,
+		DedupWindow:        o.DedupWindow,
 	}
 	inner, err := core.New(cfg, transport)
 	if err != nil {
@@ -318,6 +354,14 @@ type delayRecordable interface {
 func (s *Scanner) Run(ctx context.Context) (*Summary, error) {
 	return s.inner.Run(ctx)
 }
+
+// Stop requests a graceful shutdown of a running scan: sending stops,
+// the cooldown and drain phases still run, all output streams flush,
+// and a final exact checkpoint is written when CheckpointPath is set.
+// Run then returns normally with Summary.Interrupted set. Safe to call
+// from a signal handler; idempotent. Canceling Run's context instead
+// aborts hard, skipping cooldown and the output flush ordering.
+func (s *Scanner) Stop() { s.inner.Stop() }
 
 // Metrics returns the scan's registry (Options.Metrics, or the private
 // one Compile created). Valid before, during, and after Run.
