@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check clean
+.PHONY: all build test race vet check bench clean
 
 all: build
 
@@ -20,6 +20,15 @@ vet:
 # race detector (the fault-tolerance paths are concurrency-heavy).
 check:
 	./scripts/check.sh
+
+# bench regenerates the committed send-path baseline: probes/sec,
+# ns/probe, and allocs/probe for the per-probe shape and the batch-size
+# sweep, as JSON with speedups relative to the per-probe baseline.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkSendPath' -benchtime=2s ./internal/core \
+		| $(GO) run ./scripts/benchjson -baseline BenchmarkSendPathPerProbe \
+		> BENCH_sendpath.json
+	@cat BENCH_sendpath.json
 
 clean:
 	$(GO) clean ./...

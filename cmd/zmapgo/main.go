@@ -38,6 +38,7 @@ func run(args []string) int {
 		probeModule = fs.String("M", "tcp_synscan", "probe module: tcp_synscan|icmp_echoscan|udp")
 		rate        = fs.Float64("rate", 0, "send rate in packets/sec (0 = unlimited)")
 		bandwidth   = fs.String("B", "", "send bandwidth, e.g. 10M or 1G (overrides --rate)")
+		batchSize   = fs.Int("batch-size", 0, "probe frames per transport flush (0 = default 64, 1 = per-probe sends)")
 		seed        = fs.Int64("seed", 0, "permutation seed (0 = time-derived)")
 		shards      = fs.Int("shards", 1, "total shards")
 		shardIdx    = fs.Int("shard", 0, "this machine's shard index")
@@ -113,6 +114,7 @@ func run(args []string) int {
 		Probe:               *probeModule,
 		Rate:                *rate,
 		Bandwidth:           *bandwidth,
+		BatchSize:           *batchSize,
 		Seed:                *seed,
 		Shards:              *shards,
 		ShardIndex:          *shardIdx,

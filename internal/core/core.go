@@ -58,6 +58,43 @@ type Transport interface {
 	Stats() (sent, received, dropped uint64)
 }
 
+// BatchTransport is the batched extension of Transport (the sendmmsg
+// analogue, §4.3). SendBatch attempts the frames in order and returns
+// how many were accepted: frames[:sent] are on the wire; when err is
+// non-nil, frames[sent] is the attempt that failed and frames[sent+1:]
+// were not attempted. The transport must not retain the frame slices
+// after returning — senders re-patch them in place for the next batch.
+//
+// Transports that do not implement it still work: the engine falls
+// back to per-frame Send with identical failure semantics.
+type BatchTransport interface {
+	Transport
+	SendBatch(frames [][]byte) (sent int, err error)
+}
+
+// FrameReleaser is an optional Transport extension for pooled receive
+// buffers: the engine calls Release exactly once per frame drawn from
+// Recv, after it has finished reading it, so the transport can recycle
+// the buffer instead of leaving it to the garbage collector.
+type FrameReleaser interface {
+	Release(frame []byte)
+}
+
+// sendFrames pushes a batch through the transport, natively when it
+// implements BatchTransport and frame-by-frame otherwise, with the
+// BatchTransport return contract either way.
+func sendFrames(t Transport, frames [][]byte) (int, error) {
+	if bt, ok := t.(BatchTransport); ok {
+		return bt.SendBatch(frames)
+	}
+	for i, frame := range frames {
+		if err := t.Send(frame); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
 // Config describes one scan. Zero values get ZMap's defaults where a
 // default exists; Validate reports what cannot be defaulted.
 type Config struct {
@@ -81,6 +118,14 @@ type Config struct {
 
 	// Rate is the aggregate packets-per-second budget (0 = unlimited).
 	Rate float64
+
+	// BatchSize is how many frames a sender thread renders into its
+	// preallocated ring before flushing them to the transport in one
+	// SendBatch call. 0 means the default of 64; 1 degenerates to
+	// per-probe sends with unchanged semantics. Values below
+	// ProbesPerTarget are raised to it so a target's probes never split
+	// across batches.
+	BatchSize int
 
 	// ProbesPerTarget sends each probe k times (ZMap --probes).
 	ProbesPerTarget int
@@ -235,6 +280,11 @@ func (c *Config) setDefaults() {
 	}
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 5 * time.Second
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	} else if c.BatchSize < 1 {
+		c.BatchSize = 1
 	}
 }
 
@@ -883,12 +933,98 @@ const (
 	minShareDivisor = 8
 )
 
-// sendLoop walks one subshard, emitting probes under the per-thread rate
-// share. It owns its iterator and probe buffer; nothing is shared except
-// the per-thread progress counter, which makes the scan resumable. A nil
-// return means the subshard completed or the context ended; a non-nil
-// return is a fatal transport error, with the failing element already
-// given back so a supervised restart (or a resumed scan) covers it.
+// rateState is the per-thread adaptive-rate controller, unchanged in
+// semantics from the per-probe loop but fed at batch granularity: each
+// frame that needed retries (or was dropped) is one dirty event, each
+// frame the transport accepted first try is one clean event.
+type rateState struct {
+	s       *Scanner
+	thread  int
+	limiter *ratelimit.Limiter
+	share   float64 // configured per-thread share (0 = unlimited)
+	rate    float64 // current share after degradation
+
+	degraded   bool
+	degradedAt time.Time
+	retriedRun int // consecutive frames needing retries
+	cleanRun   int // consecutive first-attempt successes
+}
+
+// clean records n consecutive first-attempt sends.
+func (rs *rateState) clean(n int) {
+	if rs.share <= 0 || n <= 0 {
+		return
+	}
+	rs.cleanRun += n
+	rs.retriedRun = 0
+	if rs.degraded && rs.cleanRun >= recoverAfter {
+		rs.cleanRun = 0
+		rs.rate = rs.share
+		rs.limiter.SetRate(rs.share)
+		rs.degraded = false
+		rs.s.counters.AddDegraded(time.Since(rs.degradedAt))
+		rs.s.cfg.Logger.Info("restored send rate",
+			"thread", rs.thread, "rate_pps", rs.share)
+	}
+}
+
+// dirty records one frame that needed retries or was dropped.
+func (rs *rateState) dirty() {
+	if rs.share <= 0 {
+		return
+	}
+	rs.retriedRun++
+	rs.cleanRun = 0
+	if rs.retriedRun < degradeAfter {
+		return
+	}
+	rs.retriedRun = 0
+	next := rs.rate / 2
+	if min := rs.share / minShareDivisor; next < min {
+		next = min
+	}
+	if next != rs.rate {
+		rs.rate = next
+		rs.limiter.SetRate(next)
+		if !rs.degraded {
+			rs.degraded = true
+			rs.degradedAt = time.Now()
+		}
+		rs.s.cfg.Logger.Warn("degrading send rate",
+			"thread", rs.thread, "rate_pps", next)
+	}
+}
+
+// finish closes out degraded-time accounting when the loop exits.
+func (rs *rateState) finish() {
+	if rs.degraded {
+		rs.s.counters.AddDegraded(time.Since(rs.degradedAt))
+	}
+}
+
+// pendingElem tracks one permutation element consumed during batch fill
+// but not yet resolved into the thread's progress counter.
+type pendingElem struct {
+	frames  int  // probe frames this element contributed to the batch
+	counted bool // whether it took a MaxTargets slot (decoded targets)
+}
+
+// sendLoop walks one subshard through a batched, zero-allocation
+// pipeline: fill a ring of preallocated frames (template-rendered when
+// the module supports it), draw rate tokens in batch grants, flush via
+// SendBatch, then resolve progress. It owns its iterator and ring;
+// nothing is shared except the per-thread progress counter, which makes
+// the scan resumable.
+//
+// Progress discipline: the thread's counter advances only after every
+// frame of an element has been handled by the transport (sent, or
+// dropped after retries) — never at fill time. The counter therefore
+// never runs ahead of the wire, so a periodic checkpoint stays
+// at-least-once by construction, and flushing the partial batch before
+// returning keeps a graceful stop exactly-once. A nil return means the
+// subshard completed or the context ended; a non-nil return is a fatal
+// transport error, with every unsent element left out of the progress
+// counter so a supervised restart (or a resumed scan) covers it.
 func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) error {
 	cfg := &s.cfg
 	share := 0.0
@@ -901,157 +1037,268 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 	if share > 0 {
 		limiter.SetWaitRecorder(s.rlWait.Shard(thread))
 	}
-	rate := share
-	degraded := false
-	var degradedAt time.Time
-	retriedRun := 0 // consecutive probes needing retries
-	cleanRun := 0   // consecutive first-attempt successes
-	defer func() {
-		if degraded {
-			s.counters.AddDegraded(time.Since(degradedAt))
+	rs := &rateState{s: s, thread: thread, limiter: limiter, share: share, rate: share}
+	defer rs.finish()
+
+	batchCap := cfg.BatchSize
+	if batchCap < cfg.ProbesPerTarget {
+		batchCap = cfg.ProbesPerTarget
+	}
+
+	// Frame ring. With a Templater module the slots are fixed-length
+	// views into one backing array, seeded once and re-patched per
+	// target; otherwise each slot is a growable buffer MakeProbe fills
+	// from scratch (unbuildable probes are skipped at fill time and
+	// never enter the ring — so they never draw a rate token).
+	var renderer *probe.Renderer
+	if tm, ok := s.module.(probe.Templater); ok {
+		r, terr := tm.MakeTemplate(s.probeCtx)
+		if terr != nil {
+			cfg.Logger.Warn("probe template unavailable; using per-probe builds",
+				"thread", thread, "err", terr)
+		} else {
+			renderer = r
 		}
-	}()
+	}
+	slots := make([][]byte, batchCap)
+	if renderer != nil {
+		backing := make([]byte, batchCap*renderer.Len())
+		for i := range slots {
+			slots[i] = backing[i*renderer.Len() : (i+1)*renderer.Len()]
+			renderer.Seed(slots[i])
+		}
+	} else {
+		for i := range slots {
+			slots[i] = make([]byte, 0, 128)
+		}
+	}
+	frames := make([][]byte, 0, batchCap)
+	pending := make([]pendingElem, 0, batchCap)
+
 	it := a.Iterator(s.cycle)
-	buf := make([]byte, 0, 128)
+	base := s.progress[thread].Load()
+	resolved := uint64(0) // elements fully handled since loop start
+
 	for {
-		select {
-		case <-ctx.Done():
-			return nil
-		default:
-		}
-		elem, ok := it.Next()
-		if !ok {
-			return nil
-		}
-		s.progress[thread].Add(1)
-		ipIdx, portIdx, ok := s.space.Decode(elem)
-		if !ok {
-			continue // element outside the target space; skip
-		}
-		if n := s.sentCount.Add(1); cfg.MaxTargets > 0 && n > cfg.MaxTargets {
-			// The element was consumed but not probed; give it back so
-			// resumed scans cover it.
-			s.progress[thread].Add(^uint64(0))
-			s.sentCount.Add(^uint64(0))
-			return nil
-		}
-		ip := cfg.Constraint.At(ipIdx)
-		port := cfg.Ports.At(int(portIdx))
-		for p := 0; p < cfg.ProbesPerTarget; p++ {
-			limiter.Wait()
-			var perr error
-			buf, perr = s.module.MakeProbe(buf[:0], s.probeCtx, ip, port)
-			if perr != nil {
-				// Unbuildable probe: count it and move on. A partial
-				// frame must never reach the wire.
-				s.probeErrs.Add(1)
-				cfg.Logger.Debug("probe build failed",
-					"thread", thread, "ip", ip, "port", port, "err", perr)
+		// Fill phase: consume elements and render their frames until the
+		// ring is full, the subshard ends, the context dies, or the
+		// MaxTargets budget runs out. Nothing here advances progress.
+		frames = frames[:0]
+		pending = pending[:0]
+		last := false
+		for len(frames)+cfg.ProbesPerTarget <= batchCap {
+			select {
+			case <-ctx.Done():
+				last = true
+			default:
+			}
+			if last {
+				break
+			}
+			elem, ok := it.Next()
+			if !ok {
+				last = true
+				break
+			}
+			ipIdx, portIdx, ok := s.space.Decode(elem)
+			if !ok {
+				// Outside the target space: resolves with the batch,
+				// contributing no frames.
+				pending = append(pending, pendingElem{})
 				continue
 			}
-			outcome, retried, err := s.sendWithRetry(ctx, buf, sendLat, backoffLat)
-			switch outcome {
-			case sendOK:
-				s.counters.Sent()
-			case sendDropped:
-				// Retry budget exhausted: the probe is lost, counted
-				// honestly, and the scan moves on (ZMap semantics).
-				s.counters.SendDrop()
-				cfg.Logger.Debug("probe dropped after retries",
-					"thread", thread, "ip", ip, "port", port, "err", err)
-			case sendCanceled:
-				// Context died mid-retry: the probe never went out, so
-				// give the element back for exact resume coverage.
-				s.progress[thread].Add(^uint64(0))
+			if n := s.sentCount.Add(1); cfg.MaxTargets > 0 && n > cfg.MaxTargets {
+				// Over budget: give the slot back and leave the element
+				// un-resolved so a resumed scan covers it.
 				s.sentCount.Add(^uint64(0))
-				return nil
-			case sendFatal:
-				s.progress[thread].Add(^uint64(0))
+				last = true
+				break
+			}
+			ip := cfg.Constraint.At(ipIdx)
+			port := cfg.Ports.At(int(portIdx))
+			pe := pendingElem{counted: true}
+			for p := 0; p < cfg.ProbesPerTarget; p++ {
+				slot := slots[len(frames)]
+				if renderer != nil {
+					renderer.Render(slot, ip, port)
+				} else {
+					built, perr := s.module.MakeProbe(slot[:0], s.probeCtx, ip, port)
+					if perr != nil {
+						// Unbuildable probe: count it and move on. A
+						// partial frame must never reach the wire.
+						s.probeErrs.Add(1)
+						cfg.Logger.Debug("probe build failed",
+							"thread", thread, "ip", ip, "port", port, "err", perr)
+						continue
+					}
+					slots[len(frames)] = built // keep any growth
+					slot = built
+				}
+				frames = append(frames, slot)
+				pe.frames++
+			}
+			pending = append(pending, pe)
+		}
+
+		// Flush phase: tokens are drawn in batch grants and consumed only
+		// by frames that actually reach the transport.
+		handled, outcome, err := s.flushBatch(ctx, limiter, frames, rs, sendLat, backoffLat)
+
+		// Resolve: elements whose frames all went out (and the zero-frame
+		// elements between them) advance progress; everything at or past
+		// the first unhandled frame is given back.
+		used := 0
+		batchResolved := 0
+		for _, pe := range pending {
+			if used+pe.frames > handled {
+				break
+			}
+			used += pe.frames
+			batchResolved++
+		}
+		resolved += uint64(batchResolved)
+		for _, pe := range pending[batchResolved:] {
+			if pe.counted {
 				s.sentCount.Add(^uint64(0))
-				return fmt.Errorf("core: thread %d transport failed: %w", thread, err)
 			}
-			if share <= 0 {
-				continue
-			}
-			// Adaptive share: back off while the transport struggles,
-			// restore once it has been healthy for a while.
-			if retried || outcome == sendDropped {
-				retriedRun++
-				cleanRun = 0
-				if retriedRun >= degradeAfter {
-					retriedRun = 0
-					next := rate / 2
-					if min := share / minShareDivisor; next < min {
-						next = min
-					}
-					if next != rate {
-						rate = next
-						limiter.SetRate(rate)
-						if !degraded {
-							degraded = true
-							degradedAt = time.Now()
-						}
-						cfg.Logger.Warn("degrading send rate",
-							"thread", thread, "rate_pps", rate)
-					}
-				}
-			} else {
-				cleanRun++
-				retriedRun = 0
-				if degraded && cleanRun >= recoverAfter {
-					cleanRun = 0
-					rate = share
-					limiter.SetRate(share)
-					degraded = false
-					s.counters.AddDegraded(time.Since(degradedAt))
-					cfg.Logger.Info("restored send rate",
-						"thread", thread, "rate_pps", share)
-				}
-			}
+		}
+		s.progress[thread].Store(base + resolved)
+
+		switch outcome {
+		case sendFatal:
+			return fmt.Errorf("core: thread %d transport failed: %w", thread, err)
+		case sendCanceled:
+			return nil
+		}
+		if last {
+			return nil
 		}
 	}
 }
 
-// sendWithRetry pushes one frame through the transport under the
-// transient-retry policy: up to cfg.Retries re-attempts with bounded
-// exponential backoff (on cfg.Clock). retried reports whether any
-// attempt failed, which feeds the adaptive rate controller. Every
-// attempt's transport latency lands in lat; every backoff sleep lands
-// in backoff — both are per-thread histogram shards, so recording is
-// two uncontended atomic adds.
-func (s *Scanner) sendWithRetry(ctx context.Context, frame []byte, lat, backoff *metrics.HistShard) (outcome sendOutcome, retried bool, err error) {
+// flushBatch pushes one batch through the transport under the rate and
+// retry policies and reports how many frames were fully handled (sent,
+// or dropped after exhausting retries). outcome is sendOK when the
+// whole batch was handled, else the fatal/cancel condition that stopped
+// it at frames[handled].
+//
+// Token accounting: WaitN grants cover exactly the frames attempted. A
+// frame that fails its batch attempt has consumed its token; its
+// retries do not draw more (matching the per-probe loop, where one
+// Wait covered all attempts of a probe). Frames never attempted —
+// after a fatal error or cancellation — leave their tokens undrawn.
+func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, frames [][]byte, rs *rateState, sendLat, backoffLat *metrics.HistShard) (handled int, outcome sendOutcome, err error) {
 	cfg := &s.cfg
-	for attempt := 0; ; attempt++ {
+	idx := 0
+	tokens := 0
+	for idx < len(frames) {
+		if tokens == 0 {
+			// Re-check cancellation between token grants: at low rates a
+			// full batch takes many grant intervals, and a dying scan must
+			// not sit through them. Frames not yet attempted resolve as
+			// unhandled, so their elements are given back for resume.
+			select {
+			case <-ctx.Done():
+				return idx, sendCanceled, ctx.Err()
+			default:
+			}
+			tokens = limiter.WaitN(len(frames) - idx)
+		}
+		chunk := frames[idx : idx+tokens]
+		t0 := time.Now()
+		sent, serr := sendFrames(s.transport, chunk)
+		// Amortize the call's latency across its attempts (delivered
+		// frames plus the failed one, if any), so the histogram keeps
+		// counting per-probe transport time as it did pre-batching.
+		attempts := sent
+		if serr != nil {
+			attempts++
+		}
+		sendLat.RecordN(time.Since(t0)/time.Duration(max(attempts, 1)), attempts)
+		if sent > 0 {
+			s.counters.SentN(uint64(sent))
+			rs.clean(sent)
+			idx += sent
+			tokens -= sent
+		}
+		if serr == nil {
+			if sent != len(chunk) {
+				// A transport that under-delivers without an error has
+				// broken the SendBatch contract; treat it as fatal
+				// rather than spinning on it.
+				return idx, sendFatal, fmt.Errorf("core: transport sent %d of %d without error", sent, len(chunk))
+			}
+			continue
+		}
+		s.counters.SendError()
+		if !IsTransientSendError(serr) {
+			return idx, sendFatal, serr
+		}
+		// The failing frame retries alone; the rest of the batch waits.
+		rout, rerr := s.retryFrame(ctx, frames[idx], sendLat, backoffLat)
+		switch rout {
+		case sendOK:
+			s.counters.Sent()
+		case sendDropped:
+			// Retry budget exhausted: the probe is lost, counted
+			// honestly, and the scan moves on (ZMap semantics).
+			s.counters.SendDrop()
+			cfg.Logger.Debug("probe dropped after retries",
+				"thread", rs.thread, "err", rerr)
+		case sendCanceled:
+			return idx, sendCanceled, rerr
+		case sendFatal:
+			return idx, sendFatal, rerr
+		}
+		rs.dirty()
+		idx++
+		tokens--
+	}
+	return len(frames), sendOK, nil
+}
+
+// retryFrame re-attempts one frame whose batch attempt failed
+// transiently: up to cfg.Retries re-sends with bounded exponential
+// backoff (on cfg.Clock), identical to the historical per-probe retry
+// policy. The caller has already counted the triggering SendError.
+func (s *Scanner) retryFrame(ctx context.Context, frame []byte, lat, backoff *metrics.HistShard) (sendOutcome, error) {
+	cfg := &s.cfg
+	var err error
+	for attempt := 1; ; attempt++ {
+		if attempt > cfg.Retries {
+			return sendDropped, err
+		}
+		select {
+		case <-ctx.Done():
+			return sendCanceled, ctx.Err()
+		default:
+		}
+		s.counters.Retry()
+		d := backoffFor(cfg.Backoff, attempt-1)
+		backoff.Record(d)
+		cfg.Clock.Sleep(d)
 		t0 := time.Now()
 		err = s.transport.Send(frame)
 		lat.Record(time.Since(t0))
 		if err == nil {
-			return sendOK, attempt > 0, nil
+			return sendOK, nil
 		}
 		s.counters.SendError()
 		if !IsTransientSendError(err) {
-			return sendFatal, true, err
+			return sendFatal, err
 		}
-		if attempt >= cfg.Retries {
-			return sendDropped, true, err
-		}
-		select {
-		case <-ctx.Done():
-			return sendCanceled, true, ctx.Err()
-		default:
-		}
-		s.counters.Retry()
-		d := backoffFor(cfg.Backoff, attempt)
-		backoff.Record(d)
-		cfg.Clock.Sleep(d)
 	}
 }
 
 // recvLoop parses, validates, deduplicates, and writes responses until
 // stop closes (end of cooldown) or the context dies.
 func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt *atomic.Int64) {
-	cfg := &s.cfg
 	recvLat := s.recvLat.Shard(0) // single receiver goroutine
+	// When the transport pools its receive buffers, hand each frame back
+	// once handled. Nothing parsed from the frame outlives the handler:
+	// packet.Parse yields views into the buffer, and everything written
+	// to results is copied out by then.
+	rel, _ := s.transport.(FrameReleaser)
 	for {
 		select {
 		case <-ctx.Done():
@@ -1060,58 +1307,66 @@ func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt
 			return
 		case frame := <-s.transport.Recv():
 			t0 := time.Now()
-			s.counters.Recv()
-			f, err := packet.Parse(frame)
-			if err != nil {
-				// Parser taxonomy: truncated frames and unsupported
-				// protocols are counted separately so a hostile or lossy
-				// path shows up with the right shape in the status stream.
-				if errors.Is(err, packet.ErrTruncated) {
-					s.counters.RecvTruncated()
-				} else {
-					s.counters.RecvUnsupported()
-				}
-				cfg.Logger.Debug("unparseable frame", "err", err)
-				continue
-			}
-			if !packet.VerifyChecksums(frame) {
-				// Parsed but corrupt: a flipped bit anywhere in the IP
-				// header or transport segment lands here, never in results.
-				s.counters.RecvChecksum()
-				continue
-			}
-			res, ok := s.module.Classify(s.probeCtx, f)
-			recvLat.Record(time.Since(t0))
-			if !ok {
-				// Well-formed but unvalidatable: spoofed or unsolicited
-				// traffic that carries no proof it answers our probe.
-				s.counters.RecvInvalid()
-				continue
-			}
-			s.counters.Valid()
-			repeat := false
-			if s.deduper != nil {
-				s.dedupMu.Lock()
-				repeat = s.deduper.Seen(res.IP, res.Port)
-				s.dedupMu.Unlock()
-				if repeat {
-					s.dedupHits.Inc()
-				} else {
-					s.dedupMisses.Inc()
-				}
-			}
-			if repeat {
-				s.counters.Duplicate()
-			}
-			if res.Success {
-				s.counters.Success(!repeat)
-			}
-			inCooldown := cooldownAt.Load() != 0
-			rec := output.NewRecord(res.IP, res.Port, res.Class, res.Success, repeat, inCooldown, res.TTL, time.Since(s.start))
-			if err := cfg.Results.Write(rec); err != nil {
-				cfg.Logger.Error("result write failed", "err", err)
+			s.handleFrame(frame, recvLat, cooldownAt, t0)
+			if rel != nil {
+				rel.Release(frame)
 			}
 		}
+	}
+}
+
+func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldownAt *atomic.Int64, t0 time.Time) {
+	cfg := &s.cfg
+	s.counters.Recv()
+	f, err := packet.Parse(frame)
+	if err != nil {
+		// Parser taxonomy: truncated frames and unsupported
+		// protocols are counted separately so a hostile or lossy
+		// path shows up with the right shape in the status stream.
+		if errors.Is(err, packet.ErrTruncated) {
+			s.counters.RecvTruncated()
+		} else {
+			s.counters.RecvUnsupported()
+		}
+		cfg.Logger.Debug("unparseable frame", "err", err)
+		return
+	}
+	if !packet.VerifyChecksums(frame) {
+		// Parsed but corrupt: a flipped bit anywhere in the IP
+		// header or transport segment lands here, never in results.
+		s.counters.RecvChecksum()
+		return
+	}
+	res, ok := s.module.Classify(s.probeCtx, f)
+	recvLat.Record(time.Since(t0))
+	if !ok {
+		// Well-formed but unvalidatable: spoofed or unsolicited
+		// traffic that carries no proof it answers our probe.
+		s.counters.RecvInvalid()
+		return
+	}
+	s.counters.Valid()
+	repeat := false
+	if s.deduper != nil {
+		s.dedupMu.Lock()
+		repeat = s.deduper.Seen(res.IP, res.Port)
+		s.dedupMu.Unlock()
+		if repeat {
+			s.dedupHits.Inc()
+		} else {
+			s.dedupMisses.Inc()
+		}
+	}
+	if repeat {
+		s.counters.Duplicate()
+	}
+	if res.Success {
+		s.counters.Success(!repeat)
+	}
+	inCooldown := cooldownAt.Load() != 0
+	rec := output.NewRecord(res.IP, res.Port, res.Class, res.Success, repeat, inCooldown, res.TTL, time.Since(s.start))
+	if err := cfg.Results.Write(rec); err != nil {
+		cfg.Logger.Error("result write failed", "err", err)
 	}
 }
 

@@ -71,8 +71,12 @@ func TestScanSurvivesResultWriteFailures(t *testing.T) {
 
 func TestScanCountsReceiveDrops(t *testing.T) {
 	// A 1-slot receive ring under a burst must record drops in metadata,
-	// like ZMap's recv-drop counter.
+	// like ZMap's recv-drop counter. A moderate rate keeps the batched
+	// sender from starving the receiver outright: limiter sleeps are
+	// guaranteed drain windows, while each batch grant still bursts far
+	// past one ring slot.
 	in, cfg, _ := testbed(t, 201, "80")
+	cfg.Rate = 100000
 	link := netsim.NewLink(in, 1, 0) // pathological ring
 	defer link.Close()
 	s, err := New(cfg, link)

@@ -52,6 +52,9 @@ type Counters struct {
 // Sent increments packets sent.
 func (c *Counters) Sent() { c.sent.Add(1) }
 
+// SentN adds n packets sent in one update (batched send paths).
+func (c *Counters) SentN(n uint64) { c.sent.Add(n) }
+
 // SendError increments failed transport send attempts (transient or
 // fatal).
 func (c *Counters) SendError() { c.sendErrors.Add(1) }

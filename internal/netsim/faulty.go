@@ -164,6 +164,40 @@ func (f *FaultyTransport) Send(frame []byte) error {
 	return f.inner.Send(frame)
 }
 
+// batchSender and releaser mirror the engine's optional transport
+// extensions, declared locally for the same no-import reason as
+// Transport above.
+type batchSender interface {
+	SendBatch(frames [][]byte) (int, error)
+}
+
+type releaser interface {
+	Release(frame []byte)
+}
+
+// SendBatch applies the fault schedule frame by frame, so a batch
+// observes exactly the faults the same frames would see through Send:
+// per-frame schedules (FailFirstN), attempt-ordinal schedules
+// (FailFirstSends, FatalAfter, StallEvery), and probabilistic faults
+// all count each frame as one attempt. The first fault splits the
+// batch: frames[:sent] were delivered, the failing frame was not.
+func (f *FaultyTransport) SendBatch(frames [][]byte) (int, error) {
+	for i, frame := range frames {
+		if err := f.Send(frame); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// Release forwards received-frame buffers to the inner transport's
+// pool, when it has one.
+func (f *FaultyTransport) Release(frame []byte) {
+	if r, ok := f.inner.(releaser); ok {
+		r.Release(frame)
+	}
+}
+
 // Recv passes through to the wrapped transport.
 func (f *FaultyTransport) Recv() <-chan []byte { return f.inner.Recv() }
 

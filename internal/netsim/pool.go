@@ -1,0 +1,49 @@
+package netsim
+
+// Response frame pooling. The simulator's receive path used to allocate
+// a fresh []byte per delivered frame, which dominated the scanner's
+// steady-state allocation profile in benchmarks. Frames now come from a
+// shared free list and flow: builder -> link ring -> consumer ->
+// Release -> free list. Consumers that do not release (old tests)
+// simply leave buffers to the GC, so pooling is strictly optional.
+//
+// A buffered channel rather than sync.Pool: the pool holds plain
+// []byte values and a channel exchanges them without boxing the slice
+// header into an interface, keeping Get/Put themselves alloc-free.
+
+const (
+	// frameBufCap is the capacity of pooled buffers; every simulated
+	// response fits (the largest is a DNS answer well under 200 bytes).
+	// Buffers that grew past it stay in the pool; smaller foreign
+	// buffers handed to PutFrame are rejected so the pool never shrinks.
+	frameBufCap = 256
+
+	poolSize = 4096
+)
+
+var framePool = make(chan []byte, poolSize)
+
+// getFrame returns an empty frame buffer with at least frameBufCap
+// capacity, recycled when possible.
+func getFrame() []byte {
+	select {
+	case b := <-framePool:
+		return b[:0]
+	default:
+		return make([]byte, 0, frameBufCap)
+	}
+}
+
+// PutFrame recycles a frame buffer previously delivered by a Link (or a
+// fault wrapper around one). Callers must not touch the slice after
+// releasing it. Buffers of foreign origin (too small) are dropped, and
+// a full pool discards excess buffers, so PutFrame never blocks.
+func PutFrame(b []byte) {
+	if cap(b) < frameBufCap {
+		return
+	}
+	select {
+	case framePool <- b[:0]:
+	default:
+	}
+}

@@ -119,6 +119,29 @@ func NewRecvFaultTransport(inner Transport, cfg RecvFaultConfig) *RecvFaultTrans
 // Send passes through to the wrapped transport.
 func (t *RecvFaultTransport) Send(frame []byte) error { return t.inner.Send(frame) }
 
+// SendBatch passes through, preserving the inner transport's batch
+// fault semantics (or falling back to per-frame sends).
+func (t *RecvFaultTransport) SendBatch(frames [][]byte) (int, error) {
+	if bs, ok := t.inner.(batchSender); ok {
+		return bs.SendBatch(frames)
+	}
+	for i, frame := range frames {
+		if err := t.inner.Send(frame); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// Release forwards received-frame buffers toward the owning pool. The
+// injector's own emissions (spoofs, duplicate copies) come from the
+// same pool, so everything it delivers releases uniformly.
+func (t *RecvFaultTransport) Release(frame []byte) {
+	if r, ok := t.inner.(releaser); ok {
+		r.Release(frame)
+	}
+}
+
 // Recv returns the fault-injected response stream.
 func (t *RecvFaultTransport) Recv() <-chan []byte { return t.out }
 
@@ -169,6 +192,10 @@ func (t *RecvFaultTransport) process(rng *rand.Rand, frame []byte) {
 	}
 
 	// At most one mangling fault per frame: first roll that fires wins.
+	// The pump owns the frame here — the producer handed it off and the
+	// consumer has not seen it — so truncation and corruption mutate it
+	// in place rather than allocating a copy. Truncation keeps the
+	// backing array's capacity, so the buffer still recycles.
 	switch {
 	case cfg.TruncateProb > 0 && rng.Float64() < cfg.TruncateProb:
 		t.injected[RecvFaultTruncate].Add(1)
@@ -177,12 +204,15 @@ func (t *RecvFaultTransport) process(rng *rand.Rand, frame []byte) {
 		}
 	case cfg.CorruptProb > 0 && rng.Float64() < cfg.CorruptProb:
 		t.injected[RecvFaultCorrupt].Add(1)
-		frame = corruptFrame(rng, frame)
+		corruptFrame(rng, frame)
 	}
 
 	if cfg.DuplicateProb > 0 && rng.Float64() < cfg.DuplicateProb {
 		t.injected[RecvFaultDuplicate].Add(1)
-		t.emit(frame)
+		// The duplicate is a pooled copy, never the same slice twice:
+		// the consumer releases every delivered frame, and releasing one
+		// buffer into the pool twice would hand it to two owners.
+		t.emit(append(getFrame(), frame...))
 	}
 
 	if cfg.ReorderProb > 0 && rng.Float64() < cfg.ReorderProb {
@@ -204,22 +234,21 @@ func (t *RecvFaultTransport) emit(frame []byte) {
 	select {
 	case t.out <- frame:
 	case <-t.stop:
+		PutFrame(frame)
 	}
 }
 
 // Drain waits for held (reordered) frames to be released.
 func (t *RecvFaultTransport) Drain() { t.pending.Wait() }
 
-// corruptFrame returns a copy of frame with 1–3 random bits flipped.
-func corruptFrame(rng *rand.Rand, frame []byte) []byte {
-	out := append([]byte(nil), frame...)
-	if len(out) == 0 {
-		return out
+// corruptFrame flips 1–3 random bits in frame, in place.
+func corruptFrame(rng *rand.Rand, frame []byte) {
+	if len(frame) == 0 {
+		return
 	}
 	for n := 1 + rng.Intn(3); n > 0; n-- {
-		out[rng.Intn(len(out))] ^= 1 << rng.Intn(8)
+		frame[rng.Intn(len(frame))] ^= 1 << rng.Intn(8)
 	}
-	return out
 }
 
 // spoofFrame builds a forged SYN-ACK addressed like the template frame:
@@ -233,7 +262,7 @@ func spoofFrame(rng *rand.Rand, template []byte) []byte {
 	if err != nil || f.TCP == nil {
 		return nil
 	}
-	buf := make([]byte, 0, 64)
+	buf := getFrame()
 	buf = packet.AppendEthernet(buf, hostMAC, f.EthDst, packet.EtherTypeIPv4)
 	src := rng.Uint32()
 	buf = packet.AppendIPv4(buf, packet.IPv4{

@@ -121,7 +121,7 @@ func (in *Internet) respondSYNACKProbe(f *packet.Frame) []Response {
 	if in.lost(in.cfg.ResponseLoss) {
 		return nil
 	}
-	buf := make([]byte, 0, 60)
+	buf := getFrame()
 	buf = packet.AppendEthernet(buf, hostMAC, f.EthSrc, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{
 		ID:       uint16(in.hash(purposeService+34, ip, f.TCP.DstPort)),
@@ -157,15 +157,20 @@ func (in *Internet) icmpAllowed(ip uint32) bool {
 	return true
 }
 
+// mssOpts is the option block simulated hosts put on their SYN-ACKs.
+// Precomputed once: responders only ever read it (AppendTCP copies it
+// into the frame), so sharing is safe and saves a per-response build.
+var mssOpts = packet.BuildOptions(packet.LayoutMSS, 0)
+
 // buildTCPReply constructs the mirror-image TCP response to a probe.
 func (in *Internet) buildTCPReply(f *packet.Frame, flags byte) []byte {
 	ip, port := f.IP.Dst, f.TCP.DstPort
 	seq := uint32(in.hash(purposeService+32, ip, port)) // host ISN, stable
 	var opts []byte
 	if flags&packet.FlagSYN != 0 {
-		opts = packet.BuildOptions(packet.LayoutMSS, 0)
+		opts = mssOpts
 	}
-	buf := make([]byte, 0, 80)
+	buf := getFrame()
 	buf = packet.AppendEthernet(buf, hostMAC, f.EthSrc, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{
 		ID:       uint16(in.hash(purposeService+33, ip, port)),
@@ -200,7 +205,7 @@ func (in *Internet) respondICMP(f *packet.Frame) []Response {
 	if in.lost(in.cfg.ResponseLoss) {
 		return nil
 	}
-	buf := make([]byte, 0, 64)
+	buf := getFrame()
 	buf = packet.AppendEthernet(buf, hostMAC, f.EthSrc, packet.EtherTypeIPv4)
 	buf = packet.AppendIPv4(buf, packet.IPv4{
 		TTL: 64, Protocol: packet.ProtocolICMP, Src: f.IP.Dst, Dst: f.IP.Src,
@@ -231,7 +236,7 @@ func (in *Internet) respondUDP(f *packet.Frame, probe []byte) []Response {
 				payload = dns
 			}
 		}
-		buf := make([]byte, 0, 64)
+		buf := getFrame()
 		buf = packet.AppendEthernet(buf, hostMAC, f.EthSrc, packet.EtherTypeIPv4)
 		buf = packet.AppendIPv4(buf, packet.IPv4{
 			TTL: 64, Protocol: packet.ProtocolUDP, Src: f.IP.Dst, Dst: f.IP.Src,
@@ -248,7 +253,7 @@ func (in *Internet) respondUDP(f *packet.Frame, probe []byte) []Response {
 		if len(quote) > packet.IPv4HeaderLen+8 {
 			quote = quote[:packet.IPv4HeaderLen+8]
 		}
-		buf := make([]byte, 0, 80)
+		buf := getFrame()
 		buf = packet.AppendEthernet(buf, hostMAC, f.EthSrc, packet.EtherTypeIPv4)
 		buf = packet.AppendIPv4(buf, packet.IPv4{
 			TTL: 64, Protocol: packet.ProtocolICMP, Src: f.IP.Dst, Dst: f.IP.Src,
@@ -342,10 +347,29 @@ func (l *Link) Send(frame []byte) error {
 	return nil
 }
 
+// SendBatch injects a batch of probe frames. The in-process link cannot
+// partially fail, but the contract matches the engine's BatchTransport:
+// frames[:sent] were handed off before the error. Frames are consumed
+// synchronously — the caller may reuse their buffers once SendBatch
+// returns.
+func (l *Link) SendBatch(frames [][]byte) (int, error) {
+	for i, frame := range frames {
+		if err := l.Send(frame); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}
+
+// Release returns a frame previously delivered by Recv to the response
+// buffer pool. Optional: unreleased frames are garbage collected.
+func (l *Link) Release(frame []byte) { PutFrame(frame) }
+
 func (l *Link) deliver(frame []byte) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		PutFrame(frame)
 		return
 	}
 	l.mu.Unlock()
@@ -354,6 +378,7 @@ func (l *Link) deliver(frame []byte) {
 		l.rcvd.Add(1)
 	default:
 		l.drops.Add(1)
+		PutFrame(frame)
 	}
 }
 

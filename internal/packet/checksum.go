@@ -1,0 +1,55 @@
+package packet
+
+// RFC 1624 incremental checksum updates.
+//
+// The batched send path patches a handful of header fields in a
+// pre-rendered frame instead of rebuilding it, so checksums must be
+// updated from the changed words alone rather than recomputed over the
+// whole header or segment. RFC 1624 gives the safe form:
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// where m/m' are the old/new 16-bit words. A ChecksumDelta accumulates
+// the (~m + m') terms for any number of changed words; Apply folds the
+// sum into a stored checksum.
+//
+// Equivalence with full recomputation (packet.Checksum) is exact, not
+// merely congruent, under one precondition: the checksummed data must
+// contain at least one nonzero word outside the patched fields. Both
+// methods then produce a positive pre-complement sum, and repeated
+// carry folding maps congruent positive sums to the same representative
+// in [1, 0xFFFF]. Every frame this package builds satisfies the
+// precondition (the IP version/IHL byte, TTL, and protocol are nonzero,
+// and TCP/UDP checksums chain a pseudo-header whose protocol field is
+// nonzero), and FuzzChecksumDelta pins the equivalence. The lone
+// representative ambiguity — a sum that is exactly zero, where full
+// recomputation yields 0xFFFF but the incremental form can yield 0 —
+// requires an all-zero input and therefore cannot occur here.
+
+// ChecksumDelta accumulates RFC 1624 checksum adjustments for a set of
+// 16-bit word replacements. The zero value is ready to use; it is a
+// plain integer, so building one costs nothing.
+type ChecksumDelta uint32
+
+// Swap16 records the replacement of one 16-bit word.
+func (d *ChecksumDelta) Swap16(old, new uint16) {
+	*d += ChecksumDelta(^old)
+	*d += ChecksumDelta(new)
+}
+
+// Swap32 records the replacement of one 32-bit field (two 16-bit words).
+func (d *ChecksumDelta) Swap32(old, new uint32) {
+	d.Swap16(uint16(old>>16), uint16(new>>16))
+	d.Swap16(uint16(old), uint16(new))
+}
+
+// Apply folds the accumulated delta into a checksum as stored in a
+// frame, returning the updated checksum. A zero delta returns ck
+// unchanged.
+func (d ChecksumDelta) Apply(ck uint16) uint16 {
+	sum := uint32(^ck&0xFFFF) + uint32(d)
+	for sum > 0xFFFF {
+		sum = (sum >> 16) + (sum & 0xFFFF)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,191 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame templates for the batched send path (§4.3). ZMap 4.0's jump
+// toward 10/100GbE line rate came from rendering each probe's invariant
+// bytes once and patching only the per-target fields; this file is that
+// primitive. A Template captures a fully built prototype frame
+// (Ethernet/IPv4/transport with correct checksums), Seed stamps it into
+// per-thread ring buffers, and the Patch* helpers rewrite the mutable
+// fields in place, fixing the IP and transport checksums with RFC 1624
+// incremental updates (ChecksumDelta) instead of full recomputes.
+//
+// The patchers read the OLD field values out of the frame itself, so a
+// ring slot can be re-patched from one target to the next indefinitely:
+// each call moves the frame from whatever target it last carried to the
+// new one. Offsets are fixed because templates require the exact header
+// shape this package's builders emit — Ethernet II, a 20-byte IPv4
+// header (no IP options), then TCP/UDP/ICMP.
+
+// Fixed byte offsets into a templated frame.
+const (
+	ipIDOff  = EthernetHeaderLen + 4  // IPv4 identification
+	ipCkOff  = EthernetHeaderLen + 10 // IPv4 header checksum
+	ipDstOff = EthernetHeaderLen + 16 // IPv4 destination address
+	l4Off    = EthernetHeaderLen + IPv4HeaderLen
+
+	tcpSportOff = l4Off + 0
+	tcpDportOff = l4Off + 2
+	tcpSeqOff   = l4Off + 4
+	tcpAckOff   = l4Off + 8
+	tcpCkOff    = l4Off + 16
+
+	udpSportOff = l4Off + 0
+	udpDportOff = l4Off + 2
+	udpCkOff    = l4Off + 6
+
+	icmpCkOff  = l4Off + 2
+	icmpIDOff  = l4Off + 4
+	icmpSeqOff = l4Off + 6
+)
+
+// ErrBadTemplate reports a prototype frame a Template cannot patch:
+// wrong ethertype, an IPv4 header with options, or a frame too short
+// for its transport.
+var ErrBadTemplate = errors.New("packet: frame not templatable")
+
+// Template is an immutable prototype probe frame. Seed copies it into a
+// working buffer; the package-level Patch* helpers then retarget that
+// buffer per probe without touching the invariant bytes.
+type Template struct {
+	base  []byte
+	proto byte
+}
+
+// NewTemplate validates and captures a prototype frame as built by this
+// package's Append* helpers. The frame must be Ethernet II + IPv4
+// without IP options, carrying TCP, UDP, or ICMP.
+func NewTemplate(frame []byte) (*Template, error) {
+	if len(frame) < l4Off {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadTemplate, len(frame))
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: not IPv4", ErrBadTemplate)
+	}
+	if frame[EthernetHeaderLen] != 0x45 {
+		return nil, fmt.Errorf("%w: IPv4 header must be 20 bytes (version/IHL 0x%02x)",
+			ErrBadTemplate, frame[EthernetHeaderLen])
+	}
+	proto := frame[EthernetHeaderLen+9]
+	var minLen int
+	switch proto {
+	case ProtocolTCP:
+		minLen = l4Off + TCPHeaderLen
+	case ProtocolUDP:
+		minLen = l4Off + UDPHeaderLen
+	case ProtocolICMP:
+		minLen = l4Off + ICMPHeaderLen
+	default:
+		return nil, fmt.Errorf("%w: protocol %d", ErrBadTemplate, proto)
+	}
+	if len(frame) < minLen {
+		return nil, fmt.Errorf("%w: %d bytes for protocol %d", ErrBadTemplate, len(frame), proto)
+	}
+	return &Template{base: append([]byte(nil), frame...), proto: proto}, nil
+}
+
+// Len returns the frame length, which is invariant across patches.
+func (t *Template) Len() int { return len(t.base) }
+
+// Protocol returns the prototype's IP protocol.
+func (t *Template) Protocol() byte { return t.proto }
+
+// Seed copies the prototype into frame, which must be exactly Len()
+// bytes. The result is a valid frame for the prototype's original
+// target, ready for patching.
+func (t *Template) Seed(frame []byte) { copy(frame, t.base) }
+
+// patchIPv4 rewrites the IP identification and destination address,
+// incrementally fixing the header checksum, and returns the destination
+// delta (which TCP/UDP pseudo-header checksums also need).
+func patchIPv4(frame []byte, ipid uint16, dst uint32) ChecksumDelta {
+	var ipd, dstd ChecksumDelta
+	oldID := binary.BigEndian.Uint16(frame[ipIDOff:])
+	ipd.Swap16(oldID, ipid)
+	binary.BigEndian.PutUint16(frame[ipIDOff:], ipid)
+
+	oldDst := binary.BigEndian.Uint32(frame[ipDstOff:])
+	dstd.Swap32(oldDst, dst)
+	binary.BigEndian.PutUint32(frame[ipDstOff:], dst)
+
+	ipd += dstd
+	ck := binary.BigEndian.Uint16(frame[ipCkOff:])
+	binary.BigEndian.PutUint16(frame[ipCkOff:], ipd.Apply(ck))
+	return dstd
+}
+
+// PatchTCP retargets a seeded TCP frame: IP ID, destination address,
+// source and destination ports, and the validator-derived sequence and
+// acknowledgment numbers. Both checksums are fixed incrementally.
+func PatchTCP(frame []byte, ipid uint16, dst uint32, sport, dport uint16, seq, ack uint32) {
+	// The destination address participates in the TCP pseudo-header, so
+	// its delta carries over into the transport checksum.
+	d := patchIPv4(frame, ipid, dst)
+
+	oldSport := binary.BigEndian.Uint16(frame[tcpSportOff:])
+	d.Swap16(oldSport, sport)
+	binary.BigEndian.PutUint16(frame[tcpSportOff:], sport)
+
+	oldDport := binary.BigEndian.Uint16(frame[tcpDportOff:])
+	d.Swap16(oldDport, dport)
+	binary.BigEndian.PutUint16(frame[tcpDportOff:], dport)
+
+	oldSeq := binary.BigEndian.Uint32(frame[tcpSeqOff:])
+	d.Swap32(oldSeq, seq)
+	binary.BigEndian.PutUint32(frame[tcpSeqOff:], seq)
+
+	oldAck := binary.BigEndian.Uint32(frame[tcpAckOff:])
+	d.Swap32(oldAck, ack)
+	binary.BigEndian.PutUint32(frame[tcpAckOff:], ack)
+
+	ck := binary.BigEndian.Uint16(frame[tcpCkOff:])
+	binary.BigEndian.PutUint16(frame[tcpCkOff:], d.Apply(ck))
+}
+
+// PatchUDP retargets a seeded UDP frame: IP ID, destination address,
+// and ports. The RFC 768 zero-checksum substitution (0 transmits as
+// 0xFFFF) is preserved; 0 and 0xFFFF are congruent in one's-complement
+// arithmetic, so patching through the substituted value still matches a
+// full rebuild byte for byte.
+func PatchUDP(frame []byte, ipid uint16, dst uint32, sport, dport uint16) {
+	d := patchIPv4(frame, ipid, dst)
+
+	oldSport := binary.BigEndian.Uint16(frame[udpSportOff:])
+	d.Swap16(oldSport, sport)
+	binary.BigEndian.PutUint16(frame[udpSportOff:], sport)
+
+	oldDport := binary.BigEndian.Uint16(frame[udpDportOff:])
+	d.Swap16(oldDport, dport)
+	binary.BigEndian.PutUint16(frame[udpDportOff:], dport)
+
+	ck := d.Apply(binary.BigEndian.Uint16(frame[udpCkOff:]))
+	if ck == 0 {
+		ck = 0xFFFF // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(frame[udpCkOff:], ck)
+}
+
+// PatchICMPEcho retargets a seeded ICMP echo frame: IP ID, destination
+// address, and the validator-derived echo identifier and sequence. ICMP
+// has no pseudo-header, so the destination change touches only the IP
+// checksum.
+func PatchICMPEcho(frame []byte, ipid uint16, dst uint32, id, seq uint16) {
+	patchIPv4(frame, ipid, dst)
+
+	var d ChecksumDelta
+	oldID := binary.BigEndian.Uint16(frame[icmpIDOff:])
+	d.Swap16(oldID, id)
+	binary.BigEndian.PutUint16(frame[icmpIDOff:], id)
+
+	oldSeq := binary.BigEndian.Uint16(frame[icmpSeqOff:])
+	d.Swap16(oldSeq, seq)
+	binary.BigEndian.PutUint16(frame[icmpSeqOff:], seq)
+
+	ck := binary.BigEndian.Uint16(frame[icmpCkOff:])
+	binary.BigEndian.PutUint16(frame[icmpCkOff:], d.Apply(ck))
+}

@@ -1,0 +1,140 @@
+package probe
+
+import (
+	"zmapgo/internal/packet"
+	"zmapgo/internal/validate"
+)
+
+// Template rendering for the batched send path (§4.3). Instead of
+// rebuilding every frame with MakeProbe, a sender thread obtains a
+// Renderer once, seeds its preallocated frame ring from the template,
+// and calls Render per target. Render derives the validator-bound
+// fields with a zero-alloc Hasher and rewrites them in place via the
+// packet.Patch* helpers, so the steady state allocates nothing.
+//
+// The prototype frame is built by the module's own MakeProbe, which
+// guarantees the invariant bytes (MACs, TTL, option layout, flags,
+// payload) are exactly what the per-probe path would emit; the
+// property test in template_test.go pins byte-for-byte equivalence.
+
+// Templater is an optional interface probe modules implement to
+// support template rendering. The engine falls back to per-probe
+// MakeProbe for modules that do not.
+type Templater interface {
+	// MakeTemplate builds a renderer for one sender thread. Renderers
+	// are not safe for concurrent use (they own a validate.Hasher).
+	MakeTemplate(ctx *Context) (*Renderer, error)
+}
+
+// Renderer retargets seeded probe frames for one sender thread.
+type Renderer struct {
+	tpl    *packet.Template
+	hasher *validate.Hasher
+	patch  func(r *Renderer, frame []byte, ip uint32, port uint16)
+
+	srcIP      uint32
+	sportBase  uint16
+	sportCount uint16
+	randomIPID bool
+}
+
+func newRenderer(m Module, ctx *Context, patch func(*Renderer, []byte, uint32, uint16)) (*Renderer, error) {
+	proto, err := m.MakeProbe(nil, ctx, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := packet.NewTemplate(proto)
+	if err != nil {
+		return nil, err
+	}
+	return &Renderer{
+		tpl:        tpl,
+		hasher:     ctx.Validator.NewHasher(),
+		patch:      patch,
+		srcIP:      ctx.SrcIP,
+		sportBase:  ctx.SourcePortBase,
+		sportCount: ctx.SourcePortCount,
+		randomIPID: ctx.RandomIPID,
+	}, nil
+}
+
+// Len returns the frame length; every rendered frame is exactly this
+// long.
+func (r *Renderer) Len() int { return r.tpl.Len() }
+
+// Seed initializes frame (of length Len) from the template. A slot
+// needs seeding once; Render re-patches it from target to target.
+func (r *Renderer) Seed(frame []byte) { r.tpl.Seed(frame) }
+
+// Render retargets a seeded frame at (ip, port), deriving the
+// validator-bound fields and fixing checksums incrementally. It
+// allocates nothing.
+func (r *Renderer) Render(frame []byte, ip uint32, port uint16) {
+	r.patch(r, frame, ip, port)
+}
+
+// patchSYN mirrors SYNScan.MakeProbe. One validation word supplies
+// both the sequence number and (when enabled) the random IP ID — the
+// same bits MakeProbe extracts with separate computations.
+func patchSYN(r *Renderer, frame []byte, ip uint32, port uint16) {
+	w := r.hasher.Compute(r.srcIP, ip, port)
+	ipid := uint16(packet.ZMapIPID)
+	if r.randomIPID {
+		ipid = uint16(w >> 40)
+	}
+	sport := r.hasher.SourcePort(r.sportBase, r.sportCount, ip, port)
+	packet.PatchTCP(frame, ipid, ip, sport, port, uint32(w), 0)
+}
+
+// patchSYNACK mirrors SYNACKScan.MakeProbe; the acknowledgment comes
+// from the upper half of the same validation word as the sequence.
+func patchSYNACK(r *Renderer, frame []byte, ip uint32, port uint16) {
+	w := r.hasher.Compute(r.srcIP, ip, port)
+	ipid := uint16(packet.ZMapIPID)
+	if r.randomIPID {
+		ipid = uint16(w >> 40)
+	}
+	sport := r.hasher.SourcePort(r.sportBase, r.sportCount, ip, port)
+	packet.PatchTCP(frame, ipid, ip, sport, port, uint32(w), uint32(w>>32))
+}
+
+// patchICMP mirrors ICMPEchoScan.MakeProbe; id, seq, and the random
+// IP ID all come from the port-0 validation word.
+func patchICMP(r *Renderer, frame []byte, ip uint32, _ uint16) {
+	w := r.hasher.Compute(r.srcIP, ip, 0)
+	ipid := uint16(packet.ZMapIPID)
+	if r.randomIPID {
+		ipid = uint16(w >> 40)
+	}
+	packet.PatchICMPEcho(frame, ipid, ip, uint16(w>>16), uint16(w))
+}
+
+// patchUDP mirrors UDPScan.MakeProbe.
+func patchUDP(r *Renderer, frame []byte, ip uint32, port uint16) {
+	ipid := uint16(packet.ZMapIPID)
+	if r.randomIPID {
+		ipid = uint16(r.hasher.Compute(r.srcIP, ip, port) >> 40)
+	}
+	sport := r.hasher.SourcePort(r.sportBase, r.sportCount, ip, port)
+	packet.PatchUDP(frame, ipid, ip, sport, port)
+}
+
+// MakeTemplate implements Templater.
+func (m SYNScan) MakeTemplate(ctx *Context) (*Renderer, error) {
+	return newRenderer(m, ctx, patchSYN)
+}
+
+// MakeTemplate implements Templater.
+func (m SYNACKScan) MakeTemplate(ctx *Context) (*Renderer, error) {
+	return newRenderer(m, ctx, patchSYNACK)
+}
+
+// MakeTemplate implements Templater.
+func (m ICMPEchoScan) MakeTemplate(ctx *Context) (*Renderer, error) {
+	return newRenderer(m, ctx, patchICMP)
+}
+
+// MakeTemplate implements Templater.
+func (m UDPScan) MakeTemplate(ctx *Context) (*Renderer, error) {
+	return newRenderer(m, ctx, patchUDP)
+}

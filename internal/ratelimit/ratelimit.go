@@ -139,6 +139,59 @@ func (l *Limiter) Wait() {
 	l.granted++
 }
 
+// WaitN blocks until the caller may send up to max packets and returns
+// the number granted, in [1, max] (max itself if the rate is
+// unlimited). It is the batch analogue of Wait for the batched send
+// path: a grant of n is exactly equivalent to n consecutive Wait
+// calls — same schedule anchor, same batch accounting — so WaitN and
+// Wait interleave coherently on one limiter. The caller sends the
+// granted frames and calls WaitN again for the remainder, which keeps
+// pacing honest when max exceeds the limiter's internal batch size.
+func (l *Limiter) WaitN(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	if l.rate <= 0 {
+		return max
+	}
+	if l.start.IsZero() {
+		l.start = l.clock.Now()
+	}
+	// Drain any tokens left over from a previous grant first.
+	if l.inBatch > 0 {
+		n := l.inBatch
+		if n > max {
+			n = max
+		}
+		l.inBatch -= n
+		l.granted += uint64(n)
+		return n
+	}
+	var waitStart time.Time
+	if l.waits != nil {
+		waitStart = l.clock.Now()
+	}
+	for {
+		elapsed := l.clock.Now().Sub(l.start).Seconds()
+		allowed := elapsed * l.rate
+		if float64(l.granted) < allowed {
+			break
+		}
+		deficit := (float64(l.granted) - allowed + float64(l.batchSize)) / l.rate
+		l.clock.Sleep(time.Duration(deficit * float64(time.Second)))
+	}
+	if l.waits != nil {
+		l.waits.Record(l.clock.Now().Sub(waitStart))
+	}
+	n := l.batchSize
+	if n > max {
+		n = max
+	}
+	l.inBatch = l.batchSize - n
+	l.granted += uint64(n)
+	return n
+}
+
 // BandwidthToRate converts a link bandwidth in bits/second into packets
 // per second for probes that occupy wireBytes on the wire (including
 // preamble, padding, FCS, and interframe gap). This is how --bandwidth

@@ -219,3 +219,144 @@ func TestWaitRecorderSurvivesSetRate(t *testing.T) {
 		t.Error("recorder lost across SetRate")
 	}
 }
+
+func TestWaitNUnlimitedGrantsMax(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(0, clock)
+	if got := l.WaitN(64); got != 64 {
+		t.Fatalf("WaitN(64) on unlimited limiter = %d, want 64", got)
+	}
+	if clock.now != time.Unix(0, 0) {
+		t.Error("unlimited WaitN slept")
+	}
+	if got := l.WaitN(0); got != 0 {
+		t.Errorf("WaitN(0) = %d, want 0", got)
+	}
+}
+
+// TestWaitNMatchesWaitSchedule pins the core equivalence: pulling n
+// tokens through WaitN takes the same schedule time as n Wait calls.
+func TestWaitNMatchesWaitSchedule(t *testing.T) {
+	for _, rate := range []float64{100, 5000, 50_000, 2_000_000} {
+		for _, max := range []int{1, 16, 64, 256} {
+			c1 := &fakeClock{now: time.Unix(0, 0)}
+			l1 := New(rate, c1)
+			c2 := &fakeClock{now: time.Unix(0, 0)}
+			l2 := New(rate, c2)
+
+			n := int(rate / 10) // ~100ms of traffic
+			if n < 20 {
+				n = 20
+			}
+			for i := 0; i < n; i++ {
+				l1.Wait()
+			}
+			got := 0
+			for got < n {
+				want := n - got
+				if want > max {
+					want = max
+				}
+				g := l2.WaitN(want)
+				if g < 1 || g > want {
+					t.Fatalf("rate %.0f max %d: WaitN(%d) = %d out of range", rate, max, want, g)
+				}
+				got += g
+			}
+			d1 := c1.now.Sub(time.Unix(0, 0))
+			d2 := c2.now.Sub(time.Unix(0, 0))
+			if d1 != d2 {
+				t.Errorf("rate %.0f max %d: Wait×%d took %v, WaitN chunks took %v", rate, max, n, d1, d2)
+			}
+		}
+	}
+}
+
+// TestWaitNInterleavesWithWait checks mixed use on one limiter keeps
+// the schedule identical to Wait-only use.
+func TestWaitNInterleavesWithWait(t *testing.T) {
+	c1 := &fakeClock{now: time.Unix(0, 0)}
+	l1 := New(10_000, c1)
+	c2 := &fakeClock{now: time.Unix(0, 0)}
+	l2 := New(10_000, c2)
+
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l1.Wait()
+	}
+	got := 0
+	for got < n {
+		if got%3 == 0 {
+			l2.Wait()
+			got++
+			continue
+		}
+		want := n - got
+		if want > 7 {
+			want = 7
+		}
+		got += l2.WaitN(want)
+	}
+	if c1.now != c2.now {
+		t.Errorf("Wait-only took %v, interleaved took %v",
+			c1.now.Sub(time.Unix(0, 0)), c2.now.Sub(time.Unix(0, 0)))
+	}
+}
+
+// TestWaitNBatchSleeps verifies batch grants keep the sleep count low:
+// a full-batch WaitN loop sleeps at most once per internal batch.
+func TestWaitNBatchSleeps(t *testing.T) {
+	clock := &countingClock{}
+	l := New(1_000_000, clock) // batch size 256
+	total := 0
+	for total < 10_000 {
+		total += l.WaitN(256)
+	}
+	maxSleeps := 10_000/256 + 2
+	if clock.sleeps > maxSleeps {
+		t.Errorf("%d sleeps for 10k tokens, want <= %d", clock.sleeps, maxSleeps)
+	}
+}
+
+// TestWaitNNeverOvergrants: a grant never exceeds the request, even
+// when the internal batch is larger, and the residue is not lost.
+func TestWaitNNeverOvergrants(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(1_000_000, clock) // batch size 256
+	if got := l.WaitN(10); got != 10 {
+		t.Fatalf("first WaitN(10) = %d, want 10", got)
+	}
+	// The rest of the batch must be available without sleeping.
+	before := clock.now
+	rest := 0
+	for rest < 246 {
+		g := l.WaitN(100)
+		if g > 100 {
+			t.Fatalf("WaitN(100) = %d", g)
+		}
+		rest += g
+	}
+	if rest != 246 {
+		t.Fatalf("residual tokens = %d, want 246", rest)
+	}
+	if clock.now != before {
+		t.Error("draining the open batch slept")
+	}
+}
+
+func TestWaitNRecordsWaits(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	l := New(1000, clock)
+	rec := &waitLog{}
+	l.SetWaitRecorder(rec)
+	total := 0
+	for total < 100 {
+		total += l.WaitN(16)
+	}
+	if rec.n == 0 {
+		t.Fatal("recorder never called for paced WaitN")
+	}
+	if rec.total < 50*time.Millisecond || rec.total > 200*time.Millisecond {
+		t.Errorf("recorded %v blocked, want ~100ms", rec.total)
+	}
+}

@@ -1,0 +1,108 @@
+package validate
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/binary"
+	"hash"
+)
+
+// Hasher computes the same validation words as Validator.Compute with
+// zero heap allocations per call, for the batched send path.
+//
+// crypto/hmac.New allocates two digest states, pad buffers, and a sum
+// slice on every call — several allocations per probe at line rate. A
+// Hasher instead captures the SHA-256 states with the key's inner and
+// outer pads already absorbed (via the digest's BinaryMarshaler) once
+// at construction, then restores them per computation and sums into
+// preallocated buffers. The words produced are bit-identical to
+// HMAC-SHA256, so template-rendered probes validate against responses
+// exactly like built-from-scratch ones.
+//
+// A Hasher is NOT safe for concurrent use: each sender thread owns one.
+type Hasher struct {
+	h     hash.Hash
+	um    encoding.BinaryUnmarshaler
+	inner []byte // marshaled SHA-256 state after absorbing key XOR ipad
+	outer []byte // marshaled SHA-256 state after absorbing key XOR opad
+
+	tuple    [10]byte
+	innerSum [sha256.Size]byte
+	outerSum [sha256.Size]byte
+
+	computes ComputeCounter
+}
+
+// NewHasher builds a reusable hasher keyed like the validator. It
+// inherits the validator's compute counter (see Instrument) so
+// validator-load metrics cover both paths; attach the counter before
+// creating hashers.
+func (v *Validator) NewHasher() *Hasher {
+	h := sha256.New()
+	m := h.(encoding.BinaryMarshaler)
+	um := h.(encoding.BinaryUnmarshaler)
+
+	var pad [sha256.BlockSize]byte
+	for i := range pad {
+		pad[i] = 0x36
+	}
+	for i, b := range v.key {
+		pad[i] ^= b
+	}
+	h.Write(pad[:])
+	inner, err := m.MarshalBinary()
+	if err != nil {
+		// The stdlib digest marshaler cannot fail; a change that makes it
+		// fail must be caught loudly, not by silently mis-validating.
+		panic("validate: sha256 state marshal: " + err.Error())
+	}
+
+	h.Reset()
+	for i := range pad {
+		pad[i] ^= 0x36 ^ 0x5C
+	}
+	h.Write(pad[:])
+	outer, err := m.MarshalBinary()
+	if err != nil {
+		panic("validate: sha256 state marshal: " + err.Error())
+	}
+
+	return &Hasher{h: h, um: um, inner: inner, outer: outer, computes: v.computes}
+}
+
+// word finishes the HMAC over the hasher's tuple buffer (first n bytes)
+// and returns the leading 8 bytes, matching Validator.Compute.
+func (hr *Hasher) word(n int) uint64 {
+	if hr.computes != nil {
+		hr.computes.Add(1)
+	}
+	if err := hr.um.UnmarshalBinary(hr.inner); err != nil {
+		panic("validate: sha256 state restore: " + err.Error())
+	}
+	hr.h.Write(hr.tuple[:n])
+	sum := hr.h.Sum(hr.innerSum[:0])
+	if err := hr.um.UnmarshalBinary(hr.outer); err != nil {
+		panic("validate: sha256 state restore: " + err.Error())
+	}
+	hr.h.Write(sum)
+	sum = hr.h.Sum(hr.outerSum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Compute returns the validation word for a flow; bit-identical to
+// Validator.Compute on the same key.
+func (hr *Hasher) Compute(srcIP, dstIP uint32, dstPort uint16) uint64 {
+	binary.BigEndian.PutUint32(hr.tuple[0:4], srcIP)
+	binary.BigEndian.PutUint32(hr.tuple[4:8], dstIP)
+	binary.BigEndian.PutUint16(hr.tuple[8:10], dstPort)
+	return hr.word(len(hr.tuple))
+}
+
+// SourcePort mirrors Validator.SourcePort.
+func (hr *Hasher) SourcePort(base, count uint16, dstIP uint32, dstPort uint16) uint16 {
+	if count <= 1 {
+		return base
+	}
+	w := hr.Compute(0, dstIP, dstPort)
+	return base + uint16(w>>32)%count
+}

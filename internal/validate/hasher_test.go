@@ -1,0 +1,110 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHasherMatchesValidator(t *testing.T) {
+	v, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.NewHasher()
+	rng := rand.New(rand.NewSource(4))
+	tuples := [][3]uint64{
+		{0, 0, 0},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFF},
+		{0x0A000001, 0x01020304, 443},
+	}
+	for i := 0; i < 4096; i++ {
+		tuples = append(tuples, [3]uint64{
+			uint64(rng.Uint32()), uint64(rng.Uint32()), uint64(rng.Uint32() & 0xFFFF),
+		})
+	}
+	for _, tp := range tuples {
+		src, dst, port := uint32(tp[0]), uint32(tp[1]), uint16(tp[2])
+		want := v.Compute(src, dst, port)
+		if got := h.Compute(src, dst, port); got != want {
+			t.Fatalf("Compute(%#x,%#x,%d): hasher %#x != validator %#x", src, dst, port, got, want)
+		}
+	}
+	// A hasher is reusable: repeating an earlier tuple after many other
+	// computations must still agree.
+	if got, want := h.Compute(0x0A000001, 0x01020304, 443), v.Compute(0x0A000001, 0x01020304, 443); got != want {
+		t.Fatalf("reuse: hasher %#x != validator %#x", got, want)
+	}
+}
+
+func TestHasherSourcePortMatchesValidator(t *testing.T) {
+	v, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.NewHasher()
+	for _, count := range []uint16{0, 1, 2, 256, 65535} {
+		for dport := uint16(1); dport < 100; dport++ {
+			want := v.SourcePort(32768, count, 0x01020304, dport)
+			if got := h.SourcePort(32768, count, 0x01020304, dport); got != want {
+				t.Fatalf("SourcePort(count=%d, dport=%d): hasher %d != validator %d", count, dport, got, want)
+			}
+		}
+	}
+}
+
+func TestHasherInstrumented(t *testing.T) {
+	v, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n countingCounter
+	v.Instrument(&n)
+	h := v.NewHasher()
+	h.Compute(1, 2, 3)
+	h.SourcePort(32768, 256, 2, 3)
+	h.SourcePort(32768, 1, 2, 3) // single-port range: no computation
+	if n != 2 {
+		t.Fatalf("compute counter = %d, want 2", n)
+	}
+}
+
+type countingCounter uint64
+
+func (c *countingCounter) Add(n uint64) { *c += countingCounter(n) }
+
+// TestHasherZeroAllocs pins the property the batched send loop needs:
+// deriving validation words costs no heap allocations.
+func TestHasherZeroAllocs(t *testing.T) {
+	v, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.NewHasher()
+	var sink uint64
+	dst := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		dst++
+		sink += h.Compute(0x0A000001, dst, 443)
+		sink += uint64(h.SourcePort(32768, 256, dst, 443))
+	})
+	if allocs != 0 {
+		t.Fatalf("Hasher.Compute allocates %.1f objects per call, want 0 (sink %d)", allocs, sink)
+	}
+}
+
+func BenchmarkValidatorCompute(b *testing.B) {
+	v, _ := NewRandom()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Compute(0x0A000001, uint32(i), 443)
+	}
+}
+
+func BenchmarkHasherCompute(b *testing.B) {
+	v, _ := NewRandom()
+	h := v.NewHasher()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Compute(0x0A000001, uint32(i), 443)
+	}
+}

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON report on stdout, for committing benchmark baselines (e.g.
+// BENCH_sendpath.json) and diffing them in review.
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkSendPath ./internal/core | \
+//	    go run ./scripts/benchjson -baseline BenchmarkSendPathPerProbe
+//
+// Each benchmark line becomes an entry with ns/op, derived ops/sec, and
+// any B/op / allocs/op columns. When -baseline names a benchmark, every
+// other entry also reports its speedup relative to it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Speedup     float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type report struct {
+	Goos     string  `json:"goos,omitempty"`
+	Goarch   string  `json:"goarch,omitempty"`
+	Pkg      string  `json:"pkg,omitempty"`
+	CPU      string  `json:"cpu,omitempty"`
+	Baseline string  `json:"baseline,omitempty"`
+	Results  []entry `json:"results"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "benchmark name to report speedups against")
+	flag.Parse()
+
+	rep := report{Baseline: *baseline}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparseable line: %s\n", line)
+			continue
+		}
+		rep.Results = append(rep.Results, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		var base float64
+		for _, e := range rep.Results {
+			if trimCPUSuffix(e.Name) == *baseline {
+				base = e.NsPerOp
+				break
+			}
+		}
+		if base == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %q not found\n", *baseline)
+			os.Exit(1)
+		}
+		for i := range rep.Results {
+			if trimCPUSuffix(rep.Results[i].Name) != *baseline && rep.Results[i].NsPerOp > 0 {
+				rep.Results[i].Speedup = round2(base / rep.Results[i].NsPerOp)
+			}
+		}
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-8  N  X ns/op [Y B/op Z
+// allocs/op]` line. Columns beyond ns/op are optional.
+func parseBenchLine(line string) (entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return entry{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil || ns <= 0 {
+		return entry{}, false
+	}
+	e := entry{
+		Name:       f[0],
+		Iterations: iters,
+		NsPerOp:    ns,
+		OpsPerSec:  round2(1e9 / ns),
+	}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b := v
+			e.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			e.AllocsPerOp = &a
+		}
+	}
+	return e, true
+}
+
+// trimCPUSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines match across machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -23,4 +23,7 @@ echo "==> checkpoint round-trip (interrupt, resume, exactly-once)"
 go test -race -count=1 -run 'TestCLISigintCheckpointResume|TestCheckpointResumeExactlyOnce' \
     ./cmd/zmapgo ./internal/core
 
+echo "==> batched send loop vs faulty transport (batch-size sweep)"
+go test -race -count=1 -run 'TestScanBatchedFaultyTransport' ./internal/core
+
 echo "OK"

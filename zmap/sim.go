@@ -179,6 +179,29 @@ func (l *Link) Send(frame []byte) error {
 	return l.inner.Send(frame)
 }
 
+// SendBatch implements the engine's BatchTransport extension, routing
+// through the fault injector when one is attached so every frame in a
+// batch observes its scheduled faults.
+func (l *Link) SendBatch(frames [][]byte) (int, error) {
+	if l.send != nil {
+		if bs, ok := l.send.(interface {
+			SendBatch(frames [][]byte) (int, error)
+		}); ok {
+			return bs.SendBatch(frames)
+		}
+		for i, frame := range frames {
+			if err := l.send.Send(frame); err != nil {
+				return i, err
+			}
+		}
+		return len(frames), nil
+	}
+	return l.inner.SendBatch(frames)
+}
+
+// Release returns a received frame's buffer to the simulator's pool.
+func (l *Link) Release(frame []byte) { netsim.PutFrame(frame) }
+
 // Recv implements Transport.
 func (l *Link) Recv() <-chan []byte {
 	if l.recv != nil {

@@ -113,6 +113,12 @@ type Options struct {
 	Rate      float64
 	Bandwidth string
 
+	// BatchSize is how many probe frames each sender thread hands the
+	// transport per flush (0 = default 64; 1 degenerates to per-probe
+	// sends). Larger batches amortize per-send overhead; progress and
+	// rate accounting stay exact at any size.
+	BatchSize int
+
 	// Seed fixes the target permutation; 0 derives one from the clock.
 	Seed int64
 
@@ -303,6 +309,7 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		Threads:            o.Threads,
 		ShardMode:          mode,
 		Rate:               rate,
+		BatchSize:          o.BatchSize,
 		ProbesPerTarget:    o.ProbesPerTarget,
 		MaxTargets:         o.MaxTargets,
 		Cooldown:           o.Cooldown,
