@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +49,12 @@ func run(args []string) int {
 		staticIPID  = fs.Bool("static-ip-id", false, "use the classic static IP ID 54321 instead of random")
 		probes      = fs.Int("P", 1, "probes per target")
 		maxTargets  = fs.Uint64("max-targets", 0, "cap on (IP,port) targets for this shard")
-		cooldown    = fs.Duration("cooldown-time", 2*time.Second, "how long to receive after sending completes")
+		cooldown    = fs.Duration("cooldown-time", 2*time.Second, "quiescence window: cooldown ends after this long with no responses")
+		cooldownMax = fs.Duration("cooldown-max", 0, "hard cap on the adaptive cooldown (0 = 4x cooldown-time, negative = fixed cooldown)")
+		adaptive    = fs.Bool("adaptive-rate", false, "enable closed-loop congestion-aware rate control (requires --rate or -B)")
+		minRate     = fs.Float64("min-rate", 0, "floor for adaptive rate decreases in packets/sec (0 = rate/64)")
+		quarThresh  = fs.Float64("quarantine-threshold", 0, "per-/16 interference quarantine threshold (0 = default 0.15 when health is on, negative = off)")
+		healthTick  = fs.Duration("health-interval", 0, "scan-health controller evaluation period (0 = 1s)")
 		maxRuntime  = fs.Duration("max-runtime", 0, "stop sending after this long (0 = no limit)")
 		retries     = fs.Int("retries", 0, "per-probe retry budget on transient send errors (0 = default 10, negative = none)")
 		sendBackoff = fs.Duration("send-backoff", 0, "initial retry backoff, doubled per attempt (0 = default 1ms)")
@@ -80,6 +86,13 @@ func run(args []string) int {
 		simFaultFirstN = fs.Int("sim-fault-first-n", 0, "fail the first N send attempts of every probe with a transient error")
 		simFaultProb   = fs.Float64("sim-fault-prob", 0, "fail each send attempt with this probability (seeded, deterministic)")
 		simFaultFatal  = fs.Int("sim-fault-fatal-after", 0, "fail every send permanently after this many attempts (0 = never)")
+
+		// Congestion model on the simulated link (the path the adaptive
+		// rate controller is built to survive).
+		simCongPPS    = fs.Float64("sim-congestion-pps", 0, "simulated path capacity knee in packets/sec (0 = uncongested)")
+		simCongICMP   = fs.Float64("sim-congestion-icmp-pps", 0, "simulated router ICMP-unreachable budget for dropped probes")
+		simDarkPrefix = fs.String("sim-dark-prefix", "", "a.b.0.0/16 prefix that goes dark mid-scan (interference fault)")
+		simDarkAfter  = fs.Uint64("sim-dark-after", 0, "probe count that triggers the dark prefix")
 
 		// Receive-path fault injection (testing the parse/validate/dedup
 		// pipeline's hardening end to end). Probabilities are per frame.
@@ -125,6 +138,11 @@ func run(args []string) int {
 		ProbesPerTarget:     *probes,
 		MaxTargets:          *maxTargets,
 		Cooldown:            *cooldown,
+		CooldownMax:         *cooldownMax,
+		AdaptiveRate:        *adaptive,
+		MinRate:             *minRate,
+		QuarantineThreshold: *quarThresh,
+		HealthInterval:      *healthTick,
 		MaxRuntime:          *maxRuntime,
 		Retries:             *retries,
 		Backoff:             *sendBackoff,
@@ -266,6 +284,31 @@ func run(args []string) int {
 		ReorderProb:   *simRecvReorder,
 		SpoofProb:     *simRecvSpoof,
 	})
+	if *simCongPPS > 0 || *simDarkPrefix != "" {
+		cong := zmap.CongestionOptions{
+			CapacityPPS: *simCongPPS,
+			ICMPPPS:     *simCongICMP,
+			DarkAfter:   *simDarkAfter,
+		}
+		if *simDarkPrefix != "" {
+			ipStr, ok := strings.CutSuffix(*simDarkPrefix, "/16")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "zmapgo: --sim-dark-prefix %q must be a /16 CIDR\n", *simDarkPrefix)
+				return 2
+			}
+			ip, err := target.ParseIPv4(ipStr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zmapgo:", err)
+				return 2
+			}
+			if *simDarkAfter == 0 {
+				fmt.Fprintln(os.Stderr, "zmapgo: --sim-dark-prefix requires --sim-dark-after > 0")
+				return 2
+			}
+			cong.DarkPrefix = ip
+		}
+		link.WithCongestion(cong)
+	}
 	defer link.Close()
 
 	scanner, err := opts.Compile(link)
@@ -326,6 +369,19 @@ func run(args []string) int {
 		"zmapgo: sent %d probes, %d unique successes (hit rate %.3f%%), %d dups, %.0f pps\n",
 		summary.PacketsSent, summary.UniqueSucc, summary.HitRate*100,
 		summary.Duplicates, summary.SendRatePPS)
+	if summary.AdaptiveRate {
+		fmt.Fprintf(os.Stderr,
+			"zmapgo: adaptive rate: final %.0f pps (%d decreases, %d increases, %d unreachables)\n",
+			summary.FinalRatePPS, summary.RateDecreases, summary.RateIncreases, summary.UnreachObserved)
+	}
+	if n := len(summary.QuarantinedPrefixes); n > 0 {
+		fmt.Fprintf(os.Stderr, "zmapgo: quarantined %d interfered prefix(es), %d probes skipped:\n",
+			n, summary.QuarantineSkipped)
+		for _, q := range summary.QuarantinedPrefixes {
+			fmt.Fprintf(os.Stderr, "zmapgo:   %s at %.1fs (sent %d, recv %d)\n",
+				q.Prefix, q.AtSecs, q.Sent, q.Recv)
+		}
+	}
 	if *stateFile != "" {
 		st := scanState{
 			Seed:       summary.Seed,

@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"zmapgo/zmap"
 )
 
 // run the CLI end-to-end against the simulator, capturing files.
@@ -496,6 +499,136 @@ func TestCLIRecvFaultFlags(t *testing.T) {
 		n, ok := doc[key].(float64)
 		if !ok || n == 0 {
 			t.Errorf("metadata %s = %v, want nonzero", key, doc[key])
+		}
+	}
+}
+
+// TestCLIKillResultLossBound is the flush-bound acceptance test: SIGKILL
+// a scan mid-flight — no graceful drain, no deferred flushes — and
+// verify the output file still holds at least the ResultsWritten count
+// recorded in the last checkpoint. The engine flushes result writers
+// inside the same critical section that captures the count, so the
+// bound holds at any kill point; at most one checkpoint interval of
+// results is lost.
+func TestCLIKillResultLossBound(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "zmapgo-under-test")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+
+	ck := filepath.Join(dir, "scan.ckpt")
+	results := filepath.Join(dir, "results.csv")
+	cmd := exec.Command(bin,
+		"-r", "10.0.0.0/16", "-p", "80", "--seed", "9",
+		"--sim-lossless", "--sim-time-scale", "0",
+		"--rate", "20000", "--cooldown-time", "1s",
+		"--checkpoint", ck, "--checkpoint-interval", "25ms",
+		"-O", "csv", "-o", results)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait until a checkpoint proves results have been durably flushed.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		snap, err := zmap.LoadCheckpoint(ck)
+		if err == nil && snap.ResultsWritten > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint with flushed results appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// SIGKILL: the process gets no chance to flush or checkpoint again.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Checkpoint writes are atomic (tmp + rename), so whatever snapshot
+	// is on disk was completed — and its flush preceded it.
+	snap, err := zmap.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ResultsWritten == 0 {
+		t.Fatal("final on-disk checkpoint recorded zero flushed results")
+	}
+	data, err := os.ReadFile(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count complete lines only: the kill can truncate the final row.
+	rows := uint64(strings.Count(string(data), "\n"))
+	if rows == 0 || !strings.HasPrefix(string(data), "saddr,") {
+		t.Fatalf("output file lacks the CSV header: %q", string(data[:min(len(data), 60)]))
+	}
+	rows-- // header
+	if rows < snap.ResultsWritten {
+		t.Errorf("output holds %d rows, checkpoint promised at least %d", rows, snap.ResultsWritten)
+	}
+}
+
+// TestCLIHealthFlags drives the scan-health surface end-to-end through
+// the CLI: quarantine flags, the simulated dark prefix, and the
+// adaptive-cooldown bounds all land in the metadata document.
+func TestCLIHealthFlags(t *testing.T) {
+	dir := t.TempDir()
+	meta := filepath.Join(dir, "meta.json")
+	code := run([]string{
+		"-r", "10.0.0.0/15", "-p", "80", "--seed", "77", "-T", "4",
+		"--sim-lossless", "--sim-time-scale", "0",
+		"--rate", "150000",
+		"--quarantine-threshold", "0.15", "--health-interval", "20ms",
+		"--sim-dark-prefix", "10.1.0.0/16", "--sim-dark-after", "50000",
+		"--cooldown-time", "100ms", "--cooldown-max", "300ms",
+		"--metadata-file", meta,
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	quar, _ := m["quarantined_prefixes"].([]any)
+	if len(quar) != 1 {
+		t.Fatalf("quarantined_prefixes = %v, want one entry", m["quarantined_prefixes"])
+	}
+	if q, _ := quar[0].(map[string]any); q["prefix"] != "10.1.0.0/16" {
+		t.Errorf("quarantined %v, want 10.1.0.0/16", quar[0])
+	}
+	if skipped, _ := m["quarantine_skipped_probes"].(float64); skipped <= 0 {
+		t.Error("metadata records no quarantine-skipped probes")
+	}
+	if maxSecs, _ := m["cooldown_max_secs"].(float64); maxSecs != 0.3 {
+		t.Errorf("cooldown_max_secs = %v, want 0.3", m["cooldown_max_secs"])
+	}
+	if actual, _ := m["cooldown_actual_secs"].(float64); actual <= 0 || actual > 0.3001 {
+		t.Errorf("cooldown_actual_secs = %v, want within (0, 0.3]", m["cooldown_actual_secs"])
+	}
+}
+
+func TestCLIHealthFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"--adaptive-rate"},                   // requires --rate
+		{"--sim-dark-prefix", "not-an-ip/16"}, // unparseable
+		{"--sim-dark-prefix", "10.1.0.0"},     // missing /16
+		{"--sim-dark-prefix", "10.1.0.0/16"},  // dark-after missing
+	}
+	for _, args := range cases {
+		args = append(args, "-r", "10.0.0.0/28", "-p", "80",
+			"--sim-time-scale", "0", "--cooldown-time", "1ms")
+		if code := run(args); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
 		}
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"zmapgo/internal/health"
 )
 
 // FormatVersion identifies the snapshot schema. Readers reject files
@@ -118,10 +120,23 @@ type Snapshot struct {
 	CumulativeSecs float64   `json:"cumulative_secs"`
 	PacketsSent    uint64    `json:"packets_sent"`
 
+	// ResultsWritten is how many result records had been durably flushed
+	// to the output stream when this snapshot was taken. The engine
+	// flushes writers before every Save, so after a crash the output
+	// file holds at least this many records — the at-most-one-interval
+	// loss bound. Zero in snapshots from older versions.
+	ResultsWritten uint64 `json:"results_written,omitempty"`
+
 	// Dedup carries the sliding-window contents so responses straddling
 	// the checkpoint boundary are still deduplicated after resume. Nil
 	// when dedup is disabled.
 	Dedup *DedupState `json:"dedup,omitempty"`
+
+	// Health carries the scan-health controller state — learned rate,
+	// baselines, and the interference-quarantine log — so a resumed scan
+	// neither re-learns the network's capacity nor re-probes prefixes
+	// already found dark. Nil when the health subsystem is disabled.
+	Health *health.State `json:"health,omitempty"`
 }
 
 // Verify reports nil when the snapshot's fingerprint equals want, or an

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"zmapgo/internal/health"
 )
 
 func sampleSnapshot() *Snapshot {
@@ -25,7 +27,16 @@ func sampleSnapshot() *Snapshot {
 		FirstStart:     time.Unix(1699999000, 0).UTC(),
 		CumulativeSecs: 12.5,
 		PacketsSent:    100,
+		ResultsWritten: 42,
 		Dedup:          &DedupState{Size: 100, Keys: EncodeKeys([]uint64{1, 2, 3})},
+		Health: &health.State{
+			RatePPS:         1234.5,
+			BaselineHitRate: 0.02,
+			Decreases:       3,
+			Quarantined: []health.Quarantine{
+				{Prefix: "10.3.0.0/16", Index: 0x0A03, Sent: 500, Recv: 40, AtSecs: 1.5},
+			},
+		},
 	}
 }
 
@@ -54,6 +65,16 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
 		t.Errorf("dedup keys round trip: %v", keys)
+	}
+	if got.ResultsWritten != 42 {
+		t.Errorf("results_written round trip: %d", got.ResultsWritten)
+	}
+	if got.Health == nil || got.Health.RatePPS != 1234.5 || got.Health.Decreases != 3 {
+		t.Errorf("health state round trip: %+v", got.Health)
+	}
+	if len(got.Health.Quarantined) != 1 || got.Health.Quarantined[0].Prefix != "10.3.0.0/16" ||
+		got.Health.Quarantined[0].Index != 0x0A03 {
+		t.Errorf("quarantine log round trip: %+v", got.Health.Quarantined)
 	}
 	// No temp litter after a clean save.
 	entries, _ := os.ReadDir(filepath.Dir(path))

@@ -29,6 +29,7 @@ import (
 	"zmapgo/internal/checkpoint"
 	"zmapgo/internal/cyclic"
 	"zmapgo/internal/dedup"
+	"zmapgo/internal/health"
 	"zmapgo/internal/metrics"
 	"zmapgo/internal/monitor"
 	"zmapgo/internal/output"
@@ -136,7 +137,16 @@ type Config struct {
 	MaxTargets uint64
 
 	// Cooldown is how long to keep receiving after sending completes.
+	// The cooldown is quiescence-based: it ends once no response has
+	// arrived for a full Cooldown, so a quiet scan exits after exactly
+	// Cooldown while straggler trains keep the receiver open longer.
 	Cooldown time.Duration
+
+	// CooldownMax bounds the adaptive cooldown extension: however many
+	// stragglers keep arriving, the cooldown phase never exceeds this.
+	// 0 means 4x Cooldown; negative means exactly Cooldown (the fixed
+	// legacy behavior).
+	CooldownMax time.Duration
 
 	// MaxRuntime stops sending after this duration (0 = no limit); the
 	// cooldown still runs afterward. Mirrors ZMap's --max-runtime.
@@ -186,6 +196,39 @@ type Config struct {
 	// (exactly-once).
 	CheckpointPath     string
 	CheckpointInterval time.Duration
+
+	// AdaptiveRate enables the closed-loop global rate controller: the
+	// scan-health subsystem watches windowed hit rate and ICMP
+	// destination-unreachable telemetry from the receive path and cuts
+	// the aggregate send rate multiplicatively past a congestion signal,
+	// then recovers additively toward Rate. Requires Rate > 0 (an
+	// unlimited scan has no rate to control).
+	AdaptiveRate bool
+
+	// MinRate floors the adaptive controller's multiplicative decrease
+	// (0 = Rate/64, at least 1 pps).
+	MinRate float64
+
+	// QuarantineThreshold enables per-/16 interference quarantine: a
+	// previously-responsive prefix whose windowed response rate falls
+	// below this fraction of its own baseline for several consecutive
+	// health ticks is quarantined — remaining probes to it are skipped
+	// and the event is recorded in metadata. 0 leaves quarantine at the
+	// health default (0.15) when the health subsystem is on; negative
+	// disables quarantine. The health subsystem runs iff AdaptiveRate is
+	// set or QuarantineThreshold > 0.
+	QuarantineThreshold float64
+
+	// HealthInterval is the health controller's tick period (0 = 1s).
+	// Tests shorten it to drive the control loop quickly.
+	HealthInterval time.Duration
+
+	// Health optionally overrides the derived health controller
+	// configuration wholesale (tests tuning windows and gains). When
+	// non-nil it is used as-is except that ConfiguredRate, MinRate,
+	// QuarantineThreshold, Interval, and Logger are still filled from
+	// the fields above when zero.
+	Health *health.Config
 
 	// DedupWindow sizes the sliding window (0 = ZMap default 10^6;
 	// negative disables dedup). Deduper overrides it when non-nil (e.g.
@@ -246,6 +289,14 @@ func (c *Config) setDefaults() {
 	}
 	if c.Cooldown == 0 {
 		c.Cooldown = 8 * time.Second
+	}
+	if c.CooldownMax == 0 {
+		c.CooldownMax = 4 * c.Cooldown
+	} else if c.CooldownMax < c.Cooldown {
+		c.CooldownMax = c.Cooldown
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = time.Second
 	}
 	if c.Retries == 0 {
 		c.Retries = 10
@@ -308,7 +359,15 @@ func (c *Config) Validate() error {
 	if c.ResumeProgress != nil && len(c.ResumeProgress) != c.Threads {
 		return fmt.Errorf("core: ResumeProgress has %d entries for %d threads", len(c.ResumeProgress), c.Threads)
 	}
+	if c.AdaptiveRate && c.Rate <= 0 {
+		return errors.New("core: AdaptiveRate requires a configured Rate")
+	}
 	return nil
+}
+
+// healthEnabled reports whether the scan-health subsystem runs at all.
+func (c *Config) healthEnabled() bool {
+	return c.AdaptiveRate || c.QuarantineThreshold > 0
 }
 
 // Scanner executes one scan.
@@ -340,6 +399,14 @@ type Scanner struct {
 	ckptWrites  atomic.Uint64
 	probeErrs   atomic.Uint64
 	phaseNow    atomic.Value // string; read by the checkpoint goroutine
+
+	// Scan health: the closed-loop controller (nil when disabled),
+	// the durably-flushed result count that rides checkpoints, and the
+	// mutex serializing result writes against checkpoint-time flushes.
+	health         *health.Controller
+	resultsWritten atomic.Uint64
+	resultsMu      sync.Mutex
+	cooldownActual time.Duration // set by the Run goroutine after cooldown
 
 	// Graceful shutdown: Stop closes stopCh (once), which cancels the
 	// send side only — cooldown, drain, output flush, and the final
@@ -512,6 +579,34 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		DurationSecs: genDur.Seconds(),
 	})
 	cfg.Logger.Info("scan phase", "phase", "generation", "duration", genDur)
+	if cfg.healthEnabled() {
+		hc := health.Config{}
+		if cfg.Health != nil {
+			hc = *cfg.Health
+		}
+		if cfg.AdaptiveRate && hc.ConfiguredRate == 0 {
+			hc.ConfiguredRate = cfg.Rate
+		}
+		if hc.MinRate == 0 {
+			hc.MinRate = cfg.MinRate
+		}
+		if hc.QuarantineThreshold == 0 {
+			hc.QuarantineThreshold = cfg.QuarantineThreshold
+		}
+		if hc.Interval == 0 {
+			hc.Interval = cfg.HealthInterval
+		}
+		if hc.Logger == nil {
+			hc.Logger = cfg.Logger
+		}
+		s.health = health.NewController(hc)
+		if cfg.Resume != nil {
+			// Carry the learned rate, baselines, and quarantine set across
+			// the restart so a resumed scan neither re-probes dark prefixes
+			// nor re-discovers the network's capacity knee.
+			s.health.Restore(cfg.Resume.Health)
+		}
+	}
 	s.initMetrics(validator)
 	return s, nil
 }
@@ -585,6 +680,27 @@ func (s *Scanner) initMetrics(validator *validate.Validator) {
 	reg.CounterFunc("zmapgo_checkpoints_written_total",
 		"Checkpoint snapshots successfully persisted.",
 		func() uint64 { return s.ckptWrites.Load() })
+
+	if h := s.health; h != nil {
+		reg.GaugeFunc("zmapgo_health_rate_pps",
+			"Current global target rate set by the scan-health controller.",
+			func() float64 { return h.Rate() })
+		reg.GaugeFunc("zmapgo_health_quarantined_prefixes",
+			"Number of /16 prefixes quarantined as interfered.",
+			func() float64 { return float64(h.QuarantineCount()) })
+		reg.CounterFunc("zmapgo_health_rate_decreases_total",
+			"Multiplicative rate decreases taken on congestion signals.",
+			func() uint64 { return h.Decreases() })
+		reg.CounterFunc("zmapgo_health_rate_increases_total",
+			"Additive rate recovery steps taken on healthy windows.",
+			func() uint64 { return h.Increases() })
+		reg.CounterFunc("zmapgo_health_unreach_total",
+			"Validated ICMP destination-unreachable messages attributed to our probes.",
+			func() uint64 { return h.Unreach() })
+		reg.CounterFunc("zmapgo_quarantine_skipped_total",
+			"Probes skipped because their target prefix was quarantined.",
+			func() uint64 { return c.Snapshot().QuarantineSkips })
+	}
 
 	t := s.transport
 	reg.GaugeFunc("zmapgo_recv_ring_drops",
@@ -740,11 +856,31 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := checkpoint.Save(cfg.CheckpointPath, s.snapshot(false)); err != nil {
-						log.Error("checkpoint write failed", "path", cfg.CheckpointPath, "err", err)
-					} else {
-						s.ckptWrites.Add(1)
-					}
+					s.writeCheckpoint(false)
+				}
+			}
+		}()
+	}
+
+	// Health ticker: drives the closed-loop controller's quarantine and
+	// AIMD decisions off the telemetry the send/receive paths feed it.
+	var healthDone chan struct{}
+	var healthStop chan struct{}
+	if s.health != nil {
+		healthStop = make(chan struct{})
+		healthDone = make(chan struct{})
+		go func() {
+			defer close(healthDone)
+			ticker := time.NewTicker(cfg.HealthInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-healthStop:
+					return
+				case <-ctx.Done():
+					return
+				case now := <-ticker.C:
+					s.health.Tick(now)
 				}
 			}
 		}()
@@ -752,17 +888,19 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 
 	wg.Wait()
 	s.markPhase("cooldown")
-	log.Debug("senders finished; entering cooldown", "cooldown", cfg.Cooldown)
+	log.Debug("senders finished; entering cooldown",
+		"cooldown", cfg.Cooldown, "cooldown_max", cfg.CooldownMax)
 	cooldownAt.Store(time.Now().UnixNano())
-	select {
-	case <-ctx.Done():
-	case <-time.After(cfg.Cooldown):
-	}
+	s.cooldownActual = s.runCooldown(ctx)
 	s.markPhase("drain")
 	close(stopRecv)
 	<-recvDone
 	if status != nil {
 		status.Stop()
+	}
+	if healthStop != nil {
+		close(healthStop)
+		<-healthDone
 	}
 	if ckptStop != nil {
 		close(ckptStop)
@@ -774,11 +912,7 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	// Final checkpoint: senders and receiver have stopped, so per-thread
 	// progress is exact — a resume from this file is exactly-once.
 	if cfg.CheckpointPath != "" {
-		if err := checkpoint.Save(cfg.CheckpointPath, s.snapshot(true)); err != nil {
-			log.Error("final checkpoint write failed", "path", cfg.CheckpointPath, "err", err)
-		} else {
-			s.ckptWrites.Add(1)
-		}
+		s.writeCheckpoint(true)
 	}
 
 	meta := s.buildMetadata()
@@ -799,6 +933,66 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 		return meta, fmt.Errorf("%w (%d of %d threads)", ErrSenderAborted, n, cfg.Threads)
 	}
 	return meta, nil
+}
+
+// runCooldown holds the receiver open after sending completes until the
+// wire goes quiet: the phase ends once no frame has arrived for a full
+// Cooldown, and is bounded by CooldownMax however long stragglers keep
+// trickling in. A quiet scan therefore pays exactly the configured
+// cooldown while a scan with long response trains (blowback, slow paths)
+// keeps collecting instead of truncating them. Returns the actual
+// duration spent, which lands in Metadata.CooldownActualSecs.
+func (s *Scanner) runCooldown(ctx context.Context) time.Duration {
+	cfg := &s.cfg
+	start := time.Now()
+	poll := cfg.Cooldown / 8
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	} else if poll > 500*time.Millisecond {
+		poll = 500 * time.Millisecond
+	}
+	lastRecv := s.counters.Snapshot().Recv
+	lastActivity := start
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return time.Since(start)
+		case <-timer.C:
+		}
+		now := time.Now()
+		if r := s.counters.Snapshot().Recv; r != lastRecv {
+			lastRecv, lastActivity = r, now
+		}
+		if now.Sub(lastActivity) >= cfg.Cooldown || now.Sub(start) >= cfg.CooldownMax {
+			return time.Since(start)
+		}
+		timer.Reset(poll)
+	}
+}
+
+// writeCheckpoint flushes the result writers and persists a snapshot.
+// The emitted-record count is captured after the flush, inside the same
+// critical section result writes use, so the snapshot's ResultsWritten
+// is a floor on what the output file holds if the process dies
+// immediately after — the crash-loss bound is the work of at most one
+// checkpoint interval.
+func (s *Scanner) writeCheckpoint(final bool) {
+	s.resultsMu.Lock()
+	ferr := output.Flush(s.cfg.Results)
+	n := output.Written(s.cfg.Results)
+	s.resultsMu.Unlock()
+	if ferr != nil {
+		s.cfg.Logger.Error("result flush before checkpoint failed", "err", ferr)
+	}
+	snap := s.snapshot(final)
+	snap.ResultsWritten = n
+	if err := checkpoint.Save(s.cfg.CheckpointPath, snap); err != nil {
+		s.cfg.Logger.Error("checkpoint write failed", "path", s.cfg.CheckpointPath, "err", err)
+	} else {
+		s.ckptWrites.Add(1)
+	}
 }
 
 // snapshot assembles a checkpoint document from live scan state. With
@@ -845,6 +1039,9 @@ func (s *Scanner) snapshot(final bool) *checkpoint.Snapshot {
 		snap.Dedup = &checkpoint.DedupState{Size: w.Size(), Keys: checkpoint.EncodeKeys(w.Keys())}
 		s.dedupMu.Unlock()
 	}
+	if s.health != nil {
+		snap.Health = s.health.Snapshot()
+	}
 	return snap
 }
 
@@ -861,6 +1058,14 @@ func (s *Scanner) statusExtra() func(st *monitor.Status, dt time.Duration) {
 		st.Drops = dropped
 		if st.Sent > 0 {
 			st.HitRate = float64(st.Unique) * float64(s.cfg.ProbesPerTarget) / float64(st.Sent)
+		}
+		// The windowed rate arrives as unique/sent over the last minute;
+		// rescale like the cumulative rate so k-probes-per-target scans
+		// report per-target hit rates on both columns.
+		st.HitRate1m *= float64(s.cfg.ProbesPerTarget)
+		if s.health != nil {
+			st.ControllerRatePPS = s.health.Rate()
+			st.QuarantinedPrefixes = s.health.QuarantineCount()
 		}
 		secs := dt.Seconds()
 		pps := make([]float64, len(s.progress))
@@ -943,11 +1148,33 @@ type rateState struct {
 	limiter *ratelimit.Limiter
 	share   float64 // configured per-thread share (0 = unlimited)
 	rate    float64 // current share after degradation
+	applied float64 // rate last programmed into the limiter
 
 	degraded   bool
 	degradedAt time.Time
 	retriedRun int // consecutive frames needing retries
 	cleanRun   int // consecutive first-attempt successes
+}
+
+// applyRate programs the limiter with the effective per-thread rate: the
+// local (degradation-adjusted) share capped by this thread's slice of the
+// global health controller's target. The limiter's SetRate is owner-only,
+// so senders call this at batch boundaries rather than the health ticker
+// pushing rates at them.
+func (rs *rateState) applyRate() {
+	if rs.share <= 0 {
+		return
+	}
+	target := rs.rate
+	if h := rs.s.health; h != nil && h.Adaptive() {
+		if g := h.Rate() / float64(rs.s.cfg.Threads); g < target {
+			target = g
+		}
+	}
+	if target != rs.applied {
+		rs.limiter.SetRate(target)
+		rs.applied = target
+	}
 }
 
 // clean records n consecutive first-attempt sends.
@@ -960,7 +1187,7 @@ func (rs *rateState) clean(n int) {
 	if rs.degraded && rs.cleanRun >= recoverAfter {
 		rs.cleanRun = 0
 		rs.rate = rs.share
-		rs.limiter.SetRate(rs.share)
+		rs.applyRate()
 		rs.degraded = false
 		rs.s.counters.AddDegraded(time.Since(rs.degradedAt))
 		rs.s.cfg.Logger.Info("restored send rate",
@@ -985,7 +1212,7 @@ func (rs *rateState) dirty() {
 	}
 	if next != rs.rate {
 		rs.rate = next
-		rs.limiter.SetRate(next)
+		rs.applyRate()
 		if !rs.degraded {
 			rs.degraded = true
 			rs.degradedAt = time.Now()
@@ -1037,7 +1264,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 	if share > 0 {
 		limiter.SetWaitRecorder(s.rlWait.Shard(thread))
 	}
-	rs := &rateState{s: s, thread: thread, limiter: limiter, share: share, rate: share}
+	rs := &rateState{s: s, thread: thread, limiter: limiter, share: share, rate: share, applied: share}
 	defer rs.finish()
 
 	batchCap := cfg.BatchSize
@@ -1080,6 +1307,11 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 	resolved := uint64(0) // elements fully handled since loop start
 
 	for {
+		// Sync with the global health controller once per batch: cheap
+		// (one atomic read), owner-goroutine-safe, and fast enough that a
+		// rate cut takes effect within one batch of probes.
+		rs.applyRate()
+
 		// Fill phase: consume elements and render their frames until the
 		// ring is full, the subshard ends, the context dies, or the
 		// MaxTargets budget runs out. Nothing here advances progress.
@@ -1116,6 +1348,15 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 			}
 			ip := cfg.Constraint.At(ipIdx)
 			port := cfg.Ports.At(int(portIdx))
+			if s.health != nil && s.health.Quarantined(ip) {
+				// Interfered prefix: the probe would be wasted, so skip it.
+				// The element still consumes its MaxTargets slot and
+				// resolves with the batch — a resumed scan must not
+				// re-probe into the quarantine either.
+				s.counters.QuarantineSkip()
+				pending = append(pending, pendingElem{counted: true})
+				continue
+			}
 			pe := pendingElem{counted: true}
 			for p := 0; p < cfg.ProbesPerTarget; p++ {
 				slot := slots[len(frames)]
@@ -1136,6 +1377,9 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 				}
 				frames = append(frames, slot)
 				pe.frames++
+			}
+			if s.health != nil && pe.frames > 0 {
+				s.health.NoteSent(ip, uint64(pe.frames))
 			}
 			pending = append(pending, pe)
 		}
@@ -1337,6 +1581,18 @@ func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldown
 		s.counters.RecvChecksum()
 		return
 	}
+	if s.health != nil && f.ICMP != nil && f.ICMP.Type == packet.ICMPDestUnreach &&
+		f.IP.Dst == s.probeCtx.SrcIP {
+		// Congestion telemetry: an unreachable quoting one of our probes
+		// (quoted source must be the scanner — the quote bytes are
+		// attacker-controlled, and spoofed unreachables must not be able
+		// to talk the rate down). This runs for every probe module: a
+		// TCP scan's unreachables never reach Classify, but they are
+		// exactly the signal ICMP rate-limiting at a congested edge emits.
+		if q, ok := probe.ParseUnreachQuote(f.Payload); ok && q.Src == s.probeCtx.SrcIP {
+			s.health.NoteUnreach(q.Dst)
+		}
+	}
 	res, ok := s.module.Classify(s.probeCtx, f)
 	recvLat.Record(time.Since(t0))
 	if !ok {
@@ -1362,10 +1618,19 @@ func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldown
 	}
 	if res.Success {
 		s.counters.Success(!repeat)
+		if s.health != nil && !repeat {
+			s.health.NoteRecv(res.IP)
+		}
 	}
 	inCooldown := cooldownAt.Load() != 0
 	rec := output.NewRecord(res.IP, res.Port, res.Class, res.Success, repeat, inCooldown, res.TTL, time.Since(s.start))
-	if err := cfg.Results.Write(rec); err != nil {
+	// The write shares a critical section with the checkpoint-time
+	// flush-then-count, so a snapshot's ResultsWritten is always a floor
+	// on the records durably in the stream.
+	s.resultsMu.Lock()
+	err = cfg.Results.Write(rec)
+	s.resultsMu.Unlock()
+	if err != nil {
 		cfg.Logger.Error("result write failed", "err", err)
 	}
 }
@@ -1385,7 +1650,7 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 	if cfg.MaxTargets > 0 && targets > cfg.MaxTargets {
 		targets = cfg.MaxTargets
 	}
-	return &output.Metadata{
+	meta := &output.Metadata{
 		Tool:           "zmapgo",
 		Version:        Version,
 		ProbeModule:    s.module.Name(),
@@ -1435,7 +1700,35 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 		CumulativeSecs: s.prevSecs + dur,
 		Interrupted:    s.stopRequested.Load(),
 		CheckpointFile: cfg.CheckpointPath,
+
+		CooldownMaxSecs:    cfg.CooldownMax.Seconds(),
+		CooldownActualSecs: s.cooldownActual.Seconds(),
 	}
+	if s.health != nil {
+		hs := s.health.Snapshot()
+		meta.AdaptiveRate = s.health.Adaptive()
+		if meta.AdaptiveRate {
+			mr := cfg.MinRate
+			if mr <= 0 {
+				// Mirror the controller's default floor derivation.
+				if mr = cfg.Rate / 64; mr < 1 {
+					mr = 1
+				}
+			}
+			meta.MinRatePPS = mr
+			meta.FinalRatePPS = hs.RatePPS
+		}
+		meta.RateDecreases = hs.Decreases
+		meta.RateIncreases = hs.Increases
+		meta.UnreachObserved = hs.Unreach
+		meta.QuarantineSkipped = snap.QuarantineSkips
+		for _, q := range hs.Quarantined {
+			meta.QuarantinedPrefixes = append(meta.QuarantinedPrefixes, output.QuarantinedPrefix{
+				Prefix: q.Prefix, Sent: q.Sent, Recv: q.Recv, AtSecs: q.AtSecs,
+			})
+		}
+	}
+	return meta
 }
 
 func excludedCount(c *target.Constraint) uint64 {

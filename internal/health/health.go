@@ -1,0 +1,581 @@
+// Package health closes the loop between the receive path and the send
+// rate — the scan-health subsystem the 10GigE retrospective motivates:
+// past a capacity knee, pushing packets faster *loses* results, because
+// the network (not the host) drops probes and responses. The engine's
+// per-thread degradation (PR 1) only reacts to local transport errors;
+// this package watches what the network itself says.
+//
+// Two mechanisms share one Controller:
+//
+//   - A global AIMD rate controller fed with windowed (not cumulative)
+//     telemetry: when the windowed hit rate collapses relative to its
+//     healthy baseline, or ICMP destination-unreachable messages spike,
+//     the target rate is cut multiplicatively; after a hold-off it is
+//     probed back up additively toward the configured rate. Senders
+//     consult the controller's target at batch boundaries.
+//
+//   - Per-/16 interference quarantine: remote networks fingerprint and
+//     filter scan traffic (Mazel & Strullu), so a prefix that has been
+//     answering can go dark mid-scan. A previously-responsive /16 whose
+//     windowed response rate stays far below its own baseline for
+//     several consecutive windows is quarantined — probes stop, the
+//     event is recorded for operator review — instead of burning the
+//     probe budget into a black hole.
+//
+// Hot-path methods (NoteSent, NoteRecv, NoteUnreach, Quarantined, Rate)
+// are lock-free; Tick runs the control decisions on whatever goroutine
+// drives it (the engine runs one ticker per scan).
+package health
+
+import (
+	"fmt"
+	"log/slog"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultDecreaseFactor      = 0.5
+	DefaultIncreasePerTick     = 0.01
+	DefaultHoldTicks           = 4
+	DefaultCollapseRatio       = 0.5
+	DefaultUnreachFraction     = 0.01
+	DefaultMinWindowProbes     = 50
+	DefaultMinWindowResponses  = 50
+	DefaultBaselineGain        = 0.3
+	DefaultQuarantineThreshold = 0.15
+	DefaultQuarantineMinProbes = 32
+	DefaultQuarantineBadTicks  = 3
+	DefaultQuarantineMinResp   = 8
+	DefaultInterval            = time.Second
+)
+
+// Config tunes the controller. The zero value of every knob takes the
+// package default above; ConfiguredRate <= 0 disables the AIMD loop
+// (quarantine still works), QuarantineThreshold < 0 disables quarantine.
+type Config struct {
+	// ConfiguredRate is the operator's packets-per-second budget — the
+	// ceiling additive recovery probes back toward. <= 0 disables AIMD
+	// (an unlimited-rate scan has no rate to control).
+	ConfiguredRate float64
+
+	// MinRate floors multiplicative decrease. 0 means
+	// max(ConfiguredRate/64, 1).
+	MinRate float64
+
+	// Interval is the expected tick period (informational; the engine
+	// drives Tick on its own ticker). 0 means 1s.
+	Interval time.Duration
+
+	// DecreaseFactor multiplies the rate on a congestion signal (0 =
+	// 0.5, the classic AIMD cut).
+	DecreaseFactor float64
+
+	// IncreasePerTick is the additive recovery step per healthy tick,
+	// as a fraction of ConfiguredRate (0 = 0.01: a full recovery from
+	// the floor takes ~100 healthy ticks).
+	IncreasePerTick float64
+
+	// HoldTicks is how many healthy ticks to sit still after a decrease
+	// before probing upward again (0 = 4).
+	HoldTicks int
+
+	// CollapseRatio: a windowed hit rate below CollapseRatio * baseline
+	// is a congestion signal (0 = 0.5). The baseline is an EWMA over
+	// healthy windows, so it tracks the population's real density.
+	CollapseRatio float64
+
+	// UnreachFraction: a windowed ICMP-unreachable fraction (unreach /
+	// probes sent) above this is a congestion signal (0 = 0.01).
+	UnreachFraction float64
+
+	// MinWindowProbes: windows with fewer probes sent are not judged
+	// (0 = 50). Prevents end-of-scan noise from whipsawing the rate.
+	MinWindowProbes uint64
+
+	// MinWindowResponses sizes the hit-rate evidence window (0 = 50):
+	// the collapse judgment and the baseline EWMA only run once the
+	// window is large enough that a healthy scan would be expected to
+	// carry this many responses (baseline * probes sent). Internet-wide
+	// hit rates are ~1%, so a fixed probe-count window holds O(0)
+	// expected responses and its hit rate is Poisson noise, not signal;
+	// the evidence window scales with 1/density instead.
+	MinWindowResponses uint64
+
+	// BaselineGain is the EWMA gain for the healthy-window baselines
+	// (0 = 0.3).
+	BaselineGain float64
+
+	// QuarantineThreshold: a previously-responsive /16 whose windowed
+	// response rate falls below QuarantineThreshold times its own
+	// baseline accumulates a bad-window strike. 0 = 0.15; negative
+	// disables quarantine entirely.
+	QuarantineThreshold float64
+
+	// QuarantineMinProbes: per-prefix windows accumulate across ticks
+	// until they carry at least this many probes before being judged
+	// (0 = 32).
+	QuarantineMinProbes uint64
+
+	// QuarantineBadTicks: consecutive bad windows before the prefix is
+	// quarantined (0 = 3).
+	QuarantineBadTicks int
+
+	// QuarantineMinResponses: a prefix must have produced at least this
+	// many responses before the window under judgment to count as
+	// "previously responsive" (0 = 8). Never-responsive prefixes are
+	// ordinary empty address space, not interference.
+	QuarantineMinResponses uint64
+
+	// Logger receives controller decisions; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) setDefaults() {
+	if c.MinRate <= 0 && c.ConfiguredRate > 0 {
+		c.MinRate = c.ConfiguredRate / 64
+		if c.MinRate < 1 {
+			c.MinRate = 1
+		}
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.DecreaseFactor <= 0 || c.DecreaseFactor >= 1 {
+		c.DecreaseFactor = DefaultDecreaseFactor
+	}
+	if c.IncreasePerTick <= 0 {
+		c.IncreasePerTick = DefaultIncreasePerTick
+	}
+	if c.HoldTicks == 0 {
+		c.HoldTicks = DefaultHoldTicks
+	}
+	if c.CollapseRatio <= 0 {
+		c.CollapseRatio = DefaultCollapseRatio
+	}
+	if c.UnreachFraction <= 0 {
+		c.UnreachFraction = DefaultUnreachFraction
+	}
+	if c.MinWindowProbes == 0 {
+		c.MinWindowProbes = DefaultMinWindowProbes
+	}
+	if c.MinWindowResponses == 0 {
+		c.MinWindowResponses = DefaultMinWindowResponses
+	}
+	if c.BaselineGain <= 0 || c.BaselineGain > 1 {
+		c.BaselineGain = DefaultBaselineGain
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = DefaultQuarantineThreshold
+	}
+	if c.QuarantineMinProbes == 0 {
+		c.QuarantineMinProbes = DefaultQuarantineMinProbes
+	}
+	if c.QuarantineBadTicks <= 0 {
+		c.QuarantineBadTicks = DefaultQuarantineBadTicks
+	}
+	if c.QuarantineMinResponses == 0 {
+		c.QuarantineMinResponses = DefaultQuarantineMinResp
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// Quarantine records one quarantined /16: which prefix, how much had
+// been probed and answered at the moment of quarantine, and when (scan
+// elapsed seconds). It rides checkpoints and the metadata document.
+type Quarantine struct {
+	Prefix string  `json:"prefix"`     // "a.b.0.0/16"
+	Index  uint32  `json:"prefix_idx"` // ip >> 16, for machine restore
+	Sent   uint64  `json:"sent"`
+	Recv   uint64  `json:"recv"`
+	AtSecs float64 `json:"at_secs"`
+}
+
+// State is the controller's persistable state: everything a resumed scan
+// needs to avoid re-learning the network's capacity or re-probing
+// quarantined prefixes.
+type State struct {
+	RatePPS         float64      `json:"rate_pps"`
+	BaselineHitRate float64      `json:"baseline_hit_rate"`
+	BaselineUnreach float64      `json:"baseline_unreach"`
+	Unreach         uint64       `json:"unreach_total"`
+	Decreases       uint64       `json:"rate_decreases"`
+	Increases       uint64       `json:"rate_increases"`
+	Quarantined     []Quarantine `json:"quarantined,omitempty"`
+}
+
+const prefixes = 1 << 16
+
+// prefixWin is the per-/16 accumulation window, owned by the Tick
+// goroutine: the window spans from the recorded bases to the live
+// counters and rolls forward only once it carries enough probes.
+type prefixWin struct {
+	sentBase uint64
+	recvBase uint64
+	badTicks int
+}
+
+// Controller is the scan-health state machine. All Note*/Quarantined/
+// Rate methods are safe for concurrent use from hot paths; Tick and
+// Restore serialize on an internal mutex.
+type Controller struct {
+	cfg      Config
+	adaptive bool
+
+	rateBits atomic.Uint64 // math.Float64bits of the current target rate
+
+	sentTotal    atomic.Uint64
+	recvTotal    atomic.Uint64
+	unreachTotal atomic.Uint64
+	quarCount    atomic.Uint64
+	decreases    atomic.Uint64
+	increases    atomic.Uint64
+
+	prefixSent  []atomic.Uint64 // [prefixes] probes sent per /16
+	prefixRecv  []atomic.Uint64 // [prefixes] unique successes per /16
+	quarantined []atomic.Bool   // [prefixes] O(1) send-path check
+
+	// newPrefixes collects first-touched /16s so Tick only walks
+	// prefixes the scan actually probes.
+	newMu       sync.Mutex
+	newPrefixes []uint32
+
+	mu       sync.Mutex // everything below
+	start    time.Time
+	lastSent uint64
+	lastRecv uint64
+	lastUnr  uint64
+	evSent   uint64 // hit-rate evidence window anchors; these roll
+	evRecv   uint64 // only when the window carries enough evidence
+
+	baseline    float64 // EWMA hit rate over healthy windows
+	baselineUnr float64 // EWMA unreach fraction over healthy windows
+	hold        int
+
+	active  []uint32 // touched prefixes, tick-owned
+	wins    map[uint32]*prefixWin
+	records []Quarantine
+}
+
+// NewController builds a controller; the scan clock starts at the first
+// Tick (or now, for records written before any tick).
+func NewController(cfg Config) *Controller {
+	cfg.setDefaults()
+	c := &Controller{
+		cfg:         cfg,
+		adaptive:    cfg.ConfiguredRate > 0,
+		prefixSent:  make([]atomic.Uint64, prefixes),
+		prefixRecv:  make([]atomic.Uint64, prefixes),
+		quarantined: make([]atomic.Bool, prefixes),
+		wins:        make(map[uint32]*prefixWin),
+		start:       time.Now(),
+	}
+	c.storeRate(cfg.ConfiguredRate)
+	return c
+}
+
+// Adaptive reports whether the AIMD loop is active (a configured rate
+// exists to control).
+func (c *Controller) Adaptive() bool { return c.adaptive }
+
+// QuarantineEnabled reports whether the interference detector is active.
+func (c *Controller) QuarantineEnabled() bool { return c.cfg.QuarantineThreshold > 0 }
+
+func (c *Controller) storeRate(r float64) { c.rateBits.Store(math.Float64bits(r)) }
+
+// Rate returns the current global target rate in packets/second (0 when
+// AIMD is disabled). Senders divide it by the thread count and apply it
+// as a cap on their local share.
+func (c *Controller) Rate() float64 { return math.Float64frombits(c.rateBits.Load()) }
+
+// NoteSent records n probes sent toward ip. Called from sender threads.
+func (c *Controller) NoteSent(ip uint32, n uint64) {
+	if n == 0 {
+		return
+	}
+	p := ip >> 16
+	if c.prefixSent[p].Add(n) == n {
+		// First touch of this /16 (exactly one concurrent adder can
+		// observe its own n as the post-add value on a zero base).
+		c.newMu.Lock()
+		c.newPrefixes = append(c.newPrefixes, p)
+		c.newMu.Unlock()
+	}
+	c.sentTotal.Add(n)
+}
+
+// NoteRecv records one unique successful response from ip. Called from
+// the receive goroutine.
+func (c *Controller) NoteRecv(ip uint32) {
+	c.prefixRecv[ip>>16].Add(1)
+	c.recvTotal.Add(1)
+}
+
+// NoteUnreach records one validated ICMP destination-unreachable whose
+// quoted probe targeted ip. The caller has already checked the quoted
+// source address, so spoofed unreachables cannot drive the rate down.
+func (c *Controller) NoteUnreach(ip uint32) {
+	_ = ip // per-prefix unreach attribution is not used by the policy yet
+	c.unreachTotal.Add(1)
+}
+
+// Quarantined reports whether probes to ip should be skipped.
+func (c *Controller) Quarantined(ip uint32) bool {
+	return c.quarantined[ip>>16].Load()
+}
+
+// QuarantineCount returns how many /16s are quarantined.
+func (c *Controller) QuarantineCount() uint64 { return c.quarCount.Load() }
+
+// Unreach returns the cumulative validated unreachable count.
+func (c *Controller) Unreach() uint64 { return c.unreachTotal.Load() }
+
+// Decreases and Increases count AIMD rate adjustments.
+func (c *Controller) Decreases() uint64 { return c.decreases.Load() }
+
+// Increases counts additive recovery steps taken.
+func (c *Controller) Increases() uint64 { return c.increases.Load() }
+
+// Tick runs one control-loop evaluation: the quarantine pass over every
+// active prefix, then the global AIMD decision for the window since the
+// previous tick. The engine calls it on its health ticker.
+func (c *Controller) Tick(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.start.IsZero() {
+		c.start = now
+	}
+
+	// Fold newly-touched prefixes into the active list.
+	c.newMu.Lock()
+	if len(c.newPrefixes) > 0 {
+		c.active = append(c.active, c.newPrefixes...)
+		c.newPrefixes = c.newPrefixes[:0]
+	}
+	c.newMu.Unlock()
+
+	if c.QuarantineEnabled() {
+		c.quarantinePass(now)
+	}
+	if c.adaptive {
+		c.aimdPass()
+	} else {
+		// Keep the window anchors moving so enabling AIMD mid-flight
+		// (future) or state snapshots stay coherent.
+		c.lastSent = c.sentTotal.Load()
+		c.lastRecv = c.recvTotal.Load()
+		c.lastUnr = c.unreachTotal.Load()
+	}
+}
+
+// quarantinePass judges each active /16's accumulated window against the
+// prefix's own baseline response rate. Windows roll forward only when
+// they carry enough probes, so sparse prefixes accumulate across ticks
+// instead of being judged on noise.
+func (c *Controller) quarantinePass(now time.Time) {
+	cfg := &c.cfg
+	for _, p := range c.active {
+		if c.quarantined[p].Load() {
+			continue
+		}
+		w := c.wins[p]
+		if w == nil {
+			w = &prefixWin{}
+			c.wins[p] = w
+		}
+		sent := c.prefixSent[p].Load()
+		recv := c.prefixRecv[p].Load()
+		wSent := sent - w.sentBase
+		if wSent < cfg.QuarantineMinProbes {
+			continue // window not full yet; keep accumulating
+		}
+		wRecv := recv - w.recvBase
+		responsive := w.recvBase >= cfg.QuarantineMinResponses && w.sentBase > 0
+		if responsive {
+			baseRate := float64(w.recvBase) / float64(w.sentBase)
+			if float64(wSent)*baseRate < float64(cfg.QuarantineMinResponses) {
+				// Not enough evidence yet: at this prefix's density the
+				// window would be expected to hold fewer responses than
+				// the judgment needs — keep accumulating.
+				continue
+			}
+			if float64(wRecv) < cfg.QuarantineThreshold*baseRate*float64(wSent) {
+				w.badTicks++
+			} else {
+				w.badTicks = 0
+			}
+			if w.badTicks >= cfg.QuarantineBadTicks {
+				c.quarantined[p].Store(true)
+				c.quarCount.Add(1)
+				q := Quarantine{
+					Prefix: fmt.Sprintf("%d.%d.0.0/16", byte(p>>8), byte(p)),
+					Index:  p,
+					Sent:   sent,
+					Recv:   recv,
+					AtSecs: now.Sub(c.start).Seconds(),
+				}
+				c.records = append(c.records, q)
+				cfg.Logger.Warn("quarantining interfered prefix",
+					"prefix", q.Prefix, "sent", sent, "recv", recv,
+					"baseline_rate", baseRate)
+				continue
+			}
+		}
+		// Roll the window forward.
+		w.sentBase, w.recvBase = sent, recv
+	}
+}
+
+// aimdPass evaluates the windows since the previous judgment and moves
+// the target rate. Two windows run at different cadences:
+//
+//   - the fast window (MinWindowProbes) carries the ICMP-unreachable
+//     signal — a router shedding load emits unreachables immediately,
+//     so even a small window is meaningful evidence;
+//   - the hit-rate evidence window (MinWindowResponses) carries the
+//     collapse signal and the baseline EWMA. A windowed hit rate is
+//     only signal once the window is large enough that a healthy scan
+//     would be expected to produce MinWindowResponses responses;
+//     judged earlier, a ~1% hit-rate scan reads Poisson noise as
+//     collapse and spirals to the rate floor.
+func (c *Controller) aimdPass() {
+	cfg := &c.cfg
+	sent := c.sentTotal.Load()
+	recv := c.recvTotal.Load()
+	unr := c.unreachTotal.Load()
+	dSent := sent - c.lastSent
+	dUnr := unr - c.lastUnr
+	if dSent < cfg.MinWindowProbes {
+		return // too quiet to judge; keep the anchors where they are
+	}
+	c.lastSent, c.lastRecv, c.lastUnr = sent, recv, unr
+
+	unrFrac := float64(dUnr) / float64(dSent)
+	if unrFrac > cfg.UnreachFraction && unrFrac > 3*c.baselineUnr {
+		// A congested window must not leak into the hit-rate evidence.
+		c.evSent, c.evRecv = sent, recv
+		c.decrease("unreach_spike", unrFrac)
+		return
+	}
+
+	evSent := sent - c.evSent
+	evRecv := recv - c.evRecv
+	enough := false
+	if c.baseline > 0 {
+		enough = float64(evSent)*c.baseline >= float64(cfg.MinWindowResponses)
+	} else {
+		// No baseline yet: learn one from the responses themselves, so
+		// the first estimate carries the same evidence as later ones.
+		enough = evRecv >= cfg.MinWindowResponses
+	}
+	if enough {
+		hitRate := float64(evRecv) / float64(evSent)
+		c.evSent, c.evRecv = sent, recv
+		if c.baseline > 0 && hitRate < cfg.CollapseRatio*c.baseline {
+			c.decrease("hit_rate_collapse", unrFrac)
+			return
+		}
+		g := cfg.BaselineGain
+		if c.baseline == 0 {
+			c.baseline = hitRate
+		} else {
+			c.baseline += g * (hitRate - c.baseline)
+		}
+	}
+
+	// Healthy fast window: fold the unreachable baseline, then (after
+	// the post-decrease hold) probe back toward the configured rate.
+	c.baselineUnr += cfg.BaselineGain * (unrFrac - c.baselineUnr)
+	if c.hold > 0 {
+		c.hold--
+		return
+	}
+	if rate := c.Rate(); rate < cfg.ConfiguredRate {
+		next := rate + cfg.IncreasePerTick*cfg.ConfiguredRate
+		if next > cfg.ConfiguredRate {
+			next = cfg.ConfiguredRate
+		}
+		c.storeRate(next)
+		c.increases.Add(1)
+	}
+}
+
+// decrease applies one multiplicative cut and arms the hold.
+func (c *Controller) decrease(reason string, unrFrac float64) {
+	cfg := &c.cfg
+	rate := c.Rate()
+	next := rate * cfg.DecreaseFactor
+	if next < cfg.MinRate {
+		next = cfg.MinRate
+	}
+	if next != rate {
+		c.storeRate(next)
+		c.decreases.Add(1)
+		cfg.Logger.Warn("congestion signal; decreasing rate",
+			"reason", reason, "rate_pps", next,
+			"window_unreach_frac", unrFrac,
+			"baseline_hit_rate", c.baseline)
+	}
+	c.hold = cfg.HoldTicks
+}
+
+// QuarantineRecords returns a copy of the quarantine log.
+func (c *Controller) QuarantineRecords() []Quarantine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Quarantine(nil), c.records...)
+}
+
+// Snapshot captures the persistable controller state for checkpoints
+// and metadata.
+func (c *Controller) Snapshot() *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &State{
+		RatePPS:         c.Rate(),
+		BaselineHitRate: c.baseline,
+		BaselineUnreach: c.baselineUnr,
+		Unreach:         c.unreachTotal.Load(),
+		Decreases:       c.decreases.Load(),
+		Increases:       c.increases.Load(),
+		Quarantined:     append([]Quarantine(nil), c.records...),
+	}
+}
+
+// Restore loads state from a checkpoint written by a previous run, so a
+// resumed scan neither re-learns the safe rate nor re-probes prefixes
+// already found interfered. Call before the scan starts.
+func (c *Controller) Restore(st *State) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adaptive && st.RatePPS > 0 {
+		r := st.RatePPS
+		if r < c.cfg.MinRate {
+			r = c.cfg.MinRate
+		}
+		if r > c.cfg.ConfiguredRate {
+			r = c.cfg.ConfiguredRate
+		}
+		c.storeRate(r)
+		// Resume cautiously: hold before probing upward again.
+		c.hold = c.cfg.HoldTicks
+	}
+	c.baseline = st.BaselineHitRate
+	c.baselineUnr = st.BaselineUnreach
+	for _, q := range st.Quarantined {
+		p := q.Index % prefixes
+		if !c.quarantined[p].Load() {
+			c.quarantined[p].Store(true)
+			c.quarCount.Add(1)
+			c.records = append(c.records, q)
+		}
+	}
+}

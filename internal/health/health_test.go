@@ -1,0 +1,301 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+func tick(c *Controller, at time.Time) time.Time {
+	c.Tick(at)
+	return at.Add(50 * time.Millisecond)
+}
+
+// feedWindow simulates one tick's worth of traffic: sent probes spread
+// over a /16, recv unique successes, unr unreachables.
+func feedWindow(c *Controller, prefix uint32, sent, recv, unr int) {
+	base := prefix << 16
+	for i := 0; i < sent; i++ {
+		c.NoteSent(base|uint32(i&0xFFFF), 1)
+	}
+	for i := 0; i < recv; i++ {
+		c.NoteRecv(base | uint32(i&0xFFFF))
+	}
+	for i := 0; i < unr; i++ {
+		c.NoteUnreach(base | uint32(i&0xFFFF))
+	}
+}
+
+func TestAIMDDecreaseOnUnreachSpike(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000})
+	if !c.Adaptive() {
+		t.Fatal("controller should be adaptive with a configured rate")
+	}
+	if got := c.Rate(); got != 10000 {
+		t.Fatalf("initial rate = %v, want 10000", got)
+	}
+	now := time.Unix(0, 0)
+	// Window with a 10% unreachable fraction: well above the default
+	// 1% threshold, and above 3x the (zero) baseline.
+	feedWindow(c, 10, 1000, 50, 100)
+	now = tick(c, now)
+	if got := c.Rate(); got != 5000 {
+		t.Fatalf("rate after unreach spike = %v, want 5000", got)
+	}
+	if c.Decreases() != 1 {
+		t.Fatalf("decreases = %d, want 1", c.Decreases())
+	}
+}
+
+func TestAIMDDecreaseOnHitRateCollapse(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000})
+	now := time.Unix(0, 0)
+	// Establish a healthy baseline: ~10% hit rate, no unreachables.
+	for i := 0; i < 5; i++ {
+		feedWindow(c, 10, 1000, 100, 0)
+		now = tick(c, now)
+	}
+	before := c.Rate()
+	// Hit rate silently collapses to 1% with no ICMP at all.
+	feedWindow(c, 10, 1000, 10, 0)
+	tick(c, now)
+	if got := c.Rate(); got >= before {
+		t.Fatalf("rate did not decrease on hit-rate collapse: %v -> %v", before, got)
+	}
+	if c.Decreases() == 0 {
+		t.Fatal("expected at least one recorded decrease")
+	}
+}
+
+func TestAIMDAdditiveRecovery(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000, HoldTicks: 1, IncreasePerTick: 0.01})
+	now := time.Unix(0, 0)
+	feedWindow(c, 10, 1000, 50, 100)
+	now = tick(c, now) // decrease to 5000, hold=1
+	if got := c.Rate(); got != 5000 {
+		t.Fatalf("rate = %v, want 5000", got)
+	}
+	// Healthy windows: first consumes the hold, then +1% of configured
+	// rate per tick.
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 10, 1000, 100, 0)
+		now = tick(c, now)
+	}
+	want := 5000 + 2*100.0
+	if got := c.Rate(); got != want {
+		t.Fatalf("rate after recovery ticks = %v, want %v", got, want)
+	}
+	if c.Increases() != 2 {
+		t.Fatalf("increases = %d, want 2", c.Increases())
+	}
+}
+
+func TestAIMDRespectsMinRateAndCeiling(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 1000, MinRate: 400, HoldTicks: 1})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		feedWindow(c, 10, 1000, 10, 200)
+		now = tick(c, now)
+	}
+	if got := c.Rate(); got != 400 {
+		t.Fatalf("rate floored at %v, want MinRate 400", got)
+	}
+	// Long healthy stretch cannot exceed the configured rate.
+	for i := 0; i < 200; i++ {
+		feedWindow(c, 10, 1000, 100, 0)
+		now = tick(c, now)
+	}
+	if got := c.Rate(); got != 1000 {
+		t.Fatalf("rate recovered to %v, want ceiling 1000", got)
+	}
+}
+
+func TestSmallWindowsNotJudged(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000})
+	now := time.Unix(0, 0)
+	// 10 probes, all unreachable — but far below MinWindowProbes.
+	feedWindow(c, 10, 10, 0, 10)
+	tick(c, now)
+	if got := c.Rate(); got != 10000 {
+		t.Fatalf("rate moved on an unjudgeable window: %v", got)
+	}
+}
+
+func TestQuarantineDarkPrefix(t *testing.T) {
+	c := NewController(Config{
+		ConfiguredRate:      0, // AIMD off; quarantine only
+		QuarantineThreshold: 0.15,
+		QuarantineBadTicks:  3,
+	})
+	if c.Adaptive() {
+		t.Fatal("controller should not be adaptive without a rate")
+	}
+	now := time.Unix(0, 0)
+	// Prefix 10.1.0.0/16 answers at 10% for a few windows.
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 0x0A01, 200, 20, 0)
+		now = tick(c, now)
+	}
+	if c.Quarantined(0x0A010000) {
+		t.Fatal("responsive prefix must not be quarantined")
+	}
+	// Then goes completely dark for three consecutive windows.
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 0x0A01, 200, 0, 0)
+		now = tick(c, now)
+	}
+	if !c.Quarantined(0x0A010000) {
+		t.Fatal("dark prefix not quarantined after bad windows")
+	}
+	if c.QuarantineCount() != 1 {
+		t.Fatalf("quarantine count = %d, want 1", c.QuarantineCount())
+	}
+	recs := c.QuarantineRecords()
+	if len(recs) != 1 || recs[0].Prefix != "10.1.0.0/16" {
+		t.Fatalf("quarantine records = %+v", recs)
+	}
+	if recs[0].Index != 0x0A01 {
+		t.Fatalf("record index = %#x, want 0x0A01", recs[0].Index)
+	}
+}
+
+func TestNeverResponsivePrefixNotQuarantined(t *testing.T) {
+	c := NewController(Config{QuarantineThreshold: 0.15})
+	now := time.Unix(0, 0)
+	// Empty address space: thousands of probes, zero responses, ever.
+	for i := 0; i < 10; i++ {
+		feedWindow(c, 0x0A02, 500, 0, 0)
+		now = tick(c, now)
+	}
+	if c.Quarantined(0x0A020000) {
+		t.Fatal("never-responsive prefix quarantined; it is just empty space")
+	}
+}
+
+func TestQuarantineWindowCarryAcrossTicks(t *testing.T) {
+	c := NewController(Config{
+		QuarantineThreshold: 0.15,
+		QuarantineMinProbes: 100,
+		QuarantineBadTicks:  2,
+	})
+	now := time.Unix(0, 0)
+	// Baseline.
+	for i := 0; i < 2; i++ {
+		feedWindow(c, 0x0A03, 200, 40, 0)
+		now = tick(c, now)
+	}
+	// Dark, but only 30 probes per tick — windows must accumulate
+	// across ticks before being judged.
+	for i := 0; i < 12; i++ {
+		feedWindow(c, 0x0A03, 30, 0, 0)
+		now = tick(c, now)
+	}
+	if !c.Quarantined(0x0A030000) {
+		t.Fatal("sparse dark prefix not quarantined despite window carry")
+	}
+}
+
+func TestQuarantineRecoversFromSingleBadWindow(t *testing.T) {
+	c := NewController(Config{QuarantineThreshold: 0.15, QuarantineBadTicks: 3})
+	now := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 0x0A04, 200, 30, 0)
+		now = tick(c, now)
+	}
+	// One bad window, then healthy again: strike counter must reset.
+	feedWindow(c, 0x0A04, 200, 0, 0)
+	now = tick(c, now)
+	for i := 0; i < 5; i++ {
+		feedWindow(c, 0x0A04, 200, 30, 0)
+		now = tick(c, now)
+	}
+	feedWindow(c, 0x0A04, 200, 0, 0)
+	now = tick(c, now)
+	feedWindow(c, 0x0A04, 200, 0, 0)
+	tick(c, now)
+	if c.Quarantined(0x0A040000) {
+		t.Fatal("prefix quarantined without consecutive bad windows")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000, QuarantineThreshold: 0.15})
+	now := time.Unix(0, 0)
+	feedWindow(c, 10, 1000, 50, 100)
+	now = tick(c, now)
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 0x0A05, 200, 30, 0)
+		now = tick(c, now)
+	}
+	for i := 0; i < 3; i++ {
+		feedWindow(c, 0x0A05, 200, 0, 0)
+		now = tick(c, now)
+	}
+	if !c.Quarantined(0x0A050000) {
+		t.Fatal("setup: prefix not quarantined")
+	}
+	st := c.Snapshot()
+	if st.Decreases == 0 || st.RatePPS >= 10000 {
+		t.Fatalf("snapshot = %+v, want decreased rate", st)
+	}
+	if len(st.Quarantined) != 1 {
+		t.Fatalf("snapshot quarantined = %+v", st.Quarantined)
+	}
+
+	fresh := NewController(Config{ConfiguredRate: 10000, QuarantineThreshold: 0.15})
+	fresh.Restore(st)
+	if got := fresh.Rate(); got != st.RatePPS {
+		t.Fatalf("restored rate = %v, want %v", got, st.RatePPS)
+	}
+	if !fresh.Quarantined(0x0A050000) {
+		t.Fatal("restored controller lost the quarantine set")
+	}
+	if fresh.QuarantineCount() != 1 {
+		t.Fatalf("restored quarantine count = %d", fresh.QuarantineCount())
+	}
+	// Restore clamps an out-of-range checkpoint rate to the new bounds.
+	clamped := NewController(Config{ConfiguredRate: 2000})
+	clamped.Restore(&State{RatePPS: 99999})
+	if got := clamped.Rate(); got != 2000 {
+		t.Fatalf("restored rate not clamped to ceiling: %v", got)
+	}
+	clamped.Restore(&State{RatePPS: 0.001})
+	if got := clamped.Rate(); got < 1 {
+		t.Fatalf("restored rate not clamped to floor: %v", got)
+	}
+	// Nil restore is a no-op.
+	fresh.Restore(nil)
+}
+
+func TestNoteHotPathsConcurrent(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 1000, QuarantineThreshold: 0.15})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			base := uint32(g) << 16
+			for i := 0; i < 2000; i++ {
+				c.NoteSent(base|uint32(i), 1)
+				if i%3 == 0 {
+					c.NoteRecv(base | uint32(i))
+				}
+				if i%7 == 0 {
+					c.NoteUnreach(base | uint32(i))
+				}
+				_ = c.Quarantined(base)
+				_ = c.Rate()
+			}
+		}(g)
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		now = tick(c, now)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	c.Tick(now)
+	st := c.Snapshot()
+	if st.Unreach == 0 {
+		t.Fatal("unreach counter never advanced")
+	}
+}

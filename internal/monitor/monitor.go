@@ -47,6 +47,11 @@ type Counters struct {
 	recvUnsupported atomic.Uint64
 	recvChecksum    atomic.Uint64
 	recvInvalid     atomic.Uint64
+
+	// quarantineSkips counts targets skipped because their prefix was
+	// quarantined by the scan-health subsystem (probe budget saved, not
+	// probes failed).
+	quarantineSkips atomic.Uint64
 }
 
 // Sent increments packets sent.
@@ -97,6 +102,9 @@ func (c *Counters) RecvChecksum() { c.recvChecksum.Add(1) }
 // answers one of this scan's probes.
 func (c *Counters) RecvInvalid() { c.recvInvalid.Add(1) }
 
+// QuarantineSkip increments targets skipped due to prefix quarantine.
+func (c *Counters) QuarantineSkip() { c.quarantineSkips.Add(1) }
+
 // Valid increments validated responses.
 func (c *Counters) Valid() { c.valid.Add(1) }
 
@@ -140,6 +148,8 @@ type Snapshot struct {
 	RecvUnsupported uint64
 	RecvChecksum    uint64
 	RecvInvalid     uint64
+
+	QuarantineSkips uint64
 }
 
 // Snapshot captures current values.
@@ -163,6 +173,8 @@ func (c *Counters) Snapshot() Snapshot {
 		RecvUnsupported: c.recvUnsupported.Load(),
 		RecvChecksum:    c.recvChecksum.Load(),
 		RecvInvalid:     c.recvInvalid.Load(),
+
+		QuarantineSkips: c.quarantineSkips.Load(),
 	}
 }
 
@@ -191,6 +203,19 @@ type Status struct {
 	RecvChecksum    uint64 `json:"recv_checksum_fail"`
 	RecvInvalid     uint64 `json:"recv_invalid"`
 
+	// Scan-health fields (appended CSV columns; always in JSON).
+	// HitRate1m is the windowed hit rate — unique successes over probes
+	// sent within the trailing 60s (or since start, if younger). Unlike
+	// the cumulative HitRate it reacts to conditions *now*: a congestion
+	// collapse is visible within a window, not diluted by hours of
+	// history. ControllerRatePPS and QuarantinedPrefixes mirror the
+	// health controller's target rate and quarantine count (zero when
+	// the subsystem is off).
+	HitRate1m           float64 `json:"hit_rate_1m"`
+	ControllerRatePPS   float64 `json:"controller_rate_pps"`
+	QuarantinedPrefixes uint64  `json:"quarantined_prefixes"`
+	QuarantineSkips     uint64  `json:"quarantine_skips"`
+
 	// Enriched fields (JSON only). HitRate defaults to unique/sent; the
 	// engine's Extra callback overrides it with the probes-per-target
 	// aware value and fills the rest.
@@ -210,6 +235,7 @@ var csvColumns = []string{
 	"send_errors", "retries", "send_drops", "sender_restarts",
 	"degraded_secs",
 	"recv_truncated", "recv_unsupported", "recv_checksum_fail", "recv_invalid",
+	"hit_rate_1m", "controller_rate_pps", "quarantined_prefixes",
 }
 
 // CSVHeader returns the status CSV header line (without newline).
@@ -231,6 +257,15 @@ type StatusOptions struct {
 	Extra func(st *Status, dt time.Duration)
 }
 
+// hitRateWindow is the trailing span over which hit_rate_1m is
+// computed. maxWindowEntries bounds the snapshot ring at sub-second
+// tick intervals (the window then shortens rather than growing without
+// bound).
+const (
+	hitRateWindow    = time.Minute
+	maxWindowEntries = 1024
+)
+
 // StatusWriter periodically emits one status line per tick.
 type StatusWriter struct {
 	w        io.Writer
@@ -240,6 +275,7 @@ type StatusWriter struct {
 	done     chan struct{}
 	stopOnce sync.Once
 	last     Snapshot
+	window   []Snapshot // trailing snapshots for hit_rate_1m, oldest first
 	headed   bool
 }
 
@@ -258,16 +294,39 @@ func NewStatusWriterWith(w io.Writer, c *Counters, opts StatusOptions) *StatusWr
 	if opts.Format == "" {
 		opts.Format = "csv"
 	}
+	first := c.Snapshot()
 	s := &StatusWriter{
 		w:        w,
 		counters: c,
 		opts:     opts,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
-		last:     c.Snapshot(),
+		last:     first,
+		window:   []Snapshot{first},
 	}
 	go s.loop()
 	return s
+}
+
+// windowedHitRate computes unique/sent over the trailing window ending
+// at now, using the oldest retained snapshot inside the window as the
+// anchor. It also prunes the ring. Zero when nothing was sent in the
+// window (e.g. during cooldown).
+func (s *StatusWriter) windowedHitRate(now Snapshot) float64 {
+	cutoff := now.Time.Add(-hitRateWindow)
+	i := 0
+	for i < len(s.window)-1 && s.window[i].Time.Before(cutoff) {
+		i++
+	}
+	s.window = append(s.window[i:], now)
+	if len(s.window) > maxWindowEntries {
+		s.window = s.window[len(s.window)-maxWindowEntries:]
+	}
+	anchor := s.window[0]
+	if now.Sent <= anchor.Sent {
+		return 0
+	}
+	return float64(now.UniqueSucc-anchor.UniqueSucc) / float64(now.Sent-anchor.Sent)
 }
 
 func (s *StatusWriter) loop() {
@@ -312,10 +371,13 @@ func (s *StatusWriter) emit() {
 		RecvUnsupported: now.RecvUnsupported,
 		RecvChecksum:    now.RecvChecksum,
 		RecvInvalid:     now.RecvInvalid,
+
+		QuarantineSkips: now.QuarantineSkips,
 	}
 	if now.Sent > 0 {
 		st.HitRate = float64(now.UniqueSucc) / float64(now.Sent)
 	}
+	st.HitRate1m = s.windowedHitRate(now)
 	if s.opts.Extra != nil {
 		s.opts.Extra(&st, dt)
 	}
@@ -331,14 +393,15 @@ func (s *StatusWriter) emit() {
 			s.headed = true
 			fmt.Fprintln(s.w, CSVHeader())
 		}
-		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d\n",
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%.6f,%.0f,%d\n",
 			st.TimeUnix,
 			st.Sent, st.SentPPS,
 			st.Recv, st.RecvPPS,
 			st.Success, st.Unique, st.Duplicates, st.Drops,
 			st.SendErrors, st.Retries, st.SendDrops, st.SenderRestarts,
 			st.DegradedSecs,
-			st.RecvTruncated, st.RecvUnsupported, st.RecvChecksum, st.RecvInvalid)
+			st.RecvTruncated, st.RecvUnsupported, st.RecvChecksum, st.RecvInvalid,
+			st.HitRate1m, st.ControllerRatePPS, st.QuarantinedPrefixes)
 	}
 }
 

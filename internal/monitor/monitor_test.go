@@ -67,7 +67,7 @@ func TestStatusWriterEmitsLines(t *testing.T) {
 		t.Fatalf("expected >= 2 status lines, got %q", out)
 	}
 	fields := strings.Split(lines[len(lines)-1], ",")
-	if len(fields) != 18 {
+	if len(fields) != 21 {
 		t.Fatalf("status line has %d fields: %q", len(fields), lines[len(lines)-1])
 	}
 	if fields[1] != "100" {
@@ -138,7 +138,8 @@ func TestStatusCSVHeaderPinned(t *testing.T) {
 	const want = "time_unix,sent,sent_pps,recv,recv_pps," +
 		"success,unique,duplicates,drops," +
 		"send_errors,retries,send_drops,sender_restarts,degraded_secs," +
-		"recv_truncated,recv_unsupported,recv_checksum_fail,recv_invalid"
+		"recv_truncated,recv_unsupported,recv_checksum_fail,recv_invalid," +
+		"hit_rate_1m,controller_rate_pps,quarantined_prefixes"
 	if got := CSVHeader(); got != want {
 		t.Errorf("CSV header changed:\n got %q\nwant %q", got, want)
 	}
@@ -240,7 +241,7 @@ func TestStatusWriterCSVOutputUnchanged(t *testing.T) {
 		if strings.HasPrefix(line, "time_unix") {
 			t.Fatal("legacy constructor emitted a header")
 		}
-		if got := len(strings.Split(line, ",")); got != 18 {
+		if got := len(strings.Split(line, ",")); got != 21 {
 			t.Fatalf("line has %d fields: %q", got, line)
 		}
 	}
@@ -255,4 +256,43 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.w.Write(p)
+}
+
+func TestWindowedHitRate(t *testing.T) {
+	base := time.Unix(1000, 0)
+	snap := func(at time.Duration, sent, unique uint64) Snapshot {
+		return Snapshot{Time: base.Add(at), Sent: sent, UniqueSucc: unique}
+	}
+	s := &StatusWriter{window: []Snapshot{snap(0, 0, 0)}}
+
+	// 10s in: cumulative and windowed agree (window covers the start).
+	if got := s.windowedHitRate(snap(10*time.Second, 1000, 100)); got != 0.1 {
+		t.Fatalf("windowed rate = %v, want 0.1", got)
+	}
+	// 30s in, still inside the window: rate over the whole history.
+	if got := s.windowedHitRate(snap(30*time.Second, 2000, 200)); got != 0.1 {
+		t.Fatalf("windowed rate = %v, want 0.1", got)
+	}
+	// 80s in: the t=0 and t=10s anchors have aged out; the window now
+	// starts at t=30s. The scan went dark after 30s (no new uniques), so
+	// the windowed rate collapses to 0 while cumulative would read 0.04.
+	if got := s.windowedHitRate(snap(80*time.Second, 5000, 200)); got != 0 {
+		t.Fatalf("windowed rate after collapse = %v, want 0", got)
+	}
+	// Nothing sent in the window (cooldown): defined as zero even as
+	// responses trickle in.
+	if got := s.windowedHitRate(snap(150*time.Second, 5000, 250)); got != 0 {
+		t.Fatalf("windowed rate with idle senders = %v, want 0", got)
+	}
+}
+
+func TestWindowedHitRateRingBounded(t *testing.T) {
+	s := &StatusWriter{window: []Snapshot{{Time: time.Unix(0, 0)}}}
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5000; i++ {
+		s.windowedHitRate(Snapshot{Time: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	if len(s.window) > maxWindowEntries {
+		t.Fatalf("window ring grew to %d entries", len(s.window))
+	}
 }

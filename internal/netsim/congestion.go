@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zmapgo/internal/packet"
+)
+
+// CongestionConfig models the path bottleneck the 10GigE retrospective
+// describes: a capacity knee in probes/second past which the network —
+// not the host — drops traffic. Above the knee, excess probes are
+// discarded; a rate-limited budget of ICMP destination-unreachable
+// messages is generated back toward the scanner, the signal a congested
+// router actually emits. A probe-count-triggered "dark prefix" fault
+// models a remote network fingerprinting the scan and filtering it
+// mid-flight (Mazel & Strullu).
+type CongestionConfig struct {
+	// CapacityPPS is the path capacity knee in probes/second; <= 0
+	// disables the capacity model (dark-prefix can still be used).
+	CapacityPPS float64
+
+	// Burst is the token-bucket depth in probes (0 = max(16,
+	// CapacityPPS/50), i.e. ~20ms of line rate).
+	Burst float64
+
+	// ICMPPPS budgets destination-unreachable generation for dropped
+	// probes, like a router's ICMP rate limiter; 0 drops silently.
+	ICMPPPS float64
+
+	// ICMPBurst is the ICMP bucket depth (0 = max(8, ICMPPPS/50)).
+	ICMPBurst float64
+
+	// DarkPrefix/DarkAfter: once DarkAfter probes have traversed the
+	// link, probes whose IPv4 destination shares DarkPrefix's /16 are
+	// silently dropped — the subnet has gone dark. DarkAfter == 0
+	// disables the fault.
+	DarkPrefix uint32
+	DarkAfter  uint64
+}
+
+// CongestionStats counts the congestion model's interventions.
+type CongestionStats struct {
+	Dropped     uint64 // probes dropped at the capacity knee
+	ICMPSent    uint64 // unreachables generated for dropped probes
+	DarkDropped uint64 // probes swallowed by the dark prefix
+}
+
+type congestion struct {
+	cfg        CongestionConfig
+	darkPrefix uint32 // DarkPrefix >> 16, precomputed
+
+	mu         sync.Mutex
+	tokens     float64
+	last       time.Time
+	icmpTokens float64
+	icmpLast   time.Time
+
+	probes      atomic.Uint64
+	dropped     atomic.Uint64
+	icmpSent    atomic.Uint64
+	darkDropped atomic.Uint64
+}
+
+// SetCongestion installs the congestion model on the link. Call before
+// the scan starts; concurrent Sends observe it racily otherwise.
+func (l *Link) SetCongestion(cfg CongestionConfig) {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.CapacityPPS / 50
+		if cfg.Burst < 16 {
+			cfg.Burst = 16
+		}
+	}
+	if cfg.ICMPBurst <= 0 {
+		cfg.ICMPBurst = cfg.ICMPPPS / 50
+		if cfg.ICMPBurst < 8 {
+			cfg.ICMPBurst = 8
+		}
+	}
+	now := time.Now()
+	l.cong = &congestion{
+		cfg:        cfg,
+		darkPrefix: cfg.DarkPrefix >> 16,
+		tokens:     cfg.Burst,
+		last:       now,
+		icmpTokens: cfg.ICMPBurst,
+		icmpLast:   now,
+	}
+}
+
+// CongestionStats reports the model's counters (zero value when no
+// congestion model is installed).
+func (l *Link) CongestionStats() CongestionStats {
+	c := l.cong
+	if c == nil {
+		return CongestionStats{}
+	}
+	return CongestionStats{
+		Dropped:     c.dropped.Load(),
+		ICMPSent:    c.icmpSent.Load(),
+		DarkDropped: c.darkDropped.Load(),
+	}
+}
+
+// takeToken draws one probe slot from the capacity bucket.
+func (c *congestion) takeToken(now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tokens += now.Sub(c.last).Seconds() * c.cfg.CapacityPPS
+	c.last = now
+	if c.tokens > c.cfg.Burst {
+		c.tokens = c.cfg.Burst
+	}
+	if c.tokens >= 1 {
+		c.tokens--
+		return true
+	}
+	return false
+}
+
+// takeICMPToken draws one slot from the unreachable-generation budget.
+func (c *congestion) takeICMPToken(now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.icmpTokens += now.Sub(c.icmpLast).Seconds() * c.cfg.ICMPPPS
+	c.icmpLast = now
+	if c.icmpTokens > c.cfg.ICMPBurst {
+		c.icmpTokens = c.cfg.ICMPBurst
+	}
+	if c.icmpTokens >= 1 {
+		c.icmpTokens--
+		return true
+	}
+	return false
+}
+
+// frameDstIPv4 extracts the IPv4 destination from a raw probe frame
+// without a full parse. ok is false for non-IPv4 or truncated frames.
+func frameDstIPv4(frame []byte) (uint32, bool) {
+	if len(frame) < packet.EthernetHeaderLen+packet.IPv4HeaderLen {
+		return 0, false
+	}
+	if uint16(frame[12])<<8|uint16(frame[13]) != packet.EtherTypeIPv4 {
+		return 0, false
+	}
+	if frame[packet.EthernetHeaderLen]>>4 != 4 {
+		return 0, false
+	}
+	d := frame[packet.EthernetHeaderLen+16:]
+	return uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3]), true
+}
+
+// congest applies the congestion model to one probe. It returns true
+// when the probe was consumed (dropped dark or at the knee) and the
+// normal response path must be skipped.
+func (l *Link) congest(frame []byte) bool {
+	c := l.cong
+	n := c.probes.Add(1)
+	dst, isV4 := frameDstIPv4(frame)
+	if isV4 && c.cfg.DarkAfter > 0 && n > c.cfg.DarkAfter && dst>>16 == c.darkPrefix {
+		c.darkDropped.Add(1)
+		return true
+	}
+	if c.cfg.CapacityPPS <= 0 {
+		return false
+	}
+	now := time.Now()
+	if c.takeToken(now) {
+		return false
+	}
+	c.dropped.Add(1)
+	if c.cfg.ICMPPPS > 0 && isV4 && c.takeICMPToken(now) {
+		if resp := buildCongestionUnreach(frame, dst); resp != nil {
+			c.icmpSent.Add(1)
+			// The drop happens in the path core, roughly half an RTT out.
+			l.schedule(l.in.RTT(dst)/2, resp)
+		}
+	}
+	return true
+}
+
+// buildCongestionUnreach constructs the ICMP destination-unreachable a
+// congested router sends for a dropped probe: outer source is a router
+// address on the destination's subnet, and the payload quotes the
+// probe's IP header plus 8 bytes, exactly what the receive path's
+// quoted-packet validation needs.
+func buildCongestionUnreach(probe []byte, dst uint32) []byte {
+	quote := probe[packet.EthernetHeaderLen:]
+	if len(quote) < packet.IPv4HeaderLen+8 {
+		return nil
+	}
+	quote = quote[:packet.IPv4HeaderLen+8]
+	// Quoted source = the scanner's address = where the ICMP goes.
+	q := quote[12:16]
+	scanner := uint32(q[0])<<24 | uint32(q[1])<<16 | uint32(q[2])<<8 | uint32(q[3])
+	router := dst&0xFFFF0000 | 0x0001
+	var ethDst packet.MAC
+	copy(ethDst[:], probe[6:12])
+	buf := getFrame()
+	buf = packet.AppendEthernet(buf, hostMAC, ethDst, packet.EtherTypeIPv4)
+	buf = packet.AppendIPv4(buf, packet.IPv4{
+		TTL: 64, Protocol: packet.ProtocolICMP, Src: router, Dst: scanner,
+	}, packet.ICMPHeaderLen+len(quote))
+	// Type 3 code 0 (network unreachable); ID/Seq double as the unused
+	// field, which must be zero.
+	buf = packet.AppendICMPEcho(buf, packet.ICMPDestUnreach, 0, 0, quote)
+	return buf
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"zmapgo/internal/packet"
+)
+
+// drainFrames collects everything currently deliverable on the link.
+func drainFrames(l *Link) [][]byte {
+	l.Drain()
+	var out [][]byte
+	for {
+		select {
+		case f := <-l.Recv():
+			out = append(out, f)
+		default:
+			return out
+		}
+	}
+}
+
+func TestCongestionKneeDropsAndGeneratesUnreach(t *testing.T) {
+	in := New(lossless(11))
+	l := NewLink(in, 1<<14, 0)
+	l.SetCongestion(CongestionConfig{
+		CapacityPPS: 100, // tiny knee: a burst of probes must overflow it
+		Burst:       10,
+		ICMPPPS:     1000,
+		ICMPBurst:   50,
+	})
+	for ip := uint32(0x0A000000); ip < 0x0A000000+2000; ip++ {
+		if err := l.Send(buildSYNProbe(ip, 80, packet.LayoutMSS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.CongestionStats()
+	if st.Dropped == 0 {
+		t.Fatal("no probes dropped at a knee far below the offered rate")
+	}
+	if st.ICMPSent == 0 {
+		t.Fatal("no unreachables generated for dropped probes")
+	}
+	if st.ICMPSent > st.Dropped {
+		t.Fatalf("more unreachables (%d) than drops (%d)", st.ICMPSent, st.Dropped)
+	}
+
+	// The generated unreachables must be parseable, checksum-valid, and
+	// quote the probe's IP header so the scanner can attribute them.
+	unreach := 0
+	for _, frame := range drainFrames(l) {
+		f, err := packet.Parse(frame)
+		if err != nil {
+			t.Fatalf("generated frame does not parse: %v", err)
+		}
+		if f.ICMP == nil || f.ICMP.Type != packet.ICMPDestUnreach {
+			continue
+		}
+		unreach++
+		if !packet.VerifyChecksums(frame) {
+			t.Fatal("unreachable has bad checksums")
+		}
+		if f.IP.Dst != 0xC0000201 {
+			t.Fatalf("unreachable sent to %#x, want the scanner", f.IP.Dst)
+		}
+		if len(f.Payload) < packet.IPv4HeaderLen+8 {
+			t.Fatalf("quote too short: %d bytes", len(f.Payload))
+		}
+		q := f.Payload
+		quotedSrc := uint32(q[12])<<24 | uint32(q[13])<<16 | uint32(q[14])<<8 | uint32(q[15])
+		if quotedSrc != 0xC0000201 {
+			t.Fatalf("quoted source = %#x, want the scanner address", quotedSrc)
+		}
+	}
+	if uint64(unreach) != st.ICMPSent {
+		t.Fatalf("delivered %d unreachables, stats say %d", unreach, st.ICMPSent)
+	}
+}
+
+func TestCongestionBelowKneePassesThrough(t *testing.T) {
+	in := New(lossless(12))
+	l := NewLink(in, 1<<14, 0)
+	l.SetCongestion(CongestionConfig{CapacityPPS: 1e9, ICMPPPS: 1000})
+	sent := 0
+	for ip := uint32(0x0A010000); ip < 0x0A010000+500; ip++ {
+		if err := l.Send(buildSYNProbe(ip, 80, packet.LayoutMSS)); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	st := l.CongestionStats()
+	if st.Dropped != 0 || st.ICMPSent != 0 || st.DarkDropped != 0 {
+		t.Fatalf("interventions below the knee: %+v", st)
+	}
+}
+
+func TestCongestionDarkPrefix(t *testing.T) {
+	in := New(lossless(13))
+	// Find a responder inside the to-be-darkened prefix.
+	var target uint32
+	for ip := uint32(0x0A030000); ip < 0x0A040000; ip++ {
+		if in.ExpectedSYNACK(ip, 80, packet.BuildOptions(packet.LayoutMSS, 12345)) {
+			target = ip
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no responder found in prefix")
+	}
+
+	l := NewLink(in, 1<<14, 0)
+	l.SetCongestion(CongestionConfig{
+		DarkPrefix: 0x0A030000,
+		DarkAfter:  20,
+	})
+	// Before the trigger the responder answers.
+	for i := 0; i < 10; i++ {
+		if err := l.Send(buildSYNProbe(target, 80, packet.LayoutMSS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(drainFrames(l))
+	if before == 0 {
+		t.Fatal("responder silent before the dark trigger")
+	}
+	// Push past the trigger, then probe the dark prefix again.
+	for i := 0; i < 20; i++ {
+		if err := l.Send(buildSYNProbe(0x0B000000+uint32(i), 80, packet.LayoutMSS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainFrames(l)
+	for i := 0; i < 10; i++ {
+		if err := l.Send(buildSYNProbe(target, 80, packet.LayoutMSS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(drainFrames(l)); got != 0 {
+		t.Fatalf("dark prefix still answering: %d frames", got)
+	}
+	st := l.CongestionStats()
+	if st.DarkDropped != 10 {
+		t.Fatalf("dark drops = %d, want 10", st.DarkDropped)
+	}
+	// Other prefixes are unaffected.
+	var other uint32
+	for ip := uint32(0x0B010000); ip < 0x0B020000; ip++ {
+		if in.ExpectedSYNACK(ip, 80, packet.BuildOptions(packet.LayoutMSS, 12345)) {
+			other = ip
+			break
+		}
+	}
+	if other == 0 {
+		t.Fatal("no responder found outside dark prefix")
+	}
+	if err := l.Send(buildSYNProbe(other, 80, packet.LayoutMSS)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drainFrames(l)); got == 0 {
+		t.Fatal("non-dark prefix stopped answering")
+	}
+}
+
+func TestCongestionTokenBucketRefills(t *testing.T) {
+	in := New(lossless(14))
+	l := NewLink(in, 1<<14, 0)
+	l.SetCongestion(CongestionConfig{CapacityPPS: 100000, Burst: 4})
+	// Exhaust the burst.
+	for i := 0; i < 50; i++ {
+		_ = l.Send(buildSYNProbe(0x0A050000+uint32(i), 80, packet.LayoutMSS))
+	}
+	dropped := l.CongestionStats().Dropped
+	if dropped == 0 {
+		t.Fatal("burst never exhausted")
+	}
+	// After a pause the bucket refills and probes pass again.
+	time.Sleep(20 * time.Millisecond)
+	_ = l.Send(buildSYNProbe(0x0A050100, 80, packet.LayoutMSS))
+	if got := l.CongestionStats().Dropped; got != dropped {
+		t.Fatalf("probe dropped after refill window: %d -> %d", dropped, got)
+	}
+}

@@ -284,6 +284,10 @@ type Link struct {
 	timeScale float64
 	delays    DelayRecorder
 
+	// cong, when set, interposes the congestion model (capacity knee,
+	// unreachable generation, dark prefix) on every probe.
+	cong *congestion
+
 	mu      sync.Mutex
 	closed  bool
 	pending sync.WaitGroup
@@ -327,24 +331,32 @@ func (l *Link) SetDelayRecorder(r DelayRecorder) { l.delays = r }
 // FaultyTransport to inject failures).
 func (l *Link) Send(frame []byte) error {
 	l.sent.Add(1)
+	if l.cong != nil && l.congest(frame) {
+		return nil // dropped at the knee or swallowed by a dark prefix
+	}
 	responses := l.in.Respond(frame)
 	for _, r := range responses {
-		if l.delays != nil {
-			l.delays.Record(r.Delay)
-		}
-		delay := time.Duration(float64(r.Delay) * l.timeScale)
-		if delay <= 0 {
-			l.deliver(r.Frame)
-			continue
-		}
-		l.pending.Add(1)
-		resp := r.Frame
-		time.AfterFunc(delay, func() {
-			defer l.pending.Done()
-			l.deliver(resp)
-		})
+		l.schedule(r.Delay, r.Frame)
 	}
 	return nil
+}
+
+// schedule queues one response frame for delivery after the simulated
+// delay (scaled by the link's timeScale).
+func (l *Link) schedule(simDelay time.Duration, frame []byte) {
+	if l.delays != nil {
+		l.delays.Record(simDelay)
+	}
+	delay := time.Duration(float64(simDelay) * l.timeScale)
+	if delay <= 0 {
+		l.deliver(frame)
+		return
+	}
+	l.pending.Add(1)
+	time.AfterFunc(delay, func() {
+		defer l.pending.Done()
+		l.deliver(frame)
+	})
 }
 
 // SendBatch injects a batch of probe frames. The in-process link cannot

@@ -82,6 +82,23 @@ type Metadata struct {
 	RecvInvalid      uint64 `json:"recv_invalid"`
 	ProbeBuildErrors uint64 `json:"probe_build_errors"`
 
+	// Scan-health accounting: the closed-loop rate controller's final
+	// state, validated ICMP unreachables observed, and the interference
+	// quarantine log (prefixes that went dark mid-scan and were dropped
+	// from the probe rotation). CooldownActualSecs is how long the
+	// adaptive cooldown really waited (>= cooldown_secs when responses
+	// kept arriving, capped at cooldown_max_secs).
+	AdaptiveRate        bool                `json:"adaptive_rate"`
+	MinRatePPS          float64             `json:"min_rate_pps,omitempty"`
+	FinalRatePPS        float64             `json:"controller_final_rate_pps,omitempty"`
+	RateDecreases       uint64              `json:"rate_decreases,omitempty"`
+	RateIncreases       uint64              `json:"rate_increases,omitempty"`
+	UnreachObserved     uint64              `json:"icmp_unreach_observed,omitempty"`
+	QuarantineSkipped   uint64              `json:"quarantine_skipped_probes,omitempty"`
+	QuarantinedPrefixes []QuarantinedPrefix `json:"quarantined_prefixes,omitempty"`
+	CooldownMaxSecs     float64             `json:"cooldown_max_secs,omitempty"`
+	CooldownActualSecs  float64             `json:"cooldown_actual_secs,omitempty"`
+
 	// Crash-safety accounting across interrupted runs: how many runs
 	// contributed to this scan, when the first began, cumulative active
 	// wall clock, whether this run ended on a graceful interrupt, and the
@@ -91,6 +108,16 @@ type Metadata struct {
 	CumulativeSecs float64   `json:"cumulative_secs"`
 	Interrupted    bool      `json:"interrupted"`
 	CheckpointFile string    `json:"checkpoint_file,omitempty"`
+}
+
+// QuarantinedPrefix is one interference-quarantine event: the prefix,
+// its probe/response counts at quarantine time, and when it happened
+// (seconds since scan start).
+type QuarantinedPrefix struct {
+	Prefix string  `json:"prefix"`
+	Sent   uint64  `json:"sent"`
+	Recv   uint64  `json:"recv"`
+	AtSecs float64 `json:"at_secs"`
 }
 
 // Emit writes the metadata as a single indented JSON document.

@@ -81,11 +81,47 @@ type Writer interface {
 	Close() error
 }
 
+// Flusher is implemented by writers that buffer records. The engine
+// flushes before every checkpoint snapshot so a crash loses at most one
+// checkpoint interval of results, not a buffer's worth. Wrapping writers
+// forward Flush to their inner writer.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush pushes buffered records in w (or any writer it wraps) to the
+// underlying stream. Writers without buffers flush trivially.
+func Flush(w Writer) error {
+	if f, ok := w.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// WrittenCounter is implemented by writers that can report how many
+// records they have emitted to their stream. Wrappers forward to the
+// writer they wrap, so a Filtered writer reports records that passed the
+// filter — the count of rows actually in the output, which is what the
+// checkpoint's crash-loss bound is stated against.
+type WrittenCounter interface {
+	RecordsWritten() uint64
+}
+
+// Written reports how many records w has emitted, or 0 when the writer
+// cannot say.
+func Written(w Writer) uint64 {
+	if c, ok := w.(WrittenCounter); ok {
+		return c.RecordsWritten()
+	}
+	return 0
+}
+
 // TextWriter emits one address per line (ZMap's default human output).
 // With ShowPort true it emits addr:port, appropriate for multiport scans.
 type TextWriter struct {
 	w        io.Writer
 	ShowPort bool
+	written  uint64
 }
 
 // NewTextWriter wraps w.
@@ -101,8 +137,14 @@ func (t *TextWriter) Write(r Record) error {
 	} else {
 		_, err = fmt.Fprintln(t.w, r.Saddr)
 	}
+	if err == nil {
+		t.written++
+	}
 	return err
 }
+
+// RecordsWritten implements WrittenCounter.
+func (t *TextWriter) RecordsWritten() uint64 { return t.written }
 
 // Close implements Writer.
 func (t *TextWriter) Close() error { return nil }
@@ -114,6 +156,7 @@ var csvHeader = []string{"saddr", "sport", "classification", "success", "repeat"
 type CSVWriter struct {
 	cw          *csv.Writer
 	wroteHeader bool
+	written     uint64
 }
 
 // NewCSVWriter wraps w.
@@ -139,8 +182,18 @@ func (c *CSVWriter) Write(r Record) error {
 		strconv.Itoa(int(r.TTL)),
 		strconv.FormatFloat(r.Timestamp, 'f', 6, 64),
 	}
-	return c.cw.Write(row)
+	if err := c.cw.Write(row); err != nil {
+		return err
+	}
+	c.written++
+	return nil
 }
+
+// RecordsWritten implements WrittenCounter. Rows are counted when handed
+// to the csv buffer; they are durable only after Flush, which is why the
+// engine captures the count inside the same critical section as the
+// checkpoint-time flush.
+func (c *CSVWriter) RecordsWritten() uint64 { return c.written }
 
 func boolStr(b bool) string {
 	if b {
@@ -149,15 +202,20 @@ func boolStr(b bool) string {
 	return "0"
 }
 
-// Close implements Writer.
-func (c *CSVWriter) Close() error {
+// Flush implements Flusher: csv.Writer buffers rows, so an unflushed
+// crash would lose everything since the last Flush.
+func (c *CSVWriter) Flush() error {
 	c.cw.Flush()
 	return c.cw.Error()
 }
 
+// Close implements Writer.
+func (c *CSVWriter) Close() error { return c.Flush() }
+
 // JSONLWriter emits one JSON object per line (JSON Lines).
 type JSONLWriter struct {
-	enc *json.Encoder
+	enc     *json.Encoder
+	written uint64
 }
 
 // NewJSONLWriter wraps w.
@@ -166,7 +224,16 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 }
 
 // Write implements Writer.
-func (j *JSONLWriter) Write(r Record) error { return j.enc.Encode(r) }
+func (j *JSONLWriter) Write(r Record) error {
+	if err := j.enc.Encode(r); err != nil {
+		return err
+	}
+	j.written++
+	return nil
+}
+
+// RecordsWritten implements WrittenCounter.
+func (j *JSONLWriter) RecordsWritten() uint64 { return j.written }
 
 // Close implements Writer.
 func (j *JSONLWriter) Close() error { return nil }
@@ -202,6 +269,14 @@ func (f *Filtered) Write(r Record) error {
 // Close implements Writer.
 func (f *Filtered) Close() error { return f.W.Close() }
 
+// Flush implements Flusher by forwarding to the wrapped writer.
+func (f *Filtered) Flush() error { return Flush(f.W) }
+
+// RecordsWritten implements WrittenCounter: only records that passed the
+// filter reached the wrapped writer, so its count is the row count of
+// the actual output.
+func (f *Filtered) RecordsWritten() uint64 { return Written(f.W) }
+
 // CountingWriter wraps a Writer and counts records passed through.
 type CountingWriter struct {
 	W     Writer
@@ -223,4 +298,22 @@ func (c *CountingWriter) Close() error {
 		return nil
 	}
 	return c.W.Close()
+}
+
+// Flush implements Flusher by forwarding to the wrapped writer.
+func (c *CountingWriter) Flush() error {
+	if c.W == nil {
+		return nil
+	}
+	return Flush(c.W)
+}
+
+// RecordsWritten implements WrittenCounter: the wrapped writer's count
+// when one exists (it may emit fewer rows than passed through here), or
+// this writer's own tally when it is the sink.
+func (c *CountingWriter) RecordsWritten() uint64 {
+	if c.W == nil {
+		return c.Count
+	}
+	return Written(c.W)
 }

@@ -70,3 +70,57 @@ func FuzzValidate(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUnreachQuote hammers the ICMP quoted-packet parser with arbitrary
+// bytes. The payload of an unreachable is the least trustworthy input
+// the scanner parses — any host can mail one, and the health subsystem
+// acts on the result — so the invariants are strict: no panic, and an
+// accepted quote's fields must round-trip against manual extraction at
+// the offsets the header itself declares.
+func FuzzUnreachQuote(f *testing.F) {
+	// Seed with a real quote: the head of a UDP probe built by the udp
+	// module, exactly what a router would quote back at us.
+	ctx := testContext()
+	udpMod, _ := Lookup("udp")
+	probeFrame := mustProbe(f, udpMod, nil, ctx, 0x0A000001, 53)
+	quote := probeFrame[packet.EthernetHeaderLen:]
+	if len(quote) > packet.IPv4HeaderLen+8 {
+		quote = quote[:packet.IPv4HeaderLen+8]
+	}
+	f.Add(append([]byte(nil), quote...))
+	for _, n := range []int{0, 1, 19, 20, 27} {
+		f.Add(append([]byte(nil), quote[:n]...)) // truncations
+	}
+	mangled := append([]byte(nil), quote...)
+	mangled[0] = 0x6F // version/ihl garbage
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, ok := ParseUnreachQuote(data)
+		if !ok {
+			if q != (UnreachQuote{}) {
+				t.Fatal("rejected quote returned non-zero fields")
+			}
+			return
+		}
+		if len(data) < packet.IPv4HeaderLen+8 {
+			t.Fatalf("accepted %d-byte quote below the minimum", len(data))
+		}
+		if data[0]>>4 != 4 {
+			t.Fatal("accepted non-IPv4 version nibble")
+		}
+		ihl := int(data[0]&0x0F) * 4
+		if ihl < packet.IPv4HeaderLen || len(data) < ihl+4 {
+			t.Fatalf("accepted quote with ihl %d beyond its %d bytes", ihl, len(data))
+		}
+		wantSrc := uint32(data[12])<<24 | uint32(data[13])<<16 | uint32(data[14])<<8 | uint32(data[15])
+		wantDst := uint32(data[16])<<24 | uint32(data[17])<<16 | uint32(data[18])<<8 | uint32(data[19])
+		if q.Src != wantSrc || q.Dst != wantDst || q.Proto != data[9] {
+			t.Fatalf("quote fields %+v disagree with manual extraction", q)
+		}
+		if q.SrcPort != uint16(data[ihl])<<8|uint16(data[ihl+1]) ||
+			q.DstPort != uint16(data[ihl+2])<<8|uint16(data[ihl+3]) {
+			t.Fatalf("port fields %+v disagree with declared ihl %d", q, ihl)
+		}
+	})
+}

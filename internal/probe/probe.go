@@ -259,36 +259,53 @@ func (UDPScan) Classify(ctx *Context, f *packet.Frame) (Result, bool) {
 		return Result{IP: ip, Port: port, Class: "udp", Success: true, TTL: f.IP.TTL}, true
 	case f.ICMP != nil && f.IP.Dst == ctx.SrcIP && f.ICMP.Type == packet.ICMPDestUnreach:
 		// The quoted original datagram identifies the scanned target.
-		ip, port, ok := parseUnreachQuote(f.Payload)
-		if !ok {
+		q, ok := ParseUnreachQuote(f.Payload)
+		if !ok || q.Proto != packet.ProtocolUDP {
 			return Result{}, false
 		}
-		return Result{IP: ip, Port: port, Class: "port-unreach", Success: false, TTL: f.IP.TTL}, true
+		return Result{IP: q.Dst, Port: q.DstPort, Class: "port-unreach", Success: false, TTL: f.IP.TTL}, true
 	default:
 		return Result{}, false
 	}
 }
 
-// parseUnreachQuote extracts (dst ip, dst port) from the quoted IP header
-// + 8 bytes inside an ICMP unreachable payload. All offsets are bounds
-// checked; garbage quotes are rejected.
-func parseUnreachQuote(quote []byte) (uint32, uint16, bool) {
+// UnreachQuote is the decoded head of the original datagram quoted in an
+// ICMP destination-unreachable payload: the addresses and protocol of
+// the probe that elicited the error, plus the first transport header
+// words (meaningful ports only for TCP/UDP quotes).
+type UnreachQuote struct {
+	Src, Dst         uint32
+	Proto            byte
+	SrcPort, DstPort uint16
+}
+
+// ParseUnreachQuote decodes the quoted IP header + 8 bytes inside an
+// ICMP unreachable payload. The bytes are attacker-controlled — any
+// host on the Internet can mail the scanner an ICMP error — so every
+// offset is bounds checked and garbage quotes are rejected. Callers
+// must further validate that Src is the scanner's own address before
+// acting on the quote (otherwise spoofed errors could, e.g., drive an
+// adaptive rate controller down).
+func ParseUnreachQuote(quote []byte) (UnreachQuote, bool) {
 	if len(quote) < packet.IPv4HeaderLen+8 {
-		return 0, 0, false
+		return UnreachQuote{}, false
 	}
 	if quote[0]>>4 != 4 {
-		return 0, 0, false
+		return UnreachQuote{}, false
 	}
 	ihl := int(quote[0]&0x0F) * 4
 	if ihl < packet.IPv4HeaderLen || len(quote) < ihl+4 {
-		return 0, 0, false
+		return UnreachQuote{}, false
 	}
-	if quote[9] != packet.ProtocolUDP {
-		return 0, 0, false
+	q := UnreachQuote{
+		Src: uint32(quote[12])<<24 | uint32(quote[13])<<16 | uint32(quote[14])<<8 | uint32(quote[15]),
+		Dst: uint32(quote[16])<<24 | uint32(quote[17])<<16 | uint32(quote[18])<<8 | uint32(quote[19]),
+
+		Proto:   quote[9],
+		SrcPort: uint16(quote[ihl])<<8 | uint16(quote[ihl+1]),
+		DstPort: uint16(quote[ihl+2])<<8 | uint16(quote[ihl+3]),
 	}
-	dst := uint32(quote[16])<<24 | uint32(quote[17])<<16 | uint32(quote[18])<<8 | uint32(quote[19])
-	dport := uint16(quote[ihl+2])<<8 | uint16(quote[ihl+3])
-	return dst, dport, true
+	return q, true
 }
 
 // ProbeLen implements Module.

@@ -292,27 +292,6 @@ func TestUDPRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParseUnreachQuoteMalformed(t *testing.T) {
-	cases := [][]byte{
-		nil,
-		make([]byte, 5),
-		make([]byte, 27), // one short of minimum
-		append([]byte{0x65}, make([]byte, 40)...), // wrong version
-	}
-	for i, q := range cases {
-		if _, _, ok := parseUnreachQuote(q); ok {
-			t.Errorf("case %d: malformed quote accepted", i)
-		}
-	}
-	// TCP-quoting unreachables are not ours (we sent UDP).
-	q := make([]byte, 28)
-	q[0] = 0x45
-	q[9] = packet.ProtocolTCP
-	if _, _, ok := parseUnreachQuote(q); ok {
-		t.Error("TCP quote accepted by UDP module")
-	}
-}
-
 func TestProbeBuildersAppendInPlace(t *testing.T) {
 	// Builders must append to the provided buffer without reallocating
 	// when capacity suffices — the hot-path contract.

@@ -1,0 +1,134 @@
+package probe
+
+import (
+	"testing"
+
+	"zmapgo/internal/packet"
+)
+
+// buildQuote constructs a quoted IP header (+options) and first 8
+// transport bytes the way a router quotes a dropped datagram.
+func buildQuote(ihlWords int, proto byte, src, dst uint32, sport, dport uint16, trailing int) []byte {
+	hdr := ihlWords * 4
+	q := make([]byte, hdr+trailing)
+	q[0] = 0x40 | byte(ihlWords)
+	q[8] = 64
+	q[9] = proto
+	q[12], q[13], q[14], q[15] = byte(src>>24), byte(src>>16), byte(src>>8), byte(src)
+	q[16], q[17], q[18], q[19] = byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst)
+	if trailing >= 2 {
+		q[hdr], q[hdr+1] = byte(sport>>8), byte(sport)
+	}
+	if trailing >= 4 {
+		q[hdr+2], q[hdr+3] = byte(dport>>8), byte(dport)
+	}
+	return q
+}
+
+func TestParseUnreachQuote(t *testing.T) {
+	const (
+		src   = uint32(0xC0000201)
+		dst   = uint32(0x0A010203)
+		sport = uint16(33333)
+		dport = uint16(443)
+	)
+	valid := buildQuote(5, packet.ProtocolUDP, src, dst, sport, dport, 8)
+
+	tests := []struct {
+		name  string
+		quote []byte
+		want  UnreachQuote
+		ok    bool
+	}{
+		{
+			name:  "valid udp quote",
+			quote: valid,
+			want:  UnreachQuote{Src: src, Dst: dst, Proto: packet.ProtocolUDP, SrcPort: sport, DstPort: dport},
+			ok:    true,
+		},
+		{
+			name:  "valid tcp quote",
+			quote: buildQuote(5, packet.ProtocolTCP, src, dst, sport, dport, 8),
+			want:  UnreachQuote{Src: src, Dst: dst, Proto: packet.ProtocolTCP, SrcPort: sport, DstPort: dport},
+			ok:    true,
+		},
+		{
+			name:  "quote with ip options",
+			quote: buildQuote(6, packet.ProtocolUDP, src, dst, sport, dport, 8),
+			want:  UnreachQuote{Src: src, Dst: dst, Proto: packet.ProtocolUDP, SrcPort: sport, DstPort: dport},
+			ok:    true,
+		},
+		{name: "empty", quote: nil},
+		{name: "truncated below minimum", quote: valid[:27]},
+		{name: "exactly minimum", quote: valid[:28], want: UnreachQuote{Src: src, Dst: dst, Proto: packet.ProtocolUDP, SrcPort: sport, DstPort: dport}, ok: true},
+		{
+			name: "version 6 nibble",
+			quote: func() []byte {
+				q := append([]byte(nil), valid...)
+				q[0] = 0x65
+				return q
+			}(),
+		},
+		{
+			name: "ihl below header minimum",
+			quote: func() []byte {
+				q := append([]byte(nil), valid...)
+				q[0] = 0x44 // ihl=4 words: 16 bytes, impossible
+				return q
+			}(),
+		},
+		{
+			// ihl claims 15 words of options in a 28-byte quote: the
+			// port offsets would land out of bounds.
+			name: "ihl past quote end",
+			quote: func() []byte {
+				q := append([]byte(nil), valid[:28]...)
+				q[0] = 0x4F
+				return q
+			}(),
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseUnreachQuote(tc.quote)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Fatalf("quote = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestUDPClassifyRejectsNonUDPQuote pins the caller-side protocol check
+// that moved out of the parser: a TCP quote parses fine but must not
+// classify as a UDP port-unreachable.
+func TestUDPClassifyRejectsNonUDPQuote(t *testing.T) {
+	ctx := testContext()
+	mod, err := Lookup("udp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(proto byte) *packet.Frame {
+		quote := buildQuote(5, proto, ctx.SrcIP, 0x0A010203, 33333, 443, 8)
+		buf := packet.AppendEthernet(nil, ctx.GwMAC, ctx.SrcMAC, packet.EtherTypeIPv4)
+		buf = packet.AppendIPv4(buf, packet.IPv4{
+			TTL: 64, Protocol: packet.ProtocolICMP, Src: 0x0A010203, Dst: ctx.SrcIP,
+		}, packet.ICMPHeaderLen+len(quote))
+		buf = packet.AppendICMPEcho(buf, packet.ICMPDestUnreach, 0, 0, quote)
+		f, err := packet.Parse(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if _, ok := mod.Classify(ctx, build(packet.ProtocolTCP)); ok {
+		t.Fatal("udp module classified a TCP-quoting unreachable")
+	}
+	res, ok := mod.Classify(ctx, build(packet.ProtocolUDP))
+	if !ok || res.Class != "port-unreach" || res.IP != 0x0A010203 || res.Port != 443 {
+		t.Fatalf("udp quote classification = %+v, %v", res, ok)
+	}
+}

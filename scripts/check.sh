@@ -16,6 +16,13 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "==> staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (CI runs the pinned version)"
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -25,5 +32,13 @@ go test -race -count=1 -run 'TestCLISigintCheckpointResume|TestCheckpointResumeE
 
 echo "==> batched send loop vs faulty transport (batch-size sweep)"
 go test -race -count=1 -run 'TestScanBatchedFaultyTransport' ./internal/core
+
+echo "==> scan health: congestion knee + dark-subnet quarantine scenarios"
+go test -race -count=1 \
+    -run 'TestAdaptiveRateRecoversThroughCongestionKnee|TestDarkSubnetQuarantined|TestQuarantineSurvivesResume' \
+    ./zmap
+
+echo "==> kill -9 mid-scan: checkpointed result-loss bound"
+go test -race -count=1 -run 'TestCLIKillResultLossBound' ./cmd/zmapgo
 
 echo "OK"

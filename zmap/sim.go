@@ -145,6 +145,54 @@ func (l *Link) RecvFaultsInjected() map[string]uint64 {
 	return out
 }
 
+// CongestionOptions models a constrained path between the scanner and
+// the simulated Internet: a token-bucket capacity knee above which
+// probes are dropped, an ICMP budget that turns a fraction of those
+// drops into rate-limited destination-unreachable messages from the
+// edge router, and an optional seeded "prefix goes dark mid-scan"
+// interference fault.
+type CongestionOptions struct {
+	// CapacityPPS is the path's sustainable packet rate; probes beyond
+	// it (less a small Burst allowance) are silently dropped.
+	CapacityPPS float64
+	// Burst is the token-bucket depth (0 = CapacityPPS/50, min 16).
+	Burst float64
+	// ICMPPPS bounds destination-unreachable generation for dropped
+	// probes, modeling router ICMP rate limiting (0 = no unreachables).
+	ICMPPPS float64
+	// ICMPBurst is the ICMP bucket depth (0 = ICMPPPS/50, min 8).
+	ICMPBurst float64
+	// DarkPrefix, when non-zero, is an address in the /16 that stops
+	// responding entirely after DarkAfter probes have entered the wire —
+	// the interference fault the quarantine detector exists for (e.g.
+	// 10.1.0.0 darkens 10.1.0.0/16).
+	DarkPrefix uint32
+	// DarkAfter is the probe count that triggers the dark prefix.
+	DarkAfter uint64
+}
+
+// WithCongestion installs the congestion model on the link. Call before
+// scanning; returns the same link for chaining.
+func (l *Link) WithCongestion(opts CongestionOptions) *Link {
+	l.inner.SetCongestion(netsim.CongestionConfig{
+		CapacityPPS: opts.CapacityPPS,
+		Burst:       opts.Burst,
+		ICMPPPS:     opts.ICMPPPS,
+		ICMPBurst:   opts.ICMPBurst,
+		DarkPrefix:  opts.DarkPrefix,
+		DarkAfter:   opts.DarkAfter,
+	})
+	return l
+}
+
+// CongestionStats reports what the congestion model did: probes dropped
+// at the capacity knee, unreachables generated, and probes swallowed by
+// the dark prefix. Zero-valued when WithCongestion was never called.
+func (l *Link) CongestionStats() (dropped, icmpSent, darkDropped uint64) {
+	st := l.inner.CongestionStats()
+	return st.Dropped, st.ICMPSent, st.DarkDropped
+}
+
 // NewFaultyLink attaches a transport whose sends fail per the given
 // deterministic schedule. Responses to probes that do get through are
 // delivered normally.

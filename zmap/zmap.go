@@ -144,8 +144,33 @@ type Options struct {
 	// MaxTargets caps (IP, port) targets probed by this shard.
 	MaxTargets uint64
 
-	// Cooldown keeps the receiver open after sending (default 8s).
-	Cooldown time.Duration
+	// Cooldown keeps the receiver open after sending (default 8s). The
+	// cooldown is quiescence-based: it ends once no response has arrived
+	// for a full Cooldown, extending while stragglers keep trickling in,
+	// bounded by CooldownMax (0 = 4x Cooldown; negative = fixed legacy
+	// behavior, exactly Cooldown).
+	Cooldown    time.Duration
+	CooldownMax time.Duration
+
+	// AdaptiveRate enables the closed-loop scan-health controller: the
+	// aggregate rate is cut multiplicatively when the windowed hit rate
+	// collapses or ICMP unreachables spike (the network is shedding our
+	// load), then recovered additively toward Rate. Requires a finite
+	// Rate or Bandwidth. MinRate floors the decrease (0 = Rate/64).
+	AdaptiveRate bool
+	MinRate      float64
+
+	// QuarantineThreshold tunes per-/16 interference quarantine: a
+	// previously-responsive prefix whose windowed response rate drops
+	// below this fraction of its own baseline for several consecutive
+	// health ticks stops being probed, and the event is recorded in the
+	// Summary. 0 = default 0.15 when the health subsystem is on
+	// (AdaptiveRate or an explicit threshold); negative disables.
+	QuarantineThreshold float64
+
+	// HealthInterval is the health controller's evaluation period
+	// (0 = 1s).
+	HealthInterval time.Duration
 
 	// MaxRuntime stops sending after this duration (0 = unlimited).
 	MaxRuntime time.Duration
@@ -300,41 +325,46 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 	}
 
 	cfg := core.Config{
-		ProbeModule:        o.Probe,
-		Constraint:         cons,
-		Ports:              ports,
-		Seed:               o.Seed,
-		Shards:             o.Shards,
-		ShardIndex:         o.ShardIndex,
-		Threads:            o.Threads,
-		ShardMode:          mode,
-		Rate:               rate,
-		BatchSize:          o.BatchSize,
-		ProbesPerTarget:    o.ProbesPerTarget,
-		MaxTargets:         o.MaxTargets,
-		Cooldown:           o.Cooldown,
-		MaxRuntime:         o.MaxRuntime,
-		Retries:            o.Retries,
-		Backoff:            o.Backoff,
-		MaxSenderRestarts:  o.MaxSenderRestarts,
-		ResumeProgress:     o.ResumeProgress,
-		CheckpointPath:     o.CheckpointPath,
-		CheckpointInterval: o.CheckpointInterval,
-		Resume:             o.Resume,
-		SourceIP:           srcIP,
-		SourceMAC:          packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
-		GatewayMAC:         packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
-		OptionLayout:       layout,
-		RandomIPID:         !o.StaticIPID,
-		Results:            results,
-		StatusWriter:       o.StatusUpdates,
-		StatusFormat:       o.StatusFormat,
-		StatusCSVHeader:    o.StatusCSVHeader,
-		StatusInterval:     o.StatusInterval,
-		Metrics:            o.Metrics,
-		Logger:             o.Logger,
-		MetadataOut:        o.Metadata,
-		DedupWindow:        o.DedupWindow,
+		ProbeModule:         o.Probe,
+		Constraint:          cons,
+		Ports:               ports,
+		Seed:                o.Seed,
+		Shards:              o.Shards,
+		ShardIndex:          o.ShardIndex,
+		Threads:             o.Threads,
+		ShardMode:           mode,
+		Rate:                rate,
+		BatchSize:           o.BatchSize,
+		ProbesPerTarget:     o.ProbesPerTarget,
+		MaxTargets:          o.MaxTargets,
+		Cooldown:            o.Cooldown,
+		CooldownMax:         o.CooldownMax,
+		AdaptiveRate:        o.AdaptiveRate,
+		MinRate:             o.MinRate,
+		QuarantineThreshold: o.QuarantineThreshold,
+		HealthInterval:      o.HealthInterval,
+		MaxRuntime:          o.MaxRuntime,
+		Retries:             o.Retries,
+		Backoff:             o.Backoff,
+		MaxSenderRestarts:   o.MaxSenderRestarts,
+		ResumeProgress:      o.ResumeProgress,
+		CheckpointPath:      o.CheckpointPath,
+		CheckpointInterval:  o.CheckpointInterval,
+		Resume:              o.Resume,
+		SourceIP:            srcIP,
+		SourceMAC:           packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0x01},
+		GatewayMAC:          packet.MAC{0x02, 0x5A, 0x47, 0x4F, 0x00, 0xFE},
+		OptionLayout:        layout,
+		RandomIPID:          !o.StaticIPID,
+		Results:             results,
+		StatusWriter:        o.StatusUpdates,
+		StatusFormat:        o.StatusFormat,
+		StatusCSVHeader:     o.StatusCSVHeader,
+		StatusInterval:      o.StatusInterval,
+		Metrics:             o.Metrics,
+		Logger:              o.Logger,
+		MetadataOut:         o.Metadata,
+		DedupWindow:         o.DedupWindow,
 	}
 	inner, err := core.New(cfg, transport)
 	if err != nil {
