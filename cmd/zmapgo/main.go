@@ -18,10 +18,12 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"zmapgo/internal/health"
 	"zmapgo/internal/target"
 	"zmapgo/zmap"
 )
@@ -55,6 +57,7 @@ func run(args []string) int {
 		minRate     = fs.Float64("min-rate", 0, "floor for adaptive rate decreases in packets/sec (0 = rate/64)")
 		quarThresh  = fs.Float64("quarantine-threshold", 0, "per-/16 interference quarantine threshold (0 = default 0.15 when health is on, negative = off)")
 		healthTick  = fs.Duration("health-interval", 0, "scan-health controller evaluation period (0 = 1s)")
+		paroleAfter = fs.Duration("parole-after", 0, "re-probe quarantined prefixes on a small budget after this long (0 = 30 health intervals, negative = never)")
 		maxRuntime  = fs.Duration("max-runtime", 0, "stop sending after this long (0 = no limit)")
 		retries     = fs.Int("retries", 0, "per-probe retry budget on transient send errors (0 = default 10, negative = none)")
 		sendBackoff = fs.Duration("send-backoff", 0, "initial retry backoff, doubled per attempt (0 = default 1ms)")
@@ -91,8 +94,9 @@ func run(args []string) int {
 		// rate controller is built to survive).
 		simCongPPS    = fs.Float64("sim-congestion-pps", 0, "simulated path capacity knee in packets/sec (0 = uncongested)")
 		simCongICMP   = fs.Float64("sim-congestion-icmp-pps", 0, "simulated router ICMP-unreachable budget for dropped probes")
-		simDarkPrefix = fs.String("sim-dark-prefix", "", "a.b.0.0/16 prefix that goes dark mid-scan (interference fault)")
+		simDarkPrefix = fs.String("sim-dark-prefix", "", "CIDR prefix (/8 to /24) that goes dark mid-scan (interference fault)")
 		simDarkAfter  = fs.Uint64("sim-dark-after", 0, "probe count that triggers the dark prefix")
+		simScenario   = fs.String("sim-scenario", "", "JSON network-weather scenario to play on the simulated link (see conf/scenarios/)")
 
 		// Receive-path fault injection (testing the parse/validate/dedup
 		// pipeline's hardening end to end). Probabilities are per frame.
@@ -151,6 +155,9 @@ func run(args []string) int {
 		CheckpointInterval:  *ckptEvery,
 		Format:              *format,
 		Filter:              *filter,
+	}
+	if *paroleAfter != 0 {
+		opts.Health = &health.Config{ParoleAfter: *paroleAfter}
 	}
 
 	if *optOutFile != "" {
@@ -291,12 +298,7 @@ func run(args []string) int {
 			DarkAfter:   *simDarkAfter,
 		}
 		if *simDarkPrefix != "" {
-			ipStr, ok := strings.CutSuffix(*simDarkPrefix, "/16")
-			if !ok {
-				fmt.Fprintf(os.Stderr, "zmapgo: --sim-dark-prefix %q must be a /16 CIDR\n", *simDarkPrefix)
-				return 2
-			}
-			ip, err := target.ParseIPv4(ipStr)
+			ip, bits, err := parseDarkPrefix(*simDarkPrefix)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "zmapgo:", err)
 				return 2
@@ -306,8 +308,22 @@ func run(args []string) int {
 				return 2
 			}
 			cong.DarkPrefix = ip
+			cong.DarkBits = bits
 		}
 		link.WithCongestion(cong)
+	}
+	if *simScenario != "" {
+		sc, err := zmap.LoadScenario(*simScenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmapgo:", err)
+			return 2
+		}
+		if _, err := link.WithScenario(sc); err != nil {
+			fmt.Fprintln(os.Stderr, "zmapgo:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "zmapgo: playing scenario %q (seed %d, %d events)\n",
+			sc.Name, sc.Seed, len(sc.Events))
 	}
 	defer link.Close()
 
@@ -432,4 +448,27 @@ func loadState(path string) (scanState, error) {
 		return st, err
 	}
 	return st, json.Unmarshal(data, &st)
+}
+
+// parseDarkPrefix parses the --sim-dark-prefix argument: an IPv4 CIDR
+// whose length is between /8 and /24 (one octet to one /24 — the sizes
+// the interference fault can darken).
+func parseDarkPrefix(s string) (ip uint32, bits int, err error) {
+	ipStr, bitsStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("--sim-dark-prefix %q must be an a.b.c.d/len CIDR with length /8 to /24", s)
+	}
+	bits, err = strconv.Atoi(bitsStr)
+	if err != nil || bits < 8 || bits > 24 {
+		return 0, 0, fmt.Errorf("--sim-dark-prefix %q length must be between /8 and /24", s)
+	}
+	ip, err = target.ParseIPv4(ipStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("--sim-dark-prefix: %w", err)
+	}
+	mask := uint32(0xFFFFFFFF) << (32 - bits)
+	if ip&^mask != 0 {
+		return 0, 0, fmt.Errorf("--sim-dark-prefix %q has host bits set below /%d", s, bits)
+	}
+	return ip, bits, nil
 }

@@ -632,3 +632,99 @@ func TestCLIHealthFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDarkPrefix(t *testing.T) {
+	cases := []struct {
+		in     string
+		ip     uint32
+		bits   int
+		wantOK bool
+	}{
+		{"10.0.0.0/8", 0x0A000000, 8, true},
+		{"10.1.0.0/16", 0x0A010000, 16, true},
+		{"10.1.2.0/24", 0x0A010200, 24, true},
+		{"192.168.64.0/18", 0xC0A84000, 18, true},
+		{"10.1.0.0", 0, 0, false},      // no length
+		{"10.1.0.0/7", 0, 0, false},    // wider than /8
+		{"10.1.2.128/25", 0, 0, false}, // narrower than /24
+		{"10.1.0.0/0", 0, 0, false},    // zero length
+		{"10.1.0.0/abc", 0, 0, false},  // non-numeric length
+		{"not-an-ip/16", 0, 0, false},  // unparseable address
+		{"10.1.2.3/16", 0, 0, false},   // host bits set below /16
+		{"10.1.0.1/24", 0, 0, false},   // host bits set below /24
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		ip, bits, err := parseDarkPrefix(c.in)
+		if c.wantOK != (err == nil) {
+			t.Errorf("parseDarkPrefix(%q) err = %v, want ok=%v", c.in, err, c.wantOK)
+			continue
+		}
+		if err == nil && (ip != c.ip || bits != c.bits) {
+			t.Errorf("parseDarkPrefix(%q) = %#x/%d, want %#x/%d", c.in, ip, bits, c.ip, c.bits)
+		}
+	}
+}
+
+func TestCLIDarkPrefixWidths(t *testing.T) {
+	// A /24 dark prefix flows through the congestion model end to end:
+	// the whole /24 goes dark but its sibling /24s keep answering.
+	dir := t.TempDir()
+	meta := filepath.Join(dir, "meta.json")
+	code := run([]string{
+		"-r", "10.1.2.0/23", "-p", "80", "--seed", "9",
+		"--sim-lossless", "--sim-time-scale", "0",
+		"--rate", "100000",
+		"--sim-dark-prefix", "10.1.2.0/24", "--sim-dark-after", "1",
+		"--cooldown-time", "50ms", "--cooldown-max", "100ms",
+		"--metadata-file", meta, "-o", os.DevNull,
+	})
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	// The scan still finds services outside the darkened /24.
+	if recv, _ := m["unique_successes"].(float64); recv <= 0 {
+		t.Errorf("no successes despite live sibling /24: %v", m["unique_successes"])
+	}
+}
+
+func TestCLIScenarioFlag(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(good, []byte(`{
+		"name": "cli-smoke", "seed": 3,
+		"events": [{"type": "asym_loss", "at_secs": 0, "forward_loss": 0.05}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{
+		"-r", "10.0.0.0/24", "-p", "80", "--seed", "5",
+		"--sim-time-scale", "0", "--cooldown-time", "20ms",
+		"--sim-scenario", good, "-o", os.DevNull,
+	})
+	if code != 0 {
+		t.Fatalf("valid scenario: exit code %d", code)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"events":[{"type":"tsunami"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{bad, filepath.Join(dir, "missing.json")} {
+		code := run([]string{
+			"-r", "10.0.0.0/28", "-p", "80", "--sim-time-scale", "0",
+			"--cooldown-time", "1ms", "--sim-scenario", path, "-o", os.DevNull,
+		})
+		if code == 0 {
+			t.Errorf("scenario %s: exit 0, want failure", path)
+		}
+	}
+}

@@ -700,6 +700,15 @@ func (s *Scanner) initMetrics(validator *validate.Validator) {
 		reg.CounterFunc("zmapgo_quarantine_skipped_total",
 			"Probes skipped because their target prefix was quarantined.",
 			func() uint64 { return c.Snapshot().QuarantineSkips })
+		reg.CounterFunc("zmapgo_parole_probes_total",
+			"Probes sent into quarantined prefixes on the parole budget.",
+			func() uint64 { return c.Snapshot().ParoleProbes })
+		reg.CounterFunc("zmapgo_parole_grants_total",
+			"Parole re-probe windows opened for quarantined prefixes.",
+			func() uint64 { return h.ParoleGrants() })
+		reg.CounterFunc("zmapgo_parole_releases_total",
+			"Quarantined prefixes released after answering parole probes.",
+			func() uint64 { return h.ParoleReleases() })
 	}
 
 	t := s.transport
@@ -1349,13 +1358,21 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 			ip := cfg.Constraint.At(ipIdx)
 			port := cfg.Ports.At(int(portIdx))
 			if s.health != nil && s.health.Quarantined(ip) {
-				// Interfered prefix: the probe would be wasted, so skip it.
-				// The element still consumes its MaxTargets slot and
-				// resolves with the batch — a resumed scan must not
-				// re-probe into the quarantine either.
-				s.counters.QuarantineSkip()
-				pending = append(pending, pendingElem{counted: true})
-				continue
+				if s.health.TakeParole(ip) {
+					// Parole re-probe: this target rides the prefix's
+					// small release budget instead of being skipped, so
+					// a recovered prefix can prove it answers again.
+					s.counters.ParoleProbe()
+				} else {
+					// Interfered prefix: the probe would be wasted, so
+					// skip it. The element still consumes its
+					// MaxTargets slot and resolves with the batch — a
+					// resumed scan must not re-probe into the
+					// quarantine either.
+					s.counters.QuarantineSkip()
+					pending = append(pending, pendingElem{counted: true})
+					continue
+				}
 			}
 			pe := pendingElem{counted: true}
 			for p := 0; p < cfg.ProbesPerTarget; p++ {
@@ -1722,9 +1739,17 @@ func (s *Scanner) buildMetadata() *output.Metadata {
 		meta.RateIncreases = hs.Increases
 		meta.UnreachObserved = hs.Unreach
 		meta.QuarantineSkipped = snap.QuarantineSkips
+		meta.ParoleProbes = snap.ParoleProbes
+		meta.ParoleGrants = s.health.ParoleGrants()
+		meta.ParoleReleases = s.health.ParoleReleases()
 		for _, q := range hs.Quarantined {
 			meta.QuarantinedPrefixes = append(meta.QuarantinedPrefixes, output.QuarantinedPrefix{
 				Prefix: q.Prefix, Sent: q.Sent, Recv: q.Recv, AtSecs: q.AtSecs,
+				ParoleAttempts: q.ParoleAttempts,
+				ParoleSent:     q.ParoleSent,
+				ParoleRecv:     q.ParoleRecv,
+				Released:       q.Released,
+				ReleasedAtSecs: q.ReleasedAtSecs,
 			})
 		}
 	}

@@ -1,0 +1,293 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCollapsePersistenceBeatsBurstyLoss is the failing-first contrast
+// for Gilbert-Elliott weather at the controller level: isolated
+// collapsed windows (a loss burst clips one evidence window, then the
+// link heals) must not move the rate, while the legacy hair-trigger
+// (CollapseWindows: 1) spirals to the floor on exactly the same
+// window script. The acceptance bars mirror ISSUE 6: hardened keeps
+// the average rate >= 80% of configured, legacy collapses below 50%.
+func TestCollapsePersistenceBeatsBurstyLoss(t *testing.T) {
+	script := func(collapseWindows int) (avg float64, decreases uint64) {
+		c := NewController(Config{
+			ConfiguredRate:  10000,
+			CollapseWindows: collapseWindows,
+			// Parole/quarantine irrelevant here.
+			QuarantineThreshold: -1,
+		})
+		now := time.Unix(0, 0)
+		var sum float64
+		const windows = 60
+		for i := 0; i < windows; i++ {
+			if i >= 4 && i%5 == 4 {
+				// An isolated burst clips this window to a 1% hit rate.
+				feedWindow(c, 10, 1000, 10, 0)
+			} else {
+				feedWindow(c, 10, 1000, 100, 0)
+			}
+			now = tick(c, now)
+			sum += c.Rate()
+		}
+		return sum / windows, c.Decreases()
+	}
+
+	avgHardened, decHardened := script(0) // 0 = default (2)
+	if decHardened != 0 {
+		t.Fatalf("hardened controller decreased %d times on isolated bursts", decHardened)
+	}
+	if avgHardened < 0.8*10000 {
+		t.Fatalf("hardened average rate %.0f < 80%% of configured", avgHardened)
+	}
+
+	avgLegacy, decLegacy := script(1) // legacy hair-trigger
+	if decLegacy == 0 {
+		t.Fatal("legacy hair-trigger did not decrease; contrast test is vacuous")
+	}
+	if avgLegacy >= 0.5*10000 {
+		t.Fatalf("legacy average rate %.0f >= 50%% of configured; burst script too gentle", avgLegacy)
+	}
+}
+
+// TestConsecutiveCollapsedWindowsStillCut: real congestion (sustained
+// collapse) must still pull the rate down under the hardened default.
+func TestConsecutiveCollapsedWindowsStillCut(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 10000, QuarantineThreshold: -1})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		feedWindow(c, 10, 1000, 100, 0)
+		now = tick(c, now)
+	}
+	for i := 0; i < 4; i++ {
+		feedWindow(c, 10, 1000, 10, 0)
+		now = tick(c, now)
+	}
+	if c.Decreases() == 0 {
+		t.Fatal("sustained collapse never decreased the rate")
+	}
+	if got := c.Rate(); got >= 10000 {
+		t.Fatalf("rate = %v, want below configured under sustained collapse", got)
+	}
+}
+
+// TestJitteredTicksDoNotFakeCollapse is the windowed-rate satellite
+// regression: evidence windows are judged on measured elapsed time
+// between ticks, not the assumed interval. A clump of early ticks
+// arrives while this window's responses are still in flight; judged
+// immediately (the legacy bug) the window reads as a collapse.
+func TestJitteredTicksDoNotFakeCollapse(t *testing.T) {
+	c := NewController(Config{
+		ConfiguredRate:      10000,
+		CollapseWindows:     1, // even the hair-trigger must not fire
+		QuarantineThreshold: -1,
+	})
+	now := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		feedWindow(c, 10, 1000, 100, 0)
+		now = tick(c, now)
+	}
+	before := c.Rate()
+	// Probes go out, then the ticker fires a jittered clump only
+	// milliseconds after the last judgment — the responses have not
+	// come back yet, so judged now the window reads 0% hit rate.
+	feedWindow(c, 10, 1000, 0, 0)
+	last := now.Add(-time.Second) // when the previous tick judged
+	for i := 0; i < 3; i++ {
+		c.Tick(last.Add(time.Duration(i+1) * 10 * time.Millisecond))
+	}
+	if got := c.Rate(); got != before {
+		t.Fatalf("jittered ticks moved the rate: %v -> %v", before, got)
+	}
+	if c.Decreases() != 0 {
+		t.Fatalf("jittered ticks recorded %d decreases", c.Decreases())
+	}
+	// The responses arrive; the next on-schedule tick sees a healthy
+	// full-interval window.
+	feedWindow(c, 10, 0, 100, 0)
+	now = tick(c, now)
+	if got := c.Rate(); got != before || c.Decreases() != 0 {
+		t.Fatalf("full window judged unhealthy: rate %v, decreases %d", got, c.Decreases())
+	}
+}
+
+// TestUnreachStormClampedToHoldPeriod: a sustained (or spoofed
+// valid-quote) unreachable flood cuts the rate at most once per hold
+// period — stepping down window by window, never spiraling within one
+// hold — and never below MinRate.
+func TestUnreachStormClampedToHoldPeriod(t *testing.T) {
+	c := NewController(Config{
+		ConfiguredRate:      10000,
+		MinRate:             1000,
+		HoldTicks:           4,
+		QuarantineThreshold: -1,
+	})
+	now := time.Unix(0, 0)
+	// 12 consecutive storm windows, one per second. Cuts are allowed
+	// only at t=0, t=4, t=8: ceil(12/4) = 3 decreases.
+	for i := 0; i < 12; i++ {
+		feedWindow(c, 10, 1000, 10, 300)
+		now = tick(c, now)
+	}
+	if got := c.Decreases(); got != 3 {
+		t.Fatalf("decreases = %d, want 3 (one per hold period)", got)
+	}
+	if got := c.Rate(); got != 1250 {
+		t.Fatalf("rate = %v, want 1250 after three halvings", got)
+	}
+	// The storm keeps raging: the rate parks at MinRate, never below.
+	for i := 0; i < 40; i++ {
+		feedWindow(c, 10, 1000, 10, 300)
+		now = tick(c, now)
+	}
+	if got := c.Rate(); got != 1000 {
+		t.Fatalf("rate = %v, want MinRate 1000 under sustained storm", got)
+	}
+}
+
+// paroleConfig quarantines fast and paroles fast, on the test clock.
+func paroleConfig() Config {
+	return Config{
+		QuarantineThreshold: 0.15,
+		QuarantineBadTicks:  3,
+		ParoleAfter:         5 * time.Second,
+		ParoleInterval:      4 * time.Second,
+		ParoleMinResponses:  4,
+	}
+}
+
+// quarantinePrefix drives prefix p into quarantine and returns the
+// advanced clock.
+func quarantinePrefix(t *testing.T, c *Controller, p uint32, now time.Time) time.Time {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		feedWindow(c, p, 200, 40, 0)
+		now = tick(c, now)
+	}
+	for i := 0; i < 3; i++ {
+		feedWindow(c, p, 200, 0, 0)
+		now = tick(c, now)
+	}
+	if !c.Quarantined(p << 16) {
+		t.Fatal("setup: prefix not quarantined")
+	}
+	return now
+}
+
+func TestParoleReleasesRecoveredPrefix(t *testing.T) {
+	c := NewController(paroleConfig())
+	now := quarantinePrefix(t, c, 0x0A10, time.Unix(0, 0))
+	ip := uint32(0x0A10 << 16)
+
+	// Before the parole window opens there is no re-probe budget.
+	if c.TakeParole(ip) {
+		t.Fatal("parole budget available before ParoleAfter elapsed")
+	}
+	now = now.Add(6 * time.Second)
+	c.Tick(now)
+	if c.ParoleGrants() != 1 {
+		t.Fatalf("parole grants = %d, want 1", c.ParoleGrants())
+	}
+	if !c.TakeParole(ip) {
+		t.Fatal("no parole budget after the window opened")
+	}
+	// The blackout was transient: parole probes answer at the old rate.
+	feedWindow(c, 0x0A10, 40, 20, 0)
+	now = tick(c, now)
+	if c.Quarantined(ip) {
+		t.Fatal("recovered prefix still quarantined after parole")
+	}
+	if c.ParoleReleases() != 1 {
+		t.Fatalf("parole releases = %d, want 1", c.ParoleReleases())
+	}
+	recs := c.QuarantineRecords()
+	if len(recs) != 1 || !recs[0].Released || recs[0].ParoleAttempts != 1 ||
+		recs[0].ParoleRecv < 4 || recs[0].ReleasedAtSecs <= recs[0].AtSecs {
+		t.Fatalf("parole trail not recorded: %+v", recs)
+	}
+	// Released means the budget is gone too.
+	if c.TakeParole(ip) {
+		t.Fatal("parole budget left after release")
+	}
+}
+
+func TestParoleFailedAttemptReschedules(t *testing.T) {
+	c := NewController(paroleConfig())
+	now := quarantinePrefix(t, c, 0x0A11, time.Unix(0, 0))
+	ip := uint32(0x0A11 << 16)
+
+	now = now.Add(6 * time.Second)
+	c.Tick(now) // window opens
+	// Budget goes out, the prefix stays dark.
+	for c.TakeParole(ip) {
+		c.NoteSent(ip, 1)
+	}
+	now = now.Add(2 * time.Second)
+	c.Tick(now) // budget spent + settle time: attempt fails
+	if !c.Quarantined(ip) {
+		t.Fatal("dark prefix released from parole without responses")
+	}
+	recs := c.QuarantineRecords()
+	if len(recs) != 1 || recs[0].Released || recs[0].ParoleAttempts != 1 || recs[0].ParoleSent == 0 {
+		t.Fatalf("failed attempt not recorded: %+v", recs)
+	}
+	if c.TakeParole(ip) {
+		t.Fatal("budget survived a failed attempt")
+	}
+	// The next window opens a full ParoleInterval later, not sooner.
+	c.Tick(now.Add(2 * time.Second))
+	if c.ParoleGrants() != 1 {
+		t.Fatal("second parole window opened early")
+	}
+	now = now.Add(5 * time.Second)
+	c.Tick(now)
+	if c.ParoleGrants() != 2 {
+		t.Fatalf("parole grants = %d, want 2 after ParoleInterval", c.ParoleGrants())
+	}
+}
+
+// TestParoleStateSurvivesRestore: quarantine + parole trail ride the
+// Snapshot/Restore path, so kill-and-resume keeps both the skip set and
+// the release history.
+func TestParoleStateSurvivesRestore(t *testing.T) {
+	c := NewController(paroleConfig())
+	now := quarantinePrefix(t, c, 0x0A12, time.Unix(0, 0))
+	st := c.Snapshot()
+	if len(st.Quarantined) != 1 || st.Quarantined[0].BaseRate == 0 {
+		t.Fatalf("snapshot lacks parole yardstick: %+v", st.Quarantined)
+	}
+
+	fresh := NewController(paroleConfig())
+	fresh.Restore(st)
+	ip := uint32(0x0A12 << 16)
+	if !fresh.Quarantined(ip) {
+		t.Fatal("restored controller lost the quarantine")
+	}
+	// Parole still works after resume: the wait restarts from Restore.
+	fresh.Tick(now)
+	now = now.Add(6 * time.Second)
+	fresh.Tick(now)
+	if fresh.ParoleGrants() == 0 {
+		t.Fatal("restored controller never opened a parole window")
+	}
+	feedWindow(fresh, 0x0A12, 40, 20, 0)
+	fresh.Tick(now.Add(time.Second))
+	if fresh.Quarantined(ip) {
+		t.Fatal("restored prefix not released after recovery")
+	}
+
+	// A released record restores as released: no quarantine, no parole.
+	st2 := fresh.Snapshot()
+	final := NewController(paroleConfig())
+	final.Restore(st2)
+	if final.Quarantined(ip) {
+		t.Fatal("released prefix re-quarantined by Restore")
+	}
+	recs := final.QuarantineRecords()
+	if len(recs) != 1 || !recs[0].Released {
+		t.Fatalf("release trail lost across restore: %+v", recs)
+	}
+}

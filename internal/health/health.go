@@ -51,6 +51,10 @@ const (
 	DefaultQuarantineBadTicks  = 3
 	DefaultQuarantineMinResp   = 8
 	DefaultInterval            = time.Second
+	DefaultCollapseWindows     = 2
+	DefaultParoleAfterTicks    = 30 // ParoleAfter = 30 * Interval
+	DefaultParoleMinResponses  = 4
+	DefaultParoleReleaseRatio  = 0.5
 )
 
 // Config tunes the controller. The zero value of every knob takes the
@@ -130,6 +134,36 @@ type Config struct {
 	// ordinary empty address space, not interference.
 	QuarantineMinResponses uint64
 
+	// CollapseWindows is how many *consecutive* collapsed hit-rate
+	// evidence windows are required before the multiplicative decrease
+	// fires (0 = 2). Bursty non-congestion loss (Gilbert-Elliott
+	// weather) collapses isolated windows; sustained congestion
+	// collapses consecutive ones. 1 restores the legacy hair-trigger
+	// behavior that a single loss burst could fool.
+	CollapseWindows int
+
+	// ParoleAfter is how long a quarantined prefix waits before its
+	// first parole window — a budgeted low-rate re-probe that releases
+	// the prefix if it answers again (a transient blackout, not a
+	// permanent null-route). 0 = 30 * Interval; negative disables
+	// parole, restoring quarantine-is-forever.
+	ParoleAfter time.Duration
+
+	// ParoleInterval is the wait between failed parole attempts
+	// (0 = ParoleAfter).
+	ParoleInterval time.Duration
+
+	// ParoleMinResponses is how many responses a parole window needs to
+	// release the prefix (0 = 4). The re-probe budget is sized so a
+	// recovered prefix would produce about twice this many at its
+	// pre-quarantine response rate.
+	ParoleMinResponses uint64
+
+	// ParoleReleaseRatio: release requires the parole window's response
+	// rate to reach this fraction of the prefix's pre-quarantine
+	// baseline (0 = 0.5).
+	ParoleReleaseRatio float64
+
 	// Logger receives controller decisions; nil discards them.
 	Logger *slog.Logger
 }
@@ -180,20 +214,49 @@ func (c *Config) setDefaults() {
 	if c.QuarantineMinResponses == 0 {
 		c.QuarantineMinResponses = DefaultQuarantineMinResp
 	}
+	if c.CollapseWindows <= 0 {
+		c.CollapseWindows = DefaultCollapseWindows
+	}
+	if c.ParoleAfter == 0 {
+		c.ParoleAfter = DefaultParoleAfterTicks * c.Interval
+	}
+	if c.ParoleInterval <= 0 {
+		c.ParoleInterval = c.ParoleAfter
+	}
+	if c.ParoleMinResponses == 0 {
+		c.ParoleMinResponses = DefaultParoleMinResponses
+	}
+	if c.ParoleReleaseRatio <= 0 {
+		c.ParoleReleaseRatio = DefaultParoleReleaseRatio
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
 }
 
 // Quarantine records one quarantined /16: which prefix, how much had
-// been probed and answered at the moment of quarantine, and when (scan
-// elapsed seconds). It rides checkpoints and the metadata document.
+// been probed and answered at the moment of quarantine, when (scan
+// elapsed seconds), and the parole trail — attempts, re-probe traffic,
+// and release, if the prefix came back. It rides checkpoints and the
+// metadata document, so parole state survives kill-and-resume.
 type Quarantine struct {
 	Prefix string  `json:"prefix"`     // "a.b.0.0/16"
 	Index  uint32  `json:"prefix_idx"` // ip >> 16, for machine restore
 	Sent   uint64  `json:"sent"`
 	Recv   uint64  `json:"recv"`
 	AtSecs float64 `json:"at_secs"`
+
+	// BaseRate is the prefix's pre-quarantine response rate (recv/sent
+	// at quarantine time), the yardstick parole release is judged by.
+	BaseRate float64 `json:"base_rate,omitempty"`
+
+	// Parole trail: completed re-probe attempts, the probes/responses
+	// they spent, and whether (and when) the prefix was released.
+	ParoleAttempts int     `json:"parole_attempts,omitempty"`
+	ParoleSent     uint64  `json:"parole_sent,omitempty"`
+	ParoleRecv     uint64  `json:"parole_recv,omitempty"`
+	Released       bool    `json:"released,omitempty"`
+	ReleasedAtSecs float64 `json:"released_at_secs,omitempty"`
 }
 
 // State is the controller's persistable state: everything a resumed scan
@@ -236,30 +299,52 @@ type Controller struct {
 	decreases    atomic.Uint64
 	increases    atomic.Uint64
 
-	prefixSent  []atomic.Uint64 // [prefixes] probes sent per /16
-	prefixRecv  []atomic.Uint64 // [prefixes] unique successes per /16
-	quarantined []atomic.Bool   // [prefixes] O(1) send-path check
+	prefixSent   []atomic.Uint64 // [prefixes] probes sent per /16
+	prefixRecv   []atomic.Uint64 // [prefixes] unique successes per /16
+	quarantined  []atomic.Bool   // [prefixes] O(1) send-path check
+	paroleCredit []atomic.Int64  // [prefixes] parole re-probe budget
+
+	paroleGrants   atomic.Uint64
+	paroleReleases atomic.Uint64
 
 	// newPrefixes collects first-touched /16s so Tick only walks
 	// prefixes the scan actually probes.
 	newMu       sync.Mutex
 	newPrefixes []uint32
 
-	mu       sync.Mutex // everything below
-	start    time.Time
-	lastSent uint64
-	lastRecv uint64
-	lastUnr  uint64
-	evSent   uint64 // hit-rate evidence window anchors; these roll
-	evRecv   uint64 // only when the window carries enough evidence
+	mu         sync.Mutex // everything below
+	start      time.Time
+	tickSeen   bool
+	resumeHold bool // Restore requested a hold anchored at the first tick
+	lastSent   uint64
+	lastRecv   uint64
+	lastUnr    uint64
+	evSent     uint64 // hit-rate evidence window anchors; these roll
+	evRecv     uint64 // only when the window carries enough evidence
+	evAt       time.Time
 
-	baseline    float64 // EWMA hit rate over healthy windows
-	baselineUnr float64 // EWMA unreach fraction over healthy windows
-	hold        int
+	baseline       float64 // EWMA hit rate over healthy windows
+	baselineUnr    float64 // EWMA unreach fraction over healthy windows
+	holdUntil      time.Time
+	collapseStreak int
 
 	active  []uint32 // touched prefixes, tick-owned
 	wins    map[uint32]*prefixWin
+	parole  map[uint32]*paroleState
 	records []Quarantine
+}
+
+// paroleState is the tick-owned parole machine for one quarantined /16:
+// when the next re-probe window opens, and — while one is active — the
+// grant size and the counter anchors it is judged against.
+type paroleState struct {
+	nextAt   time.Time
+	active   bool
+	granted  int64
+	sentBase uint64
+	recvBase uint64
+	grantAt  time.Time
+	rec      int // index into records
 }
 
 // NewController builds a controller; the scan clock starts at the first
@@ -267,13 +352,15 @@ type Controller struct {
 func NewController(cfg Config) *Controller {
 	cfg.setDefaults()
 	c := &Controller{
-		cfg:         cfg,
-		adaptive:    cfg.ConfiguredRate > 0,
-		prefixSent:  make([]atomic.Uint64, prefixes),
-		prefixRecv:  make([]atomic.Uint64, prefixes),
-		quarantined: make([]atomic.Bool, prefixes),
-		wins:        make(map[uint32]*prefixWin),
-		start:       time.Now(),
+		cfg:          cfg,
+		adaptive:     cfg.ConfiguredRate > 0,
+		prefixSent:   make([]atomic.Uint64, prefixes),
+		prefixRecv:   make([]atomic.Uint64, prefixes),
+		quarantined:  make([]atomic.Bool, prefixes),
+		paroleCredit: make([]atomic.Int64, prefixes),
+		wins:         make(map[uint32]*prefixWin),
+		parole:       make(map[uint32]*paroleState),
+		start:        time.Now(),
 	}
 	c.storeRate(cfg.ConfiguredRate)
 	return c
@@ -285,6 +372,12 @@ func (c *Controller) Adaptive() bool { return c.adaptive }
 
 // QuarantineEnabled reports whether the interference detector is active.
 func (c *Controller) QuarantineEnabled() bool { return c.cfg.QuarantineThreshold > 0 }
+
+// ParoleEnabled reports whether quarantined prefixes are periodically
+// re-probed for release.
+func (c *Controller) ParoleEnabled() bool {
+	return c.QuarantineEnabled() && c.cfg.ParoleAfter > 0
+}
 
 func (c *Controller) storeRate(r float64) { c.rateBits.Store(math.Float64bits(r)) }
 
@@ -329,6 +422,25 @@ func (c *Controller) Quarantined(ip uint32) bool {
 	return c.quarantined[ip>>16].Load()
 }
 
+// TakeParole consumes one unit of the prefix's parole re-probe budget.
+// The send path calls it for targets whose prefix is quarantined: true
+// means this probe rides the parole budget and should be sent, false
+// means skip as usual. Lock-free; called per-probe from sender threads.
+func (c *Controller) TakeParole(ip uint32) bool {
+	p := ip >> 16
+	if c.paroleCredit[p].Load() <= 0 {
+		return false
+	}
+	return c.paroleCredit[p].Add(-1) >= 0
+}
+
+// ParoleGrants counts parole windows opened; ParoleReleases counts
+// quarantined prefixes released after answering their parole probes.
+func (c *Controller) ParoleGrants() uint64 { return c.paroleGrants.Load() }
+
+// ParoleReleases counts prefixes released from quarantine.
+func (c *Controller) ParoleReleases() uint64 { return c.paroleReleases.Load() }
+
 // QuarantineCount returns how many /16s are quarantined.
 func (c *Controller) QuarantineCount() uint64 { return c.quarCount.Load() }
 
@@ -350,6 +462,24 @@ func (c *Controller) Tick(now time.Time) {
 	if c.start.IsZero() {
 		c.start = now
 	}
+	if !c.tickSeen {
+		// Anchor the evidence clock one interval back so the first
+		// window is judgeable immediately (it spans the whole pre-tick
+		// scan), while later windows measure real elapsed time. State
+		// restored before the scan started (resume hold, parole waits)
+		// is anchored here too, on the tick clock.
+		c.tickSeen = true
+		c.evAt = now.Add(-c.cfg.Interval)
+		if c.resumeHold {
+			c.resumeHold = false
+			c.holdUntil = now.Add(time.Duration(c.cfg.HoldTicks) * c.cfg.Interval)
+		}
+		for _, ps := range c.parole {
+			if ps.nextAt.IsZero() {
+				ps.nextAt = now.Add(c.cfg.ParoleAfter)
+			}
+		}
+	}
 
 	// Fold newly-touched prefixes into the active list.
 	c.newMu.Lock()
@@ -361,9 +491,12 @@ func (c *Controller) Tick(now time.Time) {
 
 	if c.QuarantineEnabled() {
 		c.quarantinePass(now)
+		if c.ParoleEnabled() {
+			c.parolePass(now)
+		}
 	}
 	if c.adaptive {
-		c.aimdPass()
+		c.aimdPass(now)
 	} else {
 		// Keep the window anchors moving so enabling AIMD mid-flight
 		// (future) or state snapshots stay coherent.
@@ -413,13 +546,20 @@ func (c *Controller) quarantinePass(now time.Time) {
 				c.quarantined[p].Store(true)
 				c.quarCount.Add(1)
 				q := Quarantine{
-					Prefix: fmt.Sprintf("%d.%d.0.0/16", byte(p>>8), byte(p)),
-					Index:  p,
-					Sent:   sent,
-					Recv:   recv,
-					AtSecs: now.Sub(c.start).Seconds(),
+					Prefix:   fmt.Sprintf("%d.%d.0.0/16", byte(p>>8), byte(p)),
+					Index:    p,
+					Sent:     sent,
+					Recv:     recv,
+					AtSecs:   now.Sub(c.start).Seconds(),
+					BaseRate: baseRate,
 				}
 				c.records = append(c.records, q)
+				if c.ParoleEnabled() {
+					c.parole[p] = &paroleState{
+						nextAt: now.Add(cfg.ParoleAfter),
+						rec:    len(c.records) - 1,
+					}
+				}
 				cfg.Logger.Warn("quarantining interfered prefix",
 					"prefix", q.Prefix, "sent", sent, "recv", recv,
 					"baseline_rate", baseRate)
@@ -428,6 +568,85 @@ func (c *Controller) quarantinePass(now time.Time) {
 		}
 		// Roll the window forward.
 		w.sentBase, w.recvBase = sent, recv
+	}
+}
+
+// parolePass drives the quarantine-release machine. A quarantined /16 is
+// not abandoned forever: after ParoleAfter it gets a small re-probe
+// budget (credits the send path consumes via TakeParole). If the parole
+// window's responses reach ParoleMinResponses and ParoleReleaseRatio of
+// the prefix's pre-quarantine rate, the blackout was transient and the
+// prefix is released; otherwise the attempt is logged and the next one
+// waits ParoleInterval.
+func (c *Controller) parolePass(now time.Time) {
+	cfg := &c.cfg
+	for p, ps := range c.parole {
+		rec := &c.records[ps.rec]
+		if !ps.active {
+			if now.Before(ps.nextAt) {
+				continue
+			}
+			// Open a parole window: size the budget so a recovered
+			// prefix would produce about 2x ParoleMinResponses at its
+			// pre-quarantine response rate, bounded to one /16's worth.
+			grant := int64(4 * cfg.QuarantineMinProbes)
+			if rec.BaseRate > 0 {
+				if need := int64(2 * float64(cfg.ParoleMinResponses) / rec.BaseRate); need > grant {
+					grant = need
+				}
+			}
+			if grant > 1<<16 {
+				grant = 1 << 16
+			}
+			ps.active = true
+			ps.granted = grant
+			ps.sentBase = c.prefixSent[p].Load()
+			ps.recvBase = c.prefixRecv[p].Load()
+			ps.grantAt = now
+			c.paroleCredit[p].Store(grant)
+			c.paroleGrants.Add(1)
+			cfg.Logger.Info("parole window opened",
+				"prefix", rec.Prefix, "budget", grant, "attempt", rec.ParoleAttempts+1)
+			continue
+		}
+		sent := c.prefixSent[p].Load() - ps.sentBase
+		recv := c.prefixRecv[p].Load() - ps.recvBase
+		if recv >= cfg.ParoleMinResponses &&
+			(sent == 0 || float64(recv) >= cfg.ParoleReleaseRatio*rec.BaseRate*float64(sent)) {
+			// The prefix answers again at a healthy rate: release it.
+			c.paroleCredit[p].Store(0)
+			c.quarantined[p].Store(false)
+			c.quarCount.Add(^uint64(0))
+			c.paroleReleases.Add(1)
+			rec.ParoleAttempts++
+			rec.ParoleSent += sent
+			rec.ParoleRecv += recv
+			rec.Released = true
+			rec.ReleasedAtSecs = now.Sub(c.start).Seconds()
+			// Restart the interference window from the live counters so
+			// stale pre-blackout history cannot instantly re-strike.
+			if w := c.wins[p]; w != nil {
+				w.sentBase = c.prefixSent[p].Load()
+				w.recvBase = c.prefixRecv[p].Load()
+				w.badTicks = 0
+			}
+			delete(c.parole, p)
+			cfg.Logger.Info("parole release: prefix recovered",
+				"prefix", rec.Prefix, "parole_sent", sent, "parole_recv", recv)
+			continue
+		}
+		budgetSpent := c.paroleCredit[p].Load() <= 0 && sent >= uint64(ps.granted)
+		if (budgetSpent && now.Sub(ps.grantAt) >= 2*cfg.Interval) ||
+			now.Sub(ps.grantAt) >= cfg.ParoleInterval {
+			// Failed attempt: the budget went out (plus settle time for
+			// stragglers) or the window timed out. Close it and wait.
+			c.paroleCredit[p].Store(0)
+			ps.active = false
+			ps.nextAt = now.Add(cfg.ParoleInterval)
+			rec.ParoleAttempts++
+			rec.ParoleSent += sent
+			rec.ParoleRecv += recv
+		}
 	}
 }
 
@@ -443,7 +662,7 @@ func (c *Controller) quarantinePass(now time.Time) {
 //     would be expected to produce MinWindowResponses responses;
 //     judged earlier, a ~1% hit-rate scan reads Poisson noise as
 //     collapse and spirals to the rate floor.
-func (c *Controller) aimdPass() {
+func (c *Controller) aimdPass(now time.Time) {
 	cfg := &c.cfg
 	sent := c.sentTotal.Load()
 	recv := c.recvTotal.Load()
@@ -458,8 +677,9 @@ func (c *Controller) aimdPass() {
 	unrFrac := float64(dUnr) / float64(dSent)
 	if unrFrac > cfg.UnreachFraction && unrFrac > 3*c.baselineUnr {
 		// A congested window must not leak into the hit-rate evidence.
-		c.evSent, c.evRecv = sent, recv
-		c.decrease("unreach_spike", unrFrac)
+		c.evSent, c.evRecv, c.evAt = sent, recv, now
+		c.collapseStreak = 0
+		c.decrease(now, "unreach_spike", unrFrac)
 		return
 	}
 
@@ -473,13 +693,26 @@ func (c *Controller) aimdPass() {
 		// the first estimate carries the same evidence as later ones.
 		enough = evRecv >= cfg.MinWindowResponses
 	}
-	if enough {
+	// Evidence windows are judged on *measured* elapsed time, never an
+	// assumed tick cadence: a clump of jittered ticks would otherwise
+	// judge windows far shorter than the interval the thresholds were
+	// tuned for, reading scheduling noise as collapse.
+	if enough && now.Sub(c.evAt) >= cfg.Interval {
 		hitRate := float64(evRecv) / float64(evSent)
-		c.evSent, c.evRecv = sent, recv
+		c.evSent, c.evRecv, c.evAt = sent, recv, now
 		if c.baseline > 0 && hitRate < cfg.CollapseRatio*c.baseline {
-			c.decrease("hit_rate_collapse", unrFrac)
+			// Collapse evidence must persist: one bad window is weather
+			// (a Gilbert-Elliott loss burst, a transient blackout);
+			// CollapseWindows consecutive ones are congestion. Either
+			// way a collapsed window never feeds the healthy baseline.
+			c.collapseStreak++
+			if c.collapseStreak >= cfg.CollapseWindows {
+				c.collapseStreak = 0
+				c.decrease(now, "hit_rate_collapse", unrFrac)
+			}
 			return
 		}
+		c.collapseStreak = 0
 		g := cfg.BaselineGain
 		if c.baseline == 0 {
 			c.baseline = hitRate
@@ -491,8 +724,7 @@ func (c *Controller) aimdPass() {
 	// Healthy fast window: fold the unreachable baseline, then (after
 	// the post-decrease hold) probe back toward the configured rate.
 	c.baselineUnr += cfg.BaselineGain * (unrFrac - c.baselineUnr)
-	if c.hold > 0 {
-		c.hold--
+	if !now.After(c.holdUntil) {
 		return
 	}
 	if rate := c.Rate(); rate < cfg.ConfiguredRate {
@@ -505,9 +737,18 @@ func (c *Controller) aimdPass() {
 	}
 }
 
-// decrease applies one multiplicative cut and arms the hold.
-func (c *Controller) decrease(reason string, unrFrac float64) {
+// decrease applies at most one multiplicative cut per hold period. The
+// hold is wall-clock (HoldTicks * Interval) and is NOT re-armed by
+// suppressed signals, so a sustained unreachable storm cuts the rate
+// once per period — stepping down, never spiraling — and the floor is
+// always MinRate.
+func (c *Controller) decrease(now time.Time, reason string, unrFrac float64) {
 	cfg := &c.cfg
+	if now.Before(c.holdUntil) {
+		cfg.Logger.Debug("congestion signal suppressed inside hold",
+			"reason", reason, "hold_remaining", c.holdUntil.Sub(now))
+		return
+	}
 	rate := c.Rate()
 	next := rate * cfg.DecreaseFactor
 	if next < cfg.MinRate {
@@ -521,7 +762,7 @@ func (c *Controller) decrease(reason string, unrFrac float64) {
 			"window_unreach_frac", unrFrac,
 			"baseline_hit_rate", c.baseline)
 	}
-	c.hold = cfg.HoldTicks
+	c.holdUntil = now.Add(time.Duration(cfg.HoldTicks) * cfg.Interval)
 }
 
 // QuarantineRecords returns a copy of the quarantine log.
@@ -565,17 +806,30 @@ func (c *Controller) Restore(st *State) {
 			r = c.cfg.ConfiguredRate
 		}
 		c.storeRate(r)
-		// Resume cautiously: hold before probing upward again.
-		c.hold = c.cfg.HoldTicks
+		// Resume cautiously: hold before probing upward again (the
+		// hold is anchored when the first tick supplies the clock).
+		c.resumeHold = true
 	}
 	c.baseline = st.BaselineHitRate
 	c.baselineUnr = st.BaselineUnreach
 	for _, q := range st.Quarantined {
 		p := q.Index % prefixes
+		if q.Released {
+			// Released prefixes stay released; keep the record so the
+			// parole trail survives into this run's metadata.
+			c.records = append(c.records, q)
+			continue
+		}
 		if !c.quarantined[p].Load() {
 			c.quarantined[p].Store(true)
 			c.quarCount.Add(1)
 			c.records = append(c.records, q)
+			if c.ParoleEnabled() {
+				// Parole scheduling resumes with the scan: the wait
+				// restarts (anchored at the first tick) rather than
+				// crediting downtime as served.
+				c.parole[p] = &paroleState{rec: len(c.records) - 1}
+			}
 		}
 	}
 }

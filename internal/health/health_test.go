@@ -5,9 +5,11 @@ import (
 	"time"
 )
 
+// tick advances one full default interval per call: evidence windows
+// are judged on measured elapsed time, so test ticks must span it.
 func tick(c *Controller, at time.Time) time.Time {
 	c.Tick(at)
-	return at.Add(50 * time.Millisecond)
+	return at.Add(time.Second)
 }
 
 // feedWindow simulates one tick's worth of traffic: sent probes spread
@@ -55,7 +57,14 @@ func TestAIMDDecreaseOnHitRateCollapse(t *testing.T) {
 		now = tick(c, now)
 	}
 	before := c.Rate()
-	// Hit rate silently collapses to 1% with no ICMP at all.
+	// Hit rate silently collapses to 1% with no ICMP at all. One
+	// collapsed window is weather; the default CollapseWindows=2 cuts
+	// on the second consecutive one.
+	feedWindow(c, 10, 1000, 10, 0)
+	now = tick(c, now)
+	if got := c.Rate(); got != before {
+		t.Fatalf("rate moved on a single collapsed window: %v -> %v", before, got)
+	}
 	feedWindow(c, 10, 1000, 10, 0)
 	tick(c, now)
 	if got := c.Rate(); got >= before {

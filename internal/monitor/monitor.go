@@ -52,6 +52,11 @@ type Counters struct {
 	// quarantined by the scan-health subsystem (probe budget saved, not
 	// probes failed).
 	quarantineSkips atomic.Uint64
+
+	// paroleProbes counts probes sent into quarantined prefixes on the
+	// parole re-probe budget — the small spend that lets a recovered
+	// prefix earn its release.
+	paroleProbes atomic.Uint64
 }
 
 // Sent increments packets sent.
@@ -105,6 +110,10 @@ func (c *Counters) RecvInvalid() { c.recvInvalid.Add(1) }
 // QuarantineSkip increments targets skipped due to prefix quarantine.
 func (c *Counters) QuarantineSkip() { c.quarantineSkips.Add(1) }
 
+// ParoleProbe increments probes sent into a quarantined prefix on its
+// parole re-probe budget.
+func (c *Counters) ParoleProbe() { c.paroleProbes.Add(1) }
+
 // Valid increments validated responses.
 func (c *Counters) Valid() { c.valid.Add(1) }
 
@@ -150,6 +159,7 @@ type Snapshot struct {
 	RecvInvalid     uint64
 
 	QuarantineSkips uint64
+	ParoleProbes    uint64
 }
 
 // Snapshot captures current values.
@@ -175,6 +185,7 @@ func (c *Counters) Snapshot() Snapshot {
 		RecvInvalid:     c.recvInvalid.Load(),
 
 		QuarantineSkips: c.quarantineSkips.Load(),
+		ParoleProbes:    c.paroleProbes.Load(),
 	}
 }
 
@@ -215,6 +226,7 @@ type Status struct {
 	ControllerRatePPS   float64 `json:"controller_rate_pps"`
 	QuarantinedPrefixes uint64  `json:"quarantined_prefixes"`
 	QuarantineSkips     uint64  `json:"quarantine_skips"`
+	ParoleProbes        uint64  `json:"parole_probes"`
 
 	// Enriched fields (JSON only). HitRate defaults to unique/sent; the
 	// engine's Extra callback overrides it with the probes-per-target
@@ -236,6 +248,7 @@ var csvColumns = []string{
 	"degraded_secs",
 	"recv_truncated", "recv_unsupported", "recv_checksum_fail", "recv_invalid",
 	"hit_rate_1m", "controller_rate_pps", "quarantined_prefixes",
+	"parole_probes",
 }
 
 // CSVHeader returns the status CSV header line (without newline).
@@ -373,6 +386,7 @@ func (s *StatusWriter) emit() {
 		RecvInvalid:     now.RecvInvalid,
 
 		QuarantineSkips: now.QuarantineSkips,
+		ParoleProbes:    now.ParoleProbes,
 	}
 	if now.Sent > 0 {
 		st.HitRate = float64(now.UniqueSucc) / float64(now.Sent)
@@ -393,7 +407,7 @@ func (s *StatusWriter) emit() {
 			s.headed = true
 			fmt.Fprintln(s.w, CSVHeader())
 		}
-		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%.6f,%.0f,%d\n",
+		fmt.Fprintf(s.w, "%d,%d,%.0f,%d,%.0f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%.6f,%.0f,%d,%d\n",
 			st.TimeUnix,
 			st.Sent, st.SentPPS,
 			st.Recv, st.RecvPPS,
@@ -401,7 +415,8 @@ func (s *StatusWriter) emit() {
 			st.SendErrors, st.Retries, st.SendDrops, st.SenderRestarts,
 			st.DegradedSecs,
 			st.RecvTruncated, st.RecvUnsupported, st.RecvChecksum, st.RecvInvalid,
-			st.HitRate1m, st.ControllerRatePPS, st.QuarantinedPrefixes)
+			st.HitRate1m, st.ControllerRatePPS, st.QuarantinedPrefixes,
+			st.ParoleProbes)
 	}
 }
 

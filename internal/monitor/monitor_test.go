@@ -67,7 +67,7 @@ func TestStatusWriterEmitsLines(t *testing.T) {
 		t.Fatalf("expected >= 2 status lines, got %q", out)
 	}
 	fields := strings.Split(lines[len(lines)-1], ",")
-	if len(fields) != 21 {
+	if len(fields) != 22 {
 		t.Fatalf("status line has %d fields: %q", len(fields), lines[len(lines)-1])
 	}
 	if fields[1] != "100" {
@@ -139,7 +139,8 @@ func TestStatusCSVHeaderPinned(t *testing.T) {
 		"success,unique,duplicates,drops," +
 		"send_errors,retries,send_drops,sender_restarts,degraded_secs," +
 		"recv_truncated,recv_unsupported,recv_checksum_fail,recv_invalid," +
-		"hit_rate_1m,controller_rate_pps,quarantined_prefixes"
+		"hit_rate_1m,controller_rate_pps,quarantined_prefixes," +
+		"parole_probes"
 	if got := CSVHeader(); got != want {
 		t.Errorf("CSV header changed:\n got %q\nwant %q", got, want)
 	}
@@ -241,7 +242,7 @@ func TestStatusWriterCSVOutputUnchanged(t *testing.T) {
 		if strings.HasPrefix(line, "time_unix") {
 			t.Fatal("legacy constructor emitted a header")
 		}
-		if got := len(strings.Split(line, ",")); got != 21 {
+		if got := len(strings.Split(line, ",")); got != 22 {
 			t.Fatalf("line has %d fields: %q", got, line)
 		}
 	}

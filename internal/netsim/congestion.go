@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,11 +31,13 @@ type CongestionConfig struct {
 	// ICMPBurst is the ICMP bucket depth (0 = max(8, ICMPPPS/50)).
 	ICMPBurst float64
 
-	// DarkPrefix/DarkAfter: once DarkAfter probes have traversed the
-	// link, probes whose IPv4 destination shares DarkPrefix's /16 are
-	// silently dropped — the subnet has gone dark. DarkAfter == 0
-	// disables the fault.
+	// DarkPrefix/DarkBits/DarkAfter: once DarkAfter probes have
+	// traversed the link, probes whose IPv4 destination falls inside
+	// DarkPrefix/DarkBits are silently dropped — the subnet has gone
+	// dark. DarkBits may be 8–32 (0 = 16, the historical default);
+	// DarkAfter == 0 disables the fault.
 	DarkPrefix uint32
+	DarkBits   int
 	DarkAfter  uint64
 }
 
@@ -48,19 +49,29 @@ type CongestionStats struct {
 }
 
 type congestion struct {
-	cfg        CongestionConfig
-	darkPrefix uint32 // DarkPrefix >> 16, precomputed
+	cfg      CongestionConfig
+	darkNet  uint32 // DarkPrefix masked to DarkBits, precomputed
+	darkMask uint32
+	epoch    time.Time
 
-	mu         sync.Mutex
-	tokens     float64
-	last       time.Time
-	icmpTokens float64
-	icmpLast   time.Time
+	bucket     *tokenBucket
+	icmpBucket *tokenBucket
 
 	probes      atomic.Uint64
 	dropped     atomic.Uint64
 	icmpSent    atomic.Uint64
 	darkDropped atomic.Uint64
+}
+
+// cidrMask returns the IPv4 network mask for a prefix length.
+func cidrMask(bits int) uint32 {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - bits)
 }
 
 // SetCongestion installs the congestion model on the link. Call before
@@ -78,14 +89,17 @@ func (l *Link) SetCongestion(cfg CongestionConfig) {
 			cfg.ICMPBurst = 8
 		}
 	}
-	now := time.Now()
+	if cfg.DarkBits == 0 {
+		cfg.DarkBits = 16
+	}
+	mask := cidrMask(cfg.DarkBits)
 	l.cong = &congestion{
 		cfg:        cfg,
-		darkPrefix: cfg.DarkPrefix >> 16,
-		tokens:     cfg.Burst,
-		last:       now,
-		icmpTokens: cfg.ICMPBurst,
-		icmpLast:   now,
+		darkNet:    cfg.DarkPrefix & mask,
+		darkMask:   mask,
+		epoch:      time.Now(),
+		bucket:     newTokenBucket(cfg.CapacityPPS, cfg.Burst),
+		icmpBucket: newTokenBucket(cfg.ICMPPPS, cfg.ICMPBurst),
 	}
 }
 
@@ -101,38 +115,6 @@ func (l *Link) CongestionStats() CongestionStats {
 		ICMPSent:    c.icmpSent.Load(),
 		DarkDropped: c.darkDropped.Load(),
 	}
-}
-
-// takeToken draws one probe slot from the capacity bucket.
-func (c *congestion) takeToken(now time.Time) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tokens += now.Sub(c.last).Seconds() * c.cfg.CapacityPPS
-	c.last = now
-	if c.tokens > c.cfg.Burst {
-		c.tokens = c.cfg.Burst
-	}
-	if c.tokens >= 1 {
-		c.tokens--
-		return true
-	}
-	return false
-}
-
-// takeICMPToken draws one slot from the unreachable-generation budget.
-func (c *congestion) takeICMPToken(now time.Time) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.icmpTokens += now.Sub(c.icmpLast).Seconds() * c.cfg.ICMPPPS
-	c.icmpLast = now
-	if c.icmpTokens > c.cfg.ICMPBurst {
-		c.icmpTokens = c.cfg.ICMPBurst
-	}
-	if c.icmpTokens >= 1 {
-		c.icmpTokens--
-		return true
-	}
-	return false
 }
 
 // frameDstIPv4 extracts the IPv4 destination from a raw probe frame
@@ -158,19 +140,19 @@ func (l *Link) congest(frame []byte) bool {
 	c := l.cong
 	n := c.probes.Add(1)
 	dst, isV4 := frameDstIPv4(frame)
-	if isV4 && c.cfg.DarkAfter > 0 && n > c.cfg.DarkAfter && dst>>16 == c.darkPrefix {
+	if isV4 && c.cfg.DarkAfter > 0 && n > c.cfg.DarkAfter && dst&c.darkMask == c.darkNet {
 		c.darkDropped.Add(1)
 		return true
 	}
 	if c.cfg.CapacityPPS <= 0 {
 		return false
 	}
-	now := time.Now()
-	if c.takeToken(now) {
+	now := time.Since(c.epoch).Seconds()
+	if c.bucket.take(now) {
 		return false
 	}
 	c.dropped.Add(1)
-	if c.cfg.ICMPPPS > 0 && isV4 && c.takeICMPToken(now) {
+	if c.cfg.ICMPPPS > 0 && isV4 && c.icmpBucket.take(now) {
 		if resp := buildCongestionUnreach(frame, dst); resp != nil {
 			c.icmpSent.Add(1)
 			// The drop happens in the path core, roughly half an RTT out.

@@ -106,15 +106,10 @@ func NewFaultyTransport(inner Transport, cfg FaultConfig) *FaultyTransport {
 	}
 }
 
-// frameHash is FNV-1a over the frame, keyed by the seed. Frames are
-// unique per (dst, port) in a scan, so this identifies the probe.
+// frameHash identifies the probe by seed-keyed content hash (see
+// schedFrameHash); frames are unique per (dst, port) in a scan.
 func (f *FaultyTransport) frameHash(frame []byte) uint64 {
-	h := uint64(14695981039346656037) ^ (f.cfg.Seed * 0x9E3779B97F4A7C15)
-	for _, b := range frame {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	return h
+	return schedFrameHash(f.cfg.Seed, frame)
 }
 
 // Send applies the fault schedule, forwarding to the wrapped transport
@@ -151,11 +146,7 @@ func (f *FaultyTransport) Send(frame []byte) error {
 	if f.cfg.TransientProb > 0 {
 		// Mix the frame hash with the attempt ordinal so retries of the
 		// same frame re-roll.
-		h := f.frameHash(frame) ^ (attempt * 0xBF58476D1CE4E5B9)
-		h ^= h >> 31
-		h *= 0x94D049BB133111EB
-		h ^= h >> 29
-		if float64(h>>11)/float64(1<<53) < f.cfg.TransientProb {
+		if schedRoll(schedMix(f.frameHash(frame), attempt), f.cfg.TransientProb) {
 			f.injected.Add(1)
 			return transientErr("probabilistic transient fault")
 		}

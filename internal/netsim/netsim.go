@@ -433,7 +433,7 @@ func (in *Internet) lost(prob float64) bool {
 		return false
 	}
 	salt := in.lossSalt.Add(1)
-	return uniform(splitmix64(in.cfg.Seed^0xABCD^salt)) < prob
+	return uniform(schedSaltedDraw(in.cfg.Seed, schedLossDomain, salt)) < prob
 }
 
 // LossDraw draws one independent transient-loss event at the configured

@@ -169,7 +169,7 @@ func (t *RecvFaultTransport) InjectedTotal() uint64 {
 }
 
 func (t *RecvFaultTransport) pump() {
-	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	rng := newScheduleRNG(t.cfg.Seed)
 	for {
 		select {
 		case <-t.stop:

@@ -288,6 +288,11 @@ type Link struct {
 	// unreachable generation, dark prefix) on every probe.
 	cong *congestion
 
+	// weather, when set, plays a scripted fault scenario over the link
+	// (see scenario.go): forward effects before the host model responds,
+	// reverse effects on each response before it is scheduled.
+	weather *Weather
+
 	mu      sync.Mutex
 	closed  bool
 	pending sync.WaitGroup
@@ -331,11 +336,29 @@ func (l *Link) SetDelayRecorder(r DelayRecorder) { l.delays = r }
 // FaultyTransport to inject failures).
 func (l *Link) Send(frame []byte) error {
 	l.sent.Add(1)
+	var wEl time.Duration
+	var wDst uint32
+	var wIsV4 bool
+	if l.weather != nil {
+		wEl = l.weather.elapsed(time.Now())
+		wDst, wIsV4 = frameDstIPv4(frame)
+		if l.weatherSend(frame, wDst, wIsV4, wEl) {
+			return nil // consumed by a scripted fault
+		}
+	}
 	if l.cong != nil && l.congest(frame) {
 		return nil // dropped at the knee or swallowed by a dark prefix
 	}
 	responses := l.in.Respond(frame)
 	for _, r := range responses {
+		if l.weather != nil && wIsV4 {
+			drop, extra := l.weather.reverseDecide(wDst, wEl)
+			if drop {
+				PutFrame(r.Frame)
+				continue
+			}
+			r.Delay += extra
+		}
 		l.schedule(r.Delay, r.Frame)
 	}
 	return nil

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Scenario profile loading and the rendered event timeline. Profiles
+// are JSON documents shaped like conf/scenarios/*.json:
+//
+//	{
+//	  "name": "bursty-loss",
+//	  "seed": 7,
+//	  "events": [
+//	    {"type": "bursty_loss", "at_secs": 0,
+//	     "p_good_bad": 0.0005, "p_bad_good": 0.01, "loss_bad": 0.9},
+//	    {"type": "blackout", "at_secs": 0.5, "duration_secs": 2,
+//	     "prefix": "10.1.0.0/16"}
+//	  ]
+//	}
+//
+// The loader is strict: unknown fields, out-of-range parameters, and
+// malformed prefixes are errors, never panics (FuzzScenarioProfile pins
+// this), so hostile or mangled profiles cannot wedge a scan.
+
+// maxScenarioEvents bounds hostile profiles; real scenarios are a
+// handful of events.
+const maxScenarioEvents = 1024
+
+// LoadScenario reads and validates a JSON scenario profile.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// ParseScenario parses and validates a JSON scenario profile.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Exactly one JSON document.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after profile")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// probRange validates one probability-shaped parameter.
+func probRange(event int, name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("scenario: event %d: %s %v outside [0, 1]", event, name, v)
+	}
+	return nil
+}
+
+// nonNegative validates one magnitude parameter against an upper sanity
+// bound (hostile profiles must not overflow duration math).
+func nonNegative(event int, name string, v, max float64) error {
+	if math.IsNaN(v) || v < 0 || v > max {
+		return fmt.Errorf("scenario: event %d: %s %v outside [0, %g]", event, name, v, max)
+	}
+	return nil
+}
+
+// Validate checks the scenario against the per-event-type parameter
+// ranges. NewWeather validates again, so a hand-built Scenario cannot
+// bypass the checks.
+func (s *Scenario) Validate() error {
+	if len(s.Events) > maxScenarioEvents {
+		return fmt.Errorf("scenario: %d events exceeds the %d limit", len(s.Events), maxScenarioEvents)
+	}
+	for i := range s.Events {
+		e := &s.Events[i]
+		if err := nonNegative(i, "at_secs", e.AtSecs, 1e6); err != nil {
+			return err
+		}
+		if err := nonNegative(i, "duration_secs", e.DurationSecs, 1e6); err != nil {
+			return err
+		}
+		if e.Prefix != "" {
+			if _, _, err := parseCIDRv4(e.Prefix); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+		}
+		switch e.Type {
+		case ScenarioBurstyLoss:
+			for _, p := range []struct {
+				name string
+				v    float64
+			}{
+				{"p_good_bad", e.PGoodBad}, {"p_bad_good", e.PBadGood},
+				{"loss_good", e.LossGood}, {"loss_bad", e.LossBad},
+			} {
+				if err := probRange(i, p.name, p.v); err != nil {
+					return err
+				}
+			}
+		case ScenarioLatency:
+			if err := nonNegative(i, "delay_ms", e.DelayMS, 1e6); err != nil {
+				return err
+			}
+			if err := nonNegative(i, "jitter_ms", e.JitterMS, 1e6); err != nil {
+				return err
+			}
+			if err := nonNegative(i, "ramp_secs", e.RampSecs, 1e6); err != nil {
+				return err
+			}
+		case ScenarioBlackout:
+			if e.Prefix == "" {
+				return fmt.Errorf("scenario: event %d: blackout requires a prefix", i)
+			}
+		case ScenarioCrossTraffic:
+			if err := nonNegative(i, "capacity_pps", e.CapacityPPS, 1e9); err != nil {
+				return err
+			}
+			if e.CapacityPPS <= 0 {
+				return fmt.Errorf("scenario: event %d: cross_traffic requires capacity_pps > 0", i)
+			}
+			if err := nonNegative(i, "icmp_pps", e.ICMPPPS, 1e9); err != nil {
+				return err
+			}
+		case ScenarioAsymLoss:
+			if err := probRange(i, "forward_loss", e.ForwardLoss); err != nil {
+				return err
+			}
+			if err := probRange(i, "reverse_loss", e.ReverseLoss); err != nil {
+				return err
+			}
+		case ScenarioUnreachStorm:
+			if err := nonNegative(i, "storm_pps", e.StormPPS, 1e9); err != nil {
+				return err
+			}
+			if e.StormPPS <= 0 {
+				return fmt.Errorf("scenario: event %d: unreach_storm requires storm_pps > 0", i)
+			}
+		default:
+			return fmt.Errorf("scenario: event %d: unknown type %q", i, e.Type)
+		}
+	}
+	return nil
+}
+
+// parseCIDRv4 parses an IPv4 CIDR ("10.1.0.0/16") into its masked
+// network value and mask. Prefix lengths 1–32 are accepted.
+func parseCIDRv4(s string) (network, mask uint32, err error) {
+	ipStr, bitsStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("prefix %q is not a.b.c.d/len CIDR", s)
+	}
+	bits, err := strconv.Atoi(bitsStr)
+	if err != nil || bits < 1 || bits > 32 {
+		return 0, 0, fmt.Errorf("prefix %q length must be 1-32", s)
+	}
+	var ip uint32
+	parts := strings.Split(ipStr, ".")
+	if len(parts) != 4 {
+		return 0, 0, fmt.Errorf("prefix %q is not a.b.c.d/len CIDR", s)
+	}
+	for _, p := range parts {
+		o, err := strconv.Atoi(p)
+		if err != nil || o < 0 || o > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, 0, fmt.Errorf("prefix %q has an invalid octet %q", s, p)
+		}
+		ip = ip<<8 | uint32(o)
+	}
+	m := cidrMask(bits)
+	return ip & m, m, nil
+}
+
+// Timeline renders the compiled event timeline, one line per event with
+// every effective parameter. Two scenarios with identical timelines
+// play back identically from the same seed; the determinism test pins
+// byte-for-byte equality across loads and runs.
+func (s *Scenario) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q seed=%d events=%d\n", s.Name, s.Seed, len(s.Events))
+	for i := range s.Events {
+		e := &s.Events[i]
+		fmt.Fprintf(&b, "[%3d] t=%.3fs", i, e.AtSecs)
+		if e.DurationSecs > 0 {
+			fmt.Fprintf(&b, "+%.3fs", e.DurationSecs)
+		} else {
+			b.WriteString("+inf")
+		}
+		fmt.Fprintf(&b, " %s", e.Type)
+		if e.Prefix != "" {
+			fmt.Fprintf(&b, " prefix=%s", e.Prefix)
+		}
+		switch e.Type {
+		case ScenarioBurstyLoss:
+			fmt.Fprintf(&b, " p_gb=%g p_bg=%g loss_good=%g loss_bad=%g",
+				e.PGoodBad, e.PBadGood, e.LossGood, e.LossBad)
+		case ScenarioLatency:
+			fmt.Fprintf(&b, " delay=%gms jitter=%gms ramp=%gs", e.DelayMS, e.JitterMS, e.RampSecs)
+		case ScenarioCrossTraffic:
+			fmt.Fprintf(&b, " capacity=%gpps icmp=%gpps", e.CapacityPPS, e.ICMPPPS)
+		case ScenarioAsymLoss:
+			fmt.Fprintf(&b, " fwd=%g rev=%g", e.ForwardLoss, e.ReverseLoss)
+		case ScenarioUnreachStorm:
+			fmt.Fprintf(&b, " storm=%gpps valid_quote=%v", e.StormPPS, e.ValidQuote)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allWeatherProfile exercises every event type at once.
+const allWeatherProfile = `{
+  "name": "gauntlet",
+  "seed": 1234,
+  "events": [
+    {"type": "bursty_loss", "at_secs": 0, "p_good_bad": 0.01, "p_bad_good": 0.05, "loss_good": 0.001, "loss_bad": 0.9},
+    {"type": "latency", "at_secs": 0.2, "duration_secs": 2, "prefix": "10.0.0.0/16", "delay_ms": 120, "jitter_ms": 40, "ramp_secs": 0.5},
+    {"type": "blackout", "at_secs": 0.5, "duration_secs": 1, "prefix": "10.1.0.0/16"},
+    {"type": "cross_traffic", "at_secs": 1, "duration_secs": 2, "capacity_pps": 5000, "icmp_pps": 500},
+    {"type": "asym_loss", "at_secs": 0, "forward_loss": 0.05, "reverse_loss": 0.2},
+    {"type": "unreach_storm", "at_secs": 1.5, "duration_secs": 1, "storm_pps": 2000, "valid_quote": true}
+  ]
+}`
+
+// playback drives a compiled weather layer through a fixed synthetic
+// packet schedule on the scenario's virtual clock and renders every
+// decision into a trace. Identical traces == identical playback.
+func playback(t *testing.T, profile []byte) string {
+	t.Helper()
+	sc, err := ParseScenario(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWeather(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(sc.Timeline())
+	el := time.Duration(0)
+	for i := 0; i < 20000; i++ {
+		// A deterministic sweep over both /16s, advancing the virtual
+		// clock by 100µs per probe (10 kpps for 2 simulated seconds).
+		el += 100 * time.Microsecond
+		dst := 0x0A000000 | uint32(i%2)<<16 | uint32(i%65536)
+		d := w.forwardDecide(dst, true, el)
+		fmt.Fprintf(&b, "%d f %v %v %v %v\n", i, d.drop, d.stormValid, d.stormSpoof, d.kneeICMP)
+		if !d.drop {
+			drop, extra := w.reverseDecide(dst, el)
+			fmt.Fprintf(&b, "%d r %v %d\n", i, drop, extra)
+		}
+	}
+	st := w.Stats()
+	fmt.Fprintf(&b, "stats %+v\n", st)
+	return b.String()
+}
+
+// TestScenarioPlaybackDeterministic is the satellite determinism
+// property: same seed + same profile bytes => byte-identical event
+// timeline and decision trace, across independent loads and runs (and
+// under -race via scripts/check.sh).
+func TestScenarioPlaybackDeterministic(t *testing.T) {
+	first := playback(t, []byte(allWeatherProfile))
+	for run := 0; run < 2; run++ {
+		if got := playback(t, []byte(allWeatherProfile)); got != first {
+			t.Fatalf("run %d diverged from first playback", run)
+		}
+	}
+	if !strings.Contains(first, "stats") || len(first) < 1000 {
+		t.Fatalf("trace suspiciously small:\n%s", first)
+	}
+	// A different seed must change the decision trace.
+	other := strings.Replace(allWeatherProfile, `"seed": 1234`, `"seed": 1235`, 1)
+	if got := playback(t, []byte(other)); got == first {
+		t.Fatal("changing the seed did not change playback")
+	}
+}
+
+// TestScenarioTimelineStable pins the rendered timeline so profile
+// parsing changes cannot silently reinterpret existing profiles.
+func TestScenarioTimelineStable(t *testing.T) {
+	sc, err := ParseScenario([]byte(allWeatherProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `scenario "gauntlet" seed=1234 events=6
+[  0] t=0.000s+inf bursty_loss p_gb=0.01 p_bg=0.05 loss_good=0.001 loss_bad=0.9
+[  1] t=0.200s+2.000s latency prefix=10.0.0.0/16 delay=120ms jitter=40ms ramp=0.5s
+[  2] t=0.500s+1.000s blackout prefix=10.1.0.0/16
+[  3] t=1.000s+2.000s cross_traffic capacity=5000pps icmp=500pps
+[  4] t=0.000s+inf asym_loss fwd=0.05 rev=0.2
+[  5] t=1.500s+1.000s unreach_storm storm=2000pps valid_quote=true
+`
+	if got := sc.Timeline(); got != want {
+		t.Fatalf("timeline drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestScenarioLoaderRejectsHostileProfiles(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`[]`,
+		`{"events": [{"type": "tsunami"}]}`,
+		`{"events": [{"type": "bursty_loss", "p_good_bad": 1.5}]}`,
+		`{"events": [{"type": "bursty_loss", "loss_bad": -0.1}]}`,
+		`{"events": [{"type": "blackout"}]}`,
+		`{"events": [{"type": "blackout", "prefix": "10.0.0.0"}]}`,
+		`{"events": [{"type": "blackout", "prefix": "10.0.0.0/33"}]}`,
+		`{"events": [{"type": "blackout", "prefix": "10.0.0.256/16"}]}`,
+		`{"events": [{"type": "cross_traffic"}]}`,
+		`{"events": [{"type": "cross_traffic", "capacity_pps": 1e12}]}`,
+		`{"events": [{"type": "unreach_storm"}]}`,
+		`{"events": [{"type": "latency", "delay_ms": -1}]}`,
+		`{"events": [{"type": "latency", "at_secs": -2}]}`,
+		`{"events": [{"type": "bursty_loss", "frequency": 3}]}`,
+		`{"name": "x"} {"name": "y"}`,
+	}
+	for _, p := range bad {
+		if _, err := ParseScenario([]byte(p)); err == nil {
+			t.Errorf("profile %q parsed without error", p)
+		}
+	}
+	if _, err := ParseScenario([]byte(allWeatherProfile)); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+// FuzzScenarioProfile: malformed or hostile profiles must error, never
+// panic — and any profile that parses must compile and play without
+// panicking. Runs in the CI fuzz smoke.
+func FuzzScenarioProfile(f *testing.F) {
+	f.Add([]byte(allWeatherProfile))
+	f.Add([]byte(`{"name":"x","seed":1,"events":[]}`))
+	f.Add([]byte(`{"events":[{"type":"blackout","prefix":"10.0.0.0/8","at_secs":1}]}`))
+	f.Add([]byte(`{"events":[{"type":"unreach_storm","storm_pps":100}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		w, err := NewWeather(sc)
+		if err != nil {
+			t.Fatalf("validated scenario failed to compile: %v", err)
+		}
+		for i := 0; i < 64; i++ {
+			el := time.Duration(i) * 50 * time.Millisecond
+			d := w.forwardDecide(0x0A000001+uint32(i)<<8, true, el)
+			if !d.drop {
+				w.reverseDecide(0x0A000001, el)
+			}
+		}
+		_ = sc.Timeline()
+	})
+}
+
+// TestShippedScenarioProfilesParse keeps conf/scenarios/ honest: every
+// example profile we document must load, validate, and compile.
+func TestShippedScenarioProfilesParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "conf", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		sc, err := LoadScenario(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if _, err := NewWeather(sc); err != nil {
+			t.Errorf("%s: compile: %v", e.Name(), err)
+		}
+	}
+	if found < 2 {
+		t.Fatalf("only %d example profiles shipped, want >= 2", found)
+	}
+}

@@ -96,6 +96,9 @@ type Metadata struct {
 	UnreachObserved     uint64              `json:"icmp_unreach_observed,omitempty"`
 	QuarantineSkipped   uint64              `json:"quarantine_skipped_probes,omitempty"`
 	QuarantinedPrefixes []QuarantinedPrefix `json:"quarantined_prefixes,omitempty"`
+	ParoleProbes        uint64              `json:"parole_probes,omitempty"`
+	ParoleGrants        uint64              `json:"parole_grants,omitempty"`
+	ParoleReleases      uint64              `json:"parole_releases,omitempty"`
 	CooldownMaxSecs     float64             `json:"cooldown_max_secs,omitempty"`
 	CooldownActualSecs  float64             `json:"cooldown_actual_secs,omitempty"`
 
@@ -111,13 +114,20 @@ type Metadata struct {
 }
 
 // QuarantinedPrefix is one interference-quarantine event: the prefix,
-// its probe/response counts at quarantine time, and when it happened
-// (seconds since scan start).
+// its probe/response counts at quarantine time, when it happened
+// (seconds since scan start), and the parole trail — budgeted re-probe
+// attempts and, for transient blackouts, the release.
 type QuarantinedPrefix struct {
 	Prefix string  `json:"prefix"`
 	Sent   uint64  `json:"sent"`
 	Recv   uint64  `json:"recv"`
 	AtSecs float64 `json:"at_secs"`
+
+	ParoleAttempts int     `json:"parole_attempts,omitempty"`
+	ParoleSent     uint64  `json:"parole_sent,omitempty"`
+	ParoleRecv     uint64  `json:"parole_recv,omitempty"`
+	Released       bool    `json:"released,omitempty"`
+	ReleasedAtSecs float64 `json:"released_at_secs,omitempty"`
 }
 
 // Emit writes the metadata as a single indented JSON document.

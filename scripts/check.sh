@@ -41,4 +41,13 @@ go test -race -count=1 \
 echo "==> kill -9 mid-scan: checkpointed result-loss bound"
 go test -race -count=1 -run 'TestCLIKillResultLossBound' ./cmd/zmapgo
 
+echo "==> adversarial network weather: bursty loss, blackout parole, unreachable storms"
+go test -race -count=1 \
+    -run 'TestCollapsePersistenceBeatsBurstyLoss|TestJitteredTicksDoNotFakeCollapse|TestUnreachStormClampedToHoldPeriod|TestParole' \
+    ./internal/health
+go test -race -count=1 -run 'TestScenarioPlaybackDeterministic|TestScenarioTimeline' ./internal/netsim
+go test -race -count=1 \
+    -run 'TestBurstyLossDoesNotCollapseAdaptiveRate|TestBlackoutQuarantineParoleRelease|TestParoleSurvivesKillAndResume|TestUnreachStormClampedEndToEnd' \
+    ./zmap
+
 echo "OK"

@@ -150,6 +150,11 @@ func TestQuarantineSurvivesResume(t *testing.T) {
 		QuarantineThreshold: 0.15,
 		HealthInterval:      20 * time.Millisecond,
 		CheckpointPath:      ckpt,
+		// Parole (on by default) would legitimately re-probe the dark
+		// prefix on a budget; weather_test.go covers that. This test pins
+		// the opt-out contract: with parole disabled, a quarantined
+		// prefix is never probed again, in-run or after resume.
+		Health: &health.Config{ParoleAfter: -time.Second},
 	}
 
 	run1 := base

@@ -162,11 +162,13 @@ type CongestionOptions struct {
 	ICMPPPS float64
 	// ICMPBurst is the ICMP bucket depth (0 = ICMPPPS/50, min 8).
 	ICMPBurst float64
-	// DarkPrefix, when non-zero, is an address in the /16 that stops
+	// DarkPrefix, when non-zero, is an address in the prefix that stops
 	// responding entirely after DarkAfter probes have entered the wire —
 	// the interference fault the quarantine detector exists for (e.g.
-	// 10.1.0.0 darkens 10.1.0.0/16).
+	// 10.1.0.0 with DarkBits 16 darkens 10.1.0.0/16).
 	DarkPrefix uint32
+	// DarkBits is the dark prefix length, 8-32 (0 = 16).
+	DarkBits int
 	// DarkAfter is the probe count that triggers the dark prefix.
 	DarkAfter uint64
 }
@@ -180,10 +182,44 @@ func (l *Link) WithCongestion(opts CongestionOptions) *Link {
 		ICMPPPS:     opts.ICMPPPS,
 		ICMPBurst:   opts.ICMPBurst,
 		DarkPrefix:  opts.DarkPrefix,
+		DarkBits:    opts.DarkBits,
 		DarkAfter:   opts.DarkAfter,
 	})
 	return l
 }
+
+// Scenario is a scripted "network weather" timeline for the simulated
+// link: Gilbert-Elliott bursty loss, latency ramps, transient prefix
+// blackouts, time-varying cross-traffic, asymmetric loss, and ICMP
+// unreachable storms, all deterministic from the scenario seed. Load
+// one from JSON with LoadScenario.
+type Scenario = netsim.Scenario
+
+// WeatherStats counts what a scenario did to the link's traffic.
+type WeatherStats = netsim.WeatherStats
+
+// LoadScenario reads and validates a JSON scenario profile (see
+// conf/scenarios/ for examples).
+func LoadScenario(path string) (*Scenario, error) { return netsim.LoadScenario(path) }
+
+// ParseScenario parses and validates scenario profile bytes.
+func ParseScenario(data []byte) (*Scenario, error) { return netsim.ParseScenario(data) }
+
+// WithScenario installs a compiled weather scenario on the link. The
+// scenario clock starts at the link's first probe. Call before
+// scanning; returns the same link for chaining.
+func (l *Link) WithScenario(sc *Scenario) (*Link, error) {
+	w, err := netsim.NewWeather(sc)
+	if err != nil {
+		return nil, err
+	}
+	l.inner.SetWeather(w)
+	return l, nil
+}
+
+// WeatherStatsSnapshot reports what the installed scenario has done so
+// far. Zero-valued when WithScenario was never called.
+func (l *Link) WeatherStatsSnapshot() WeatherStats { return l.inner.WeatherStats() }
 
 // CongestionStats reports what the congestion model did: probes dropped
 // at the capacity knee, unreachables generated, and probes swallowed by

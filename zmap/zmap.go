@@ -21,6 +21,7 @@ import (
 
 	"zmapgo/internal/checkpoint"
 	"zmapgo/internal/core"
+	"zmapgo/internal/health"
 	"zmapgo/internal/metrics"
 	"zmapgo/internal/output"
 	"zmapgo/internal/packet"
@@ -171,6 +172,13 @@ type Options struct {
 	// HealthInterval is the health controller's evaluation period
 	// (0 = 1s).
 	HealthInterval time.Duration
+
+	// Health optionally overrides every scan-health knob — collapse
+	// evidence persistence, hold periods, quarantine parole cadence —
+	// beyond the common fields above. Zero-valued fields inherit
+	// AdaptiveRate/MinRate/QuarantineThreshold/HealthInterval, then the
+	// health package defaults.
+	Health *health.Config
 
 	// MaxRuntime stops sending after this duration (0 = unlimited).
 	MaxRuntime time.Duration
@@ -343,6 +351,7 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		MinRate:             o.MinRate,
 		QuarantineThreshold: o.QuarantineThreshold,
 		HealthInterval:      o.HealthInterval,
+		Health:              o.Health,
 		MaxRuntime:          o.MaxRuntime,
 		Retries:             o.Retries,
 		Backoff:             o.Backoff,
