@@ -21,14 +21,19 @@ vet:
 check:
 	./scripts/check.sh
 
-# bench regenerates the committed send-path baseline: probes/sec,
-# ns/probe, and allocs/probe for the per-probe shape and the batch-size
-# sweep, as JSON with speedups relative to the per-probe baseline.
+# bench regenerates the committed baselines: the send-path shapes
+# (probes/sec, ns/probe, allocs/probe with speedups vs per-probe) and
+# the flight-recorder hot path (RecordAt must stay <= 50 ns / 0 allocs;
+# the Stamp variant prices the optional time.Now).
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkSendPath' -benchtime=2s ./internal/core \
 		| $(GO) run ./scripts/benchjson -baseline BenchmarkSendPathPerProbe \
 		> BENCH_sendpath.json
 	@cat BENCH_sendpath.json
+	$(GO) test -run XXX -bench 'BenchmarkTrace' -benchmem -benchtime=2s ./internal/trace \
+		| $(GO) run ./scripts/benchjson \
+		> BENCH_trace.json
+	@cat BENCH_trace.json
 
 clean:
 	$(GO) clean ./...

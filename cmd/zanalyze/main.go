@@ -6,6 +6,13 @@
 // fractions:
 //
 //	zmapgo -r 10.0.0.0/16 -p 80,443 -O jsonl --output-filter "" | zanalyze
+//
+// The trace subcommand instead reads a flight-recorder dump (from
+// --trace-file, SIGUSR1, or /debug/trace?format=jsonl) and prints stage
+// latencies, the rate-decision timeline, and the quarantine/parole ↔
+// scenario-fault cross-reference:
+//
+//	zanalyze trace zmapgo-trace.jsonl
 package main
 
 import (
@@ -26,6 +33,9 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], stdin, stdout, stderr)
+	}
 	fs := flag.NewFlagSet("zanalyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	topPorts := fs.Int("top", 10, "ports to list")

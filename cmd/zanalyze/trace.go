@@ -1,0 +1,378 @@
+// The trace subcommand analyzes flight-recorder JSONL dumps (produced
+// by zmapgo --trace-file, SIGUSR1, or /debug/trace?format=jsonl):
+// per-stage latency breakdowns over the sampled probe lifecycles, the
+// controller's rate-decision timeline with its evidence windows, and a
+// cross-reference of quarantine/parole decisions against scripted
+// scenario faults. With -strict it exits nonzero if any controller
+// decision lacks recorded evidence — the property the e2e tests pin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"zmapgo/internal/trace"
+)
+
+// stagePairs are the probe-lifecycle transitions we report latencies
+// for, in pipeline order.
+var stagePairs = []struct {
+	label    string
+	from, to trace.Kind
+}{
+	{"gen -> rendered", trace.KProbeGen, trace.KProbeRendered},
+	{"rendered -> sent", trace.KProbeRendered, trace.KProbeSent},
+	{"sent -> received", trace.KProbeSent, trace.KRespReceived},
+	{"received -> validated", trace.KRespReceived, trace.KRespValidated},
+	{"validated -> written", trace.KRespValidated, trace.KRespWritten},
+	{"gen -> written (e2e)", trace.KProbeGen, trace.KRespWritten},
+}
+
+// scenarioWindow is one scripted fault's active interval, rebuilt from
+// the journal's scenario_begin / scenario_end pairs.
+type scenarioWindow struct {
+	index    int // 1-based, as journaled
+	name     string
+	prefix   string
+	begin    int64 // ns since epoch
+	end      int64 // math.MaxInt64 if never closed
+	dropsFor uint64
+}
+
+func runTrace(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zanalyze trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "exit 1 if any rate decrease, quarantine, or parole release lacks recorded evidence")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "zanalyze trace:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := trace.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "zanalyze trace:", err)
+		return 1
+	}
+	if len(snap.Events) == 0 && len(snap.Journal) == 0 {
+		fmt.Fprintln(stderr, "zanalyze trace: dump holds no events (pass a --trace-file dump or pipe /debug/trace)")
+		return 1
+	}
+
+	secs := func(ts int64) float64 { return float64(ts) / 1e9 }
+
+	fmt.Fprintf(stdout, "trace: epoch %s, %d shards x %d slots, sampling 1/%d, %d ring events, %d journal entries",
+		snap.Epoch.Format(time.RFC3339), snap.Shards, snap.RingSize,
+		snap.SampleEvery, len(snap.Events), len(snap.Journal))
+	if snap.JournalDrop > 0 {
+		fmt.Fprintf(stdout, " (%d journal entries dropped)", snap.JournalDrop)
+	}
+	fmt.Fprintln(stdout)
+
+	// ---- Per-stage latency breakdown over sampled lifecycles ----
+	type life struct {
+		first   map[trace.Kind]int64
+		retries int
+	}
+	lives := map[uint64]*life{}
+	faultByClass := map[string]uint64{}
+	var faultDrops []trace.Event
+	for _, e := range snap.Events {
+		if e.Kind == trace.KFaultDrop {
+			faultByClass[trace.FaultClassName(e.Val)]++
+			faultDrops = append(faultDrops, e)
+			continue
+		}
+		key := uint64(e.IP)<<16 | uint64(e.Port)
+		lf := lives[key]
+		if lf == nil {
+			lf = &life{first: map[trace.Kind]int64{}}
+			lives[key] = lf
+		}
+		if e.Kind == trace.KProbeRetry {
+			lf.retries++
+		}
+		if ts, ok := lf.first[e.Kind]; !ok || e.TS < ts {
+			lf.first[e.Kind] = e.TS
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nsampled targets: %d\n", len(lives))
+	fmt.Fprintln(stdout, "stage latencies over sampled lifecycles:")
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  stage\tn\tp50\tp90\tp99\tmax")
+	for _, sp := range stagePairs {
+		var ds []time.Duration
+		for _, lf := range lives {
+			a, okA := lf.first[sp.from]
+			b, okB := lf.first[sp.to]
+			if okA && okB && b >= a {
+				ds = append(ds, time.Duration(b-a))
+			}
+		}
+		if len(ds) == 0 {
+			fmt.Fprintf(tw, "  %s\t0\t-\t-\t-\t-\n", sp.label)
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%s\t%s\n", sp.label, len(ds),
+			quantileDur(ds, 0.50), quantileDur(ds, 0.90),
+			quantileDur(ds, 0.99), ds[len(ds)-1])
+	}
+	tw.Flush()
+
+	// ---- Scenario fault windows (from the journal) ----
+	var windows []*scenarioWindow
+	byIndex := map[int]*scenarioWindow{}
+	for _, j := range snap.Journal {
+		switch j.Kind {
+		case trace.JScenarioBegin:
+			w := &scenarioWindow{index: j.Index, name: j.Name, prefix: j.Prefix,
+				begin: j.TS, end: int64(^uint64(0) >> 1)}
+			windows = append(windows, w)
+			byIndex[j.Index] = w
+		case trace.JScenarioEnd:
+			if w := byIndex[j.Index]; w != nil {
+				w.end = j.TS
+			}
+		}
+	}
+	for _, e := range faultDrops {
+		for _, w := range windows {
+			if e.TS >= w.begin && e.TS <= w.end && prefixContains(w.prefix, e.IP) {
+				w.dropsFor++
+			}
+		}
+	}
+	openAt := func(ts int64) []*scenarioWindow {
+		var out []*scenarioWindow
+		for _, w := range windows {
+			if ts >= w.begin && ts <= w.end {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	if len(windows) > 0 {
+		fmt.Fprintln(stdout, "\nscenario fault windows:")
+		for _, w := range windows {
+			end := "open"
+			if w.end != int64(^uint64(0)>>1) {
+				end = fmt.Sprintf("+%.2fs", secs(w.end))
+			}
+			tgt := w.prefix
+			if tgt == "" {
+				tgt = "all targets"
+			}
+			fmt.Fprintf(stdout, "  #%d %-14s %-16s +%.2fs .. %s  (%d fault drops recorded)\n",
+				w.index, w.name, tgt, secs(w.begin), end, w.dropsFor)
+		}
+	}
+
+	// ---- Rate-decision timeline with evidence and corroboration ----
+	var unattributed int
+	decisions := 0
+	quarantinedAt := map[string]int64{}
+
+	fmt.Fprintln(stdout, "\ncontroller decisions:")
+	prevTS := int64(0)
+	for _, j := range snap.Journal {
+		switch j.Kind {
+		case trace.JRateDecrease:
+			decisions++
+			ok := j.Reason != "" && j.WindowSent > 0
+			if !ok {
+				unattributed++
+			}
+			faults := faultsBetween(faultDrops, prevTS, j.TS, "")
+			fmt.Fprintf(stdout, "  +%.2fs  rate decrease -> %.0f pps  reason=%s  window %d sent / %d recv",
+				secs(j.TS), j.RatePPS, j.Reason, j.WindowSent, j.WindowRecv)
+			if j.UnreachFrac > 0 {
+				fmt.Fprintf(stdout, "  unreach %.2f", j.UnreachFrac)
+			}
+			if j.HitRate > 0 {
+				fmt.Fprintf(stdout, "  hit %.4f (baseline %.4f)", j.HitRate, j.Baseline)
+			}
+			fmt.Fprint(stdout, corroboration(openAt(j.TS), faults))
+			if !ok {
+				fmt.Fprint(stdout, "  UNATTRIBUTED")
+			}
+			fmt.Fprintln(stdout)
+			prevTS = j.TS
+		case trace.JRateIncrease:
+			fmt.Fprintf(stdout, "  +%.2fs  rate increase -> %.0f pps  (recovery; window %d sent / %d recv)\n",
+				secs(j.TS), j.RatePPS, j.WindowSent, j.WindowRecv)
+			prevTS = j.TS
+		}
+	}
+
+	// ---- Quarantine / parole cross-reference ----
+	fmt.Fprintln(stdout, "\nquarantine / parole:")
+	for _, j := range snap.Journal {
+		switch j.Kind {
+		case trace.JQuarantine:
+			decisions++
+			quarantinedAt[j.Prefix] = j.TS
+			ok := j.Prefix != "" && j.WindowSent > 0
+			if !ok {
+				unattributed++
+			}
+			faults := faultsBetween(faultDrops, 0, j.TS, j.Prefix)
+			fmt.Fprintf(stdout, "  +%.2fs  quarantine %-16s window %d sent / %d recv (baseline %.4f)",
+				secs(j.TS), j.Prefix, j.WindowSent, j.WindowRecv, j.Baseline)
+			fmt.Fprint(stdout, corroboration(overlapping(openAt(j.TS), j.Prefix), faults))
+			if !ok {
+				fmt.Fprint(stdout, "  UNATTRIBUTED")
+			}
+			fmt.Fprintln(stdout)
+		case trace.JParoleGrant:
+			fmt.Fprintf(stdout, "  +%.2fs  parole grant %-13s budget %d probes (attempt %d)\n",
+				secs(j.TS), j.Prefix, j.WindowSent, j.Index)
+		case trace.JParoleFail:
+			fmt.Fprintf(stdout, "  +%.2fs  parole fail %-14s window %d sent / %d recv (attempt %d)\n",
+				secs(j.TS), j.Prefix, j.WindowSent, j.WindowRecv, j.Index)
+		case trace.JParoleRelease:
+			decisions++
+			qts, wasQuarantined := quarantinedAt[j.Prefix]
+			ok := j.Prefix != "" && j.WindowRecv > 0 && wasQuarantined
+			if !ok {
+				unattributed++
+			}
+			fmt.Fprintf(stdout, "  +%.2fs  parole release %-11s window %d sent / %d recv",
+				secs(j.TS), j.Prefix, j.WindowSent, j.WindowRecv)
+			if wasQuarantined {
+				fmt.Fprintf(stdout, "  [quarantined +%.2fs, recovered after %.2fs]",
+					secs(qts), secs(j.TS-qts))
+			}
+			if !ok {
+				fmt.Fprint(stdout, "  UNATTRIBUTED")
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+
+	if len(faultByClass) > 0 {
+		fmt.Fprintln(stdout, "\nfault drops by class:")
+		for _, k := range sortedKeys(toIntMap(faultByClass)) {
+			fmt.Fprintf(stdout, "  %-14s %d\n", k, faultByClass[k])
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nattribution: %d/%d controller decisions carry recorded evidence (%d unattributed)\n",
+		decisions-unattributed, decisions, unattributed)
+	if *strict && unattributed > 0 {
+		fmt.Fprintf(stderr, "zanalyze trace: -strict: %d unattributed decision(s)\n", unattributed)
+		return 1
+	}
+	return 0
+}
+
+// corroboration renders the "[...]" suffix tying a decision to the
+// scenario windows open at that moment and the fault drops recorded
+// since the previous decision.
+func corroboration(open []*scenarioWindow, faults uint64) string {
+	if len(open) == 0 && faults == 0 {
+		return ""
+	}
+	s := "  ["
+	for i, w := range open {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s #%d active", w.name, w.index)
+	}
+	if faults > 0 {
+		if len(open) > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d fault drops", faults)
+	}
+	return s + "]"
+}
+
+// overlapping filters scenario windows to those whose prefix overlaps
+// the decision's prefix (an unscoped window matches everything).
+func overlapping(ws []*scenarioWindow, prefix string) []*scenarioWindow {
+	var out []*scenarioWindow
+	for _, w := range ws {
+		if w.prefix == "" || prefix == "" || prefixesOverlap(w.prefix, prefix) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// faultsBetween counts fault-drop ring events in (from, to], optionally
+// restricted to destinations inside prefix.
+func faultsBetween(drops []trace.Event, from, to int64, prefix string) uint64 {
+	var n uint64
+	for _, e := range drops {
+		if e.TS > from && e.TS <= to && (prefix == "" || prefixContains(prefix, e.IP)) {
+			n++
+		}
+	}
+	return n
+}
+
+func parsePrefix(s string) (base uint32, bits int, ok bool) {
+	var a, b, c, d uint32
+	if n, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &bits); n != 5 || err != nil {
+		return 0, 0, false
+	}
+	if bits < 0 || bits > 32 || a > 255 || b > 255 || c > 255 || d > 255 {
+		return 0, 0, false
+	}
+	return a<<24 | b<<16 | c<<8 | d, bits, true
+}
+
+func prefixContains(prefix string, ip uint32) bool {
+	base, bits, ok := parsePrefix(prefix)
+	if !ok {
+		return false
+	}
+	if bits == 0 {
+		return true
+	}
+	return ip>>(32-bits) == base>>(32-bits)
+}
+
+func prefixesOverlap(p, q string) bool {
+	pb, pl, ok1 := parsePrefix(p)
+	qb, ql, ok2 := parsePrefix(q)
+	if !ok1 || !ok2 {
+		return false
+	}
+	min := pl
+	if ql < min {
+		min = ql
+	}
+	if min == 0 {
+		return true
+	}
+	return pb>>(32-min) == qb>>(32-min)
+}
+
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[idx].Round(time.Microsecond)
+}
+
+func toIntMap(m map[string]uint64) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = int(v)
+	}
+	return out
+}

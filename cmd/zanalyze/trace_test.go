@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"zmapgo/internal/health"
+	"zmapgo/zmap"
+)
+
+// blackoutRecoveryProfile is conf/scenarios/blackout-recovery.json on
+// test timescales: a transient /16 blackout (quarantine → parole →
+// release) followed by a validated unreachable storm (AIMD rate cuts).
+// Every controller decision the scan makes should land in the flight
+// recorder's journal with its evidence window, corroborated by the
+// scenario transitions and fault drops on the same timeline.
+const blackoutRecoveryProfile = `{
+  "name": "blackout-recovery",
+  "seed": 7,
+  "events": [
+    {"type": "blackout", "at_secs": 0.5, "duration_secs": 1.5, "prefix": "10.1.0.0/16"},
+    {"type": "unreach_storm", "at_secs": 2.6, "duration_secs": 0.6,
+     "storm_pps": 5000, "valid_quote": true}
+  ]
+}`
+
+// TestZAnalyzeTraceAttributesScenarioRun is the flight-recorder
+// acceptance: run the blackout-recovery scenario end to end, dump the
+// recorder, and drive `zanalyze trace -strict` over the dump. Strict
+// mode exits nonzero if any rate decrease, quarantine, or parole
+// release lacks recorded evidence, so exit 0 IS the attribution claim.
+func TestZAnalyzeTraceAttributesScenarioRun(t *testing.T) {
+	internet := zmap.NewInternet(zmap.SimOptions{Seed: 901, Lossless: true, DisableBlowback: true})
+	link := internet.NewLink(1<<16, 0)
+	defer link.Close()
+	sc, err := zmap.ParseScenario([]byte(blackoutRecoveryProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.WithScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := zmap.Options{
+		Ranges:              []string{"10.0.0.0/15"},
+		Ports:               "80",
+		Seed:                77,
+		Threads:             4,
+		Rate:                30_000,
+		MinRate:             6_000,
+		AdaptiveRate:        true,
+		QuarantineThreshold: 0.15,
+		HealthInterval:      20 * time.Millisecond,
+		Cooldown:            150 * time.Millisecond,
+		TraceSampleEvery:    16,
+		Health: &health.Config{
+			ParoleAfter:    250 * time.Millisecond,
+			ParoleInterval: 150 * time.Millisecond,
+		},
+	}.Compile(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario must actually have provoked the controller, or the
+	// attribution claim below is vacuous.
+	if sum.RateDecreases == 0 {
+		t.Fatal("storm provoked no rate decrease; scenario too gentle to judge attribution")
+	}
+	if sum.ParoleReleases != 1 || len(sum.QuarantinedPrefixes) != 1 {
+		t.Fatalf("want 1 quarantine + 1 release, got %d/%d",
+			len(sum.QuarantinedPrefixes), sum.ParoleReleases)
+	}
+
+	var dump bytes.Buffer
+	if err := s.WriteTrace(&dump, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"trace", "-strict"}, bytes.NewReader(dump.Bytes()), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("zanalyze trace -strict exit %d\nstderr: %s\nstdout:\n%s",
+			code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"stage latencies over sampled lifecycles:",
+		"gen -> rendered",
+		"sent -> received",
+		"scenario fault windows:",
+		"blackout",
+		"unreach_storm",
+		"rate decrease",
+		"reason=",
+		"quarantine 10.1.0.0/16",
+		"parole release",
+		"recovered after",
+		"fault drops by class:",
+		"(0 unattributed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace report missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNATTRIBUTED") {
+		t.Errorf("report flags unattributed decisions:\n%s", out)
+	}
+}
+
+// TestZAnalyzeTraceErrors pins the failure modes: empty dumps and
+// garbage are rejected with a nonzero exit, not a zero-filled report.
+func TestZAnalyzeTraceErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"trace"}, strings.NewReader(""), &out, &errBuf); code == 0 {
+		t.Error("empty dump accepted")
+	}
+	if code := run([]string{"trace"}, strings.NewReader("not-json\n"), &out, &errBuf); code == 0 {
+		t.Error("malformed dump accepted")
+	}
+	if code := run([]string{"trace", "/nonexistent/trace.jsonl"}, strings.NewReader(""), &out, &errBuf); code == 0 {
+		t.Error("missing file accepted")
+	}
+}

@@ -75,6 +75,10 @@ func run(args []string) int {
 		statusFmt   = fs.String("status-format", "csv", "status line format: csv (ZMap columns) or json (adds latency quantiles, per-thread rates)")
 		statusHdr   = fs.Bool("status-header", true, "prepend the CSV column header to status updates")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9100; empty = off)")
+		traceFile   = fs.String("trace-file", "", "write a flight-recorder dump here at scan end and on SIGUSR1 (empty = dump only on SIGUSR1 or abort, to zmapgo-trace.<fmt>)")
+		traceFmt    = fs.String("trace-format", "jsonl", "flight-recorder dump format: jsonl (zanalyze trace) or chrome (Perfetto)")
+		traceEvery  = fs.Int("trace-sample-every", 0, "trace 1 in N targets through the flight recorder (0 = default 256, 1 = all, negative = decision journal only)")
+		traceRing   = fs.Int("trace-ring-size", 0, "flight-recorder per-shard event capacity (0 = default 8192)")
 		verbose     = fs.Bool("v", false, "verbose logging to stderr")
 		showSchema  = fs.Bool("schema", false, "print the output record schema as JSON and exit")
 		showVersion = fs.Bool("version", false, "print the version and exit")
@@ -155,6 +159,12 @@ func run(args []string) int {
 		CheckpointInterval:  *ckptEvery,
 		Format:              *format,
 		Filter:              *filter,
+		TraceSampleEvery:    *traceEvery,
+		TraceRingSize:       *traceRing,
+	}
+	if *traceFmt != "jsonl" && *traceFmt != "chrome" {
+		fmt.Fprintf(os.Stderr, "zmapgo: unknown --trace-format %q (want jsonl or chrome)\n", *traceFmt)
+		return 2
 	}
 	if *paroleAfter != 0 {
 		opts.Health = &health.Config{ParoleAfter: *paroleAfter}
@@ -333,14 +343,55 @@ func run(args []string) int {
 		return 1
 	}
 
+	// dumpTrace writes a flight-recorder snapshot to --trace-file (or a
+	// default name when unset). Safe mid-scan; each call overwrites the
+	// previous dump with a fresher snapshot.
+	dumpTrace := func(reason string) {
+		path := *traceFile
+		if path == "" {
+			path = "zmapgo-trace." + map[string]string{"jsonl": "jsonl", "chrome": "json"}[*traceFmt]
+		}
+		// Write-then-rename so a concurrent reader (or a SIGUSR1 arriving
+		// during the scan-end dump) never sees a torn file.
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zmapgo: trace dump:", err)
+			return
+		}
+		werr := scanner.WriteTrace(f, *traceFmt)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp, path)
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			fmt.Fprintln(os.Stderr, "zmapgo: trace dump:", werr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "zmapgo: flight recorder dumped to %s (%s)\n", path, reason)
+	}
+
+	var srv *zmap.MetricsServer
 	if *metricsAddr != "" {
-		srv, err := zmap.NewMetricsServer(*metricsAddr, scanner.Metrics())
+		srv, err = zmap.NewMetricsServer(*metricsAddr, scanner.Metrics())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "zmapgo:", err)
 			return 1
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "zmapgo: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+		srv.SetTraceSource(scanner.WriteTrace)
+		// Graceful teardown: flip /healthz to draining, finish in-flight
+		// scrapes, then close the listener (it used to leak on scan end).
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "zmapgo: metrics on http://%s/metrics (pprof on /debug/pprof/, trace on /debug/trace, health on /healthz)\n", srv.Addr())
 	}
 
 	// Two-stage signal handling: the first SIGINT/SIGTERM requests a
@@ -355,6 +406,9 @@ func run(args []string) int {
 		select {
 		case sig := <-sigCh:
 			fmt.Fprintf(os.Stderr, "zmapgo: %v: stopping gracefully — draining receives and flushing output (signal again to abort hard)\n", sig)
+			if srv != nil {
+				srv.SetReady(false) // /healthz reports draining from here on
+			}
 			scanner.Stop()
 		case <-ctx.Done():
 			return
@@ -364,6 +418,23 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, "zmapgo: second signal: aborting")
 			cancel()
 		case <-ctx.Done():
+		}
+	}()
+	// SIGUSR1 dumps the flight recorder mid-scan without disturbing the
+	// scan itself (snapshotting the rings is lock-free on the writer side).
+	usrCh := make(chan os.Signal, 1)
+	signal.Notify(usrCh, syscall.SIGUSR1)
+	defer signal.Stop(usrCh)
+	usrDone := make(chan struct{})
+	defer close(usrDone)
+	go func() {
+		for {
+			select {
+			case <-usrCh:
+				dumpTrace("SIGUSR1")
+			case <-usrDone:
+				return
+			}
 		}
 	}()
 	summary, err := scanner.Run(ctx)
@@ -380,6 +451,12 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr,
 			"zmapgo: %d send errors, %d sender restarts; progress saved for --resume\n",
 			summary.SendErrors, summary.SenderRestarts)
+		// A fatal abort is exactly when the flight recorder earns its
+		// keep: dump it unconditionally so the last decisions and probe
+		// spans before death are on disk.
+		dumpTrace("sender abort")
+	} else if *traceFile != "" {
+		dumpTrace("scan end")
 	}
 	fmt.Fprintf(os.Stderr,
 		"zmapgo: sent %d probes, %d unique successes (hit rate %.3f%%), %d dups, %.0f pps\n",

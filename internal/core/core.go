@@ -38,6 +38,7 @@ import (
 	"zmapgo/internal/ratelimit"
 	"zmapgo/internal/shard"
 	"zmapgo/internal/target"
+	"zmapgo/internal/trace"
 	"zmapgo/internal/validate"
 )
 
@@ -273,6 +274,20 @@ type Config struct {
 	// to aggregate several scans into one /metrics page.
 	Metrics *metrics.Registry
 
+	// TraceSampleEvery tunes the flight recorder's probe-lifecycle
+	// sampling: 1 in N targets is traced through the per-shard event
+	// rings (0 = default 256, rounded up to a power of two; 1 traces
+	// every target; negative disables probe sampling — the controller
+	// decision journal always stays on). The recorder itself is
+	// always-on and bounded; see Scanner.Trace.
+	TraceSampleEvery int
+
+	// TraceRingSize is the flight recorder's per-shard event capacity
+	// (0 = default 8192, rounded up to a power of two). The retained
+	// window is the newest TraceRingSize events per sender thread plus
+	// the receive loop.
+	TraceRingSize int
+
 	// Clock is for tests; nil uses the wall clock.
 	Clock ratelimit.Clock
 }
@@ -415,6 +430,12 @@ type Scanner struct {
 	stopOnce      sync.Once
 	stopRequested atomic.Bool
 
+	// Flight recorder (always on, bounded): sender thread t writes ring
+	// shard t, the receive loop writes shard Threads (traceRecv), and
+	// the controller/lifecycle paths write the decision journal.
+	trace     *trace.Recorder
+	traceRecv *trace.Shard
+
 	// Instrumentation (see Config.Metrics). Histograms are sharded per
 	// sender thread so hot-path records never contend.
 	registry    *metrics.Registry
@@ -447,6 +468,7 @@ func (s *Scanner) markPhase(name string) {
 	s.curPhase, s.curPhaseAt = name, now
 	if name != "" {
 		s.phaseNow.Store(name)
+		s.trace.Journal(trace.JEntry{Kind: trace.JPhase, Phase: name})
 		s.cfg.Logger.Info("scan phase", "phase", name)
 	}
 }
@@ -573,11 +595,24 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 			TimestampValue:  uint32(seed),
 		},
 	}
+	// Flight recorder: one ring shard per sender thread, one for the
+	// receive loop, and one reserved for the transport/netsim fault
+	// bridge (see TraceFaultShard). Always on — its memory is bounded by
+	// construction and its hot path is cheap enough to leave enabled
+	// (see internal/trace).
+	s.trace = trace.New(trace.Config{
+		Shards:      cfg.Threads + 2,
+		RingSize:    cfg.TraceRingSize,
+		SampleEvery: cfg.TraceSampleEvery,
+	})
+	s.traceRecv = s.trace.Shard(cfg.Threads)
 	s.phases = append(s.phases, output.PhaseTiming{
 		Phase:        "generation",
 		Start:        genStart,
 		DurationSecs: genDur.Seconds(),
 	})
+	s.trace.Journal(trace.JEntry{Kind: trace.JPhase, Phase: "generation",
+		Detail: genDur.String()})
 	cfg.Logger.Info("scan phase", "phase", "generation", "duration", genDur)
 	if cfg.healthEnabled() {
 		hc := health.Config{}
@@ -600,6 +635,10 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 			hc.Logger = cfg.Logger
 		}
 		s.health = health.NewController(hc)
+		// Every controller decision (AIMD cut/increase, quarantine,
+		// parole) lands in the flight recorder's journal with its
+		// evidence window, so an offline trace can attribute each one.
+		s.health.SetJournal(s.trace.Journal)
 		if cfg.Resume != nil {
 			// Carry the learned rate, baselines, and quarantine set across
 			// the restart so a resumed scan neither re-probes dark prefixes
@@ -727,6 +766,27 @@ func (s *Scanner) initMetrics(validator *validate.Validator) {
 // (see metrics.NewServer) or programmatic inspection.
 func (s *Scanner) Registry() *metrics.Registry { return s.registry }
 
+// Trace exposes the scan's flight recorder (always non-nil after New).
+func (s *Scanner) Trace() *trace.Recorder { return s.trace }
+
+// TraceFaultShard returns the ring shard reserved for transport-layer
+// fault events (netsim scenario drops and the like). The single-writer
+// contract applies: a bridge feeding it from concurrent transport
+// goroutines must serialize its own Record calls.
+func (s *Scanner) TraceFaultShard() *trace.Shard { return s.trace.Shard(s.cfg.Threads + 1) }
+
+// WriteTrace snapshots the flight recorder and writes a dump: "jsonl"
+// (default) or "chrome" (trace-event JSON for Perfetto/about:tracing).
+// Safe to call at any time, including mid-scan — this is what SIGUSR1
+// handlers and the metrics server's /debug/trace endpoint serve.
+func (s *Scanner) WriteTrace(w io.Writer, format string) error {
+	snap := s.trace.Snapshot()
+	if format == "chrome" {
+		return snap.WriteChromeTrace(w)
+	}
+	return snap.WriteJSONL(w)
+}
+
 // Space exposes the target space (for tests and tooling).
 func (s *Scanner) Space() *cyclic.Space { return s.space }
 
@@ -832,6 +892,8 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 			defer s.threadDone[t].Store(true)
 			if err := s.superviseSender(sendCtx, t, base); err != nil {
 				abortedThreads.Add(1)
+				s.trace.Journal(trace.JEntry{Kind: trace.JAbort,
+					Name: fmt.Sprintf("thread-%d", t), Detail: err.Error()})
 				log.Error("sender aborted", "thread", t, "err", err)
 			}
 		}(t, base)
@@ -900,7 +962,11 @@ func (s *Scanner) Run(ctx context.Context) (*output.Metadata, error) {
 	log.Debug("senders finished; entering cooldown",
 		"cooldown", cfg.Cooldown, "cooldown_max", cfg.CooldownMax)
 	cooldownAt.Store(time.Now().UnixNano())
+	s.trace.Journal(trace.JEntry{Kind: trace.JCooldownBegin,
+		Detail: cfg.Cooldown.String(), WindowRecv: s.counters.Snapshot().Recv})
 	s.cooldownActual = s.runCooldown(ctx)
+	s.trace.Journal(trace.JEntry{Kind: trace.JCooldownEnd,
+		Detail: s.cooldownActual.String(), WindowRecv: s.counters.Snapshot().Recv})
 	s.markPhase("drain")
 	close(stopRecv)
 	<-recvDone
@@ -1001,6 +1067,13 @@ func (s *Scanner) writeCheckpoint(final bool) {
 		s.cfg.Logger.Error("checkpoint write failed", "path", s.cfg.CheckpointPath, "err", err)
 	} else {
 		s.ckptWrites.Add(1)
+		name := "periodic"
+		if final {
+			name = "final"
+		}
+		s.trace.Journal(trace.JEntry{Kind: trace.JCheckpoint, Name: name,
+			Phase: snap.Phase, WindowSent: snap.PacketsSent,
+			Detail: fmt.Sprintf("results_written=%d", n)})
 	}
 }
 
@@ -1090,6 +1163,12 @@ func (s *Scanner) statusExtra() func(st *monitor.Status, dt time.Duration) {
 		st.SendLatencyP50 = snap.Quantile(0.50).Seconds()
 		st.SendLatencyP90 = snap.Quantile(0.90).Seconds()
 		st.SendLatencyP99 = snap.Quantile(0.99).Seconds()
+		// One journal heartbeat per status tick puts the scan's coarse
+		// trajectory on the same timeline as the controller decisions.
+		s.trace.Journal(trace.JEntry{Kind: trace.JStatus,
+			RatePPS:    st.ControllerRatePPS,
+			WindowSent: st.Sent, WindowRecv: st.Recv,
+			HitRate: st.HitRate})
 	}
 }
 
@@ -1275,6 +1354,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 	}
 	rs := &rateState{s: s, thread: thread, limiter: limiter, share: share, rate: share, applied: share}
 	defer rs.finish()
+	tsh := s.trace.Shard(thread)
 
 	batchCap := cfg.BatchSize
 	if batchCap < cfg.ProbesPerTarget {
@@ -1309,6 +1389,11 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 		}
 	}
 	frames := make([][]byte, 0, batchCap)
+	// frameKeys runs parallel to frames: the packed trace key of each
+	// frame's target, zero for the (vast) unsampled majority. The flush
+	// and retry paths use it to record sent/retried/dropped events
+	// without re-deriving the target from frame bytes.
+	frameKeys := make([]uint64, 0, batchCap)
 	pending := make([]pendingElem, 0, batchCap)
 
 	it := a.Iterator(s.cycle)
@@ -1325,6 +1410,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 		// ring is full, the subshard ends, the context dies, or the
 		// MaxTargets budget runs out. Nothing here advances progress.
 		frames = frames[:0]
+		frameKeys = frameKeys[:0]
 		pending = pending[:0]
 		last := false
 		for len(frames)+cfg.ProbesPerTarget <= batchCap {
@@ -1374,6 +1460,12 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 					continue
 				}
 			}
+			// Flight recorder: the deterministic sample decision is one
+			// hash; only the 1-in-N sampled targets pay for Record calls.
+			tkey := s.trace.Key(ip, port)
+			if tkey != 0 {
+				tsh.Record(trace.KProbeGen, ip, port, 0)
+			}
 			pe := pendingElem{counted: true}
 			for p := 0; p < cfg.ProbesPerTarget; p++ {
 				slot := slots[len(frames)]
@@ -1393,7 +1485,11 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 					slot = built
 				}
 				frames = append(frames, slot)
+				frameKeys = append(frameKeys, tkey)
 				pe.frames++
+			}
+			if tkey != 0 && pe.frames > 0 {
+				tsh.Record(trace.KProbeRendered, ip, port, uint64(pe.frames))
 			}
 			if s.health != nil && pe.frames > 0 {
 				s.health.NoteSent(ip, uint64(pe.frames))
@@ -1403,7 +1499,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 
 		// Flush phase: tokens are drawn in batch grants and consumed only
 		// by frames that actually reach the transport.
-		handled, outcome, err := s.flushBatch(ctx, limiter, frames, rs, sendLat, backoffLat)
+		handled, outcome, err := s.flushBatch(ctx, limiter, frames, frameKeys, tsh, rs, sendLat, backoffLat)
 
 		// Resolve: elements whose frames all went out (and the zero-frame
 		// elements between them) advance progress; everything at or past
@@ -1448,7 +1544,7 @@ func (s *Scanner) sendLoop(ctx context.Context, thread int, a shard.Assignment) 
 // retries do not draw more (matching the per-probe loop, where one
 // Wait covered all attempts of a probe). Frames never attempted —
 // after a fatal error or cancellation — leave their tokens undrawn.
-func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, frames [][]byte, rs *rateState, sendLat, backoffLat *metrics.HistShard) (handled int, outcome sendOutcome, err error) {
+func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, frames [][]byte, keys []uint64, tsh *trace.Shard, rs *rateState, sendLat, backoffLat *metrics.HistShard) (handled int, outcome sendOutcome, err error) {
 	cfg := &s.cfg
 	idx := 0
 	tokens := 0
@@ -1479,6 +1575,19 @@ func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, fr
 		if sent > 0 {
 			s.counters.SentN(uint64(sent))
 			rs.clean(sent)
+			// Trace sampled frames with one amortized timestamp per
+			// SendBatch call — the per-event cost stays at RecordAt's
+			// benchmarked floor (see BenchmarkTraceRecord).
+			var ts int64
+			for _, k := range keys[idx : idx+sent] {
+				if k == 0 {
+					continue
+				}
+				if ts == 0 {
+					ts = s.trace.Now()
+				}
+				tsh.RecordKeyAt(ts, trace.KProbeSent, k, 0)
+			}
 			idx += sent
 			tokens -= sent
 		}
@@ -1496,14 +1605,16 @@ func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, fr
 			return idx, sendFatal, serr
 		}
 		// The failing frame retries alone; the rest of the batch waits.
-		rout, rerr := s.retryFrame(ctx, frames[idx], sendLat, backoffLat)
+		rout, rerr := s.retryFrame(ctx, frames[idx], keys[idx], tsh, sendLat, backoffLat)
 		switch rout {
 		case sendOK:
 			s.counters.Sent()
+			tsh.RecordKeyAt(s.trace.Now(), trace.KProbeSent, keys[idx], 0)
 		case sendDropped:
 			// Retry budget exhausted: the probe is lost, counted
 			// honestly, and the scan moves on (ZMap semantics).
 			s.counters.SendDrop()
+			tsh.RecordKeyAt(s.trace.Now(), trace.KProbeDropped, keys[idx], 0)
 			cfg.Logger.Debug("probe dropped after retries",
 				"thread", rs.thread, "err", rerr)
 		case sendCanceled:
@@ -1522,7 +1633,7 @@ func (s *Scanner) flushBatch(ctx context.Context, limiter *ratelimit.Limiter, fr
 // transiently: up to cfg.Retries re-sends with bounded exponential
 // backoff (on cfg.Clock), identical to the historical per-probe retry
 // policy. The caller has already counted the triggering SendError.
-func (s *Scanner) retryFrame(ctx context.Context, frame []byte, lat, backoff *metrics.HistShard) (sendOutcome, error) {
+func (s *Scanner) retryFrame(ctx context.Context, frame []byte, key uint64, tsh *trace.Shard, lat, backoff *metrics.HistShard) (sendOutcome, error) {
 	cfg := &s.cfg
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -1535,6 +1646,7 @@ func (s *Scanner) retryFrame(ctx context.Context, frame []byte, lat, backoff *me
 		default:
 		}
 		s.counters.Retry()
+		tsh.RecordKeyAt(s.trace.Now(), trace.KProbeRetry, key, uint64(attempt))
 		d := backoffFor(cfg.Backoff, attempt-1)
 		backoff.Record(d)
 		cfg.Clock.Sleep(d)
@@ -1619,6 +1731,13 @@ func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldown
 		return
 	}
 	s.counters.Valid()
+	// Flight recorder: the same stateless hash the send path used, so a
+	// sampled target's response events land on its send-side span.
+	traced := s.trace.Sampled(res.IP, res.Port)
+	if traced {
+		s.traceRecv.RecordAt(int64(t0.Sub(s.trace.Epoch())), trace.KRespReceived, res.IP, res.Port, 0)
+		s.traceRecv.Record(trace.KRespValidated, res.IP, res.Port, 0)
+	}
 	repeat := false
 	if s.deduper != nil {
 		s.dedupMu.Lock()
@@ -1632,6 +1751,13 @@ func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldown
 	}
 	if repeat {
 		s.counters.Duplicate()
+	}
+	if traced && s.deduper != nil {
+		var dup uint64
+		if repeat {
+			dup = 1
+		}
+		s.traceRecv.Record(trace.KRespDeduped, res.IP, res.Port, dup)
 	}
 	if res.Success {
 		s.counters.Success(!repeat)
@@ -1649,6 +1775,10 @@ func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldown
 	s.resultsMu.Unlock()
 	if err != nil {
 		cfg.Logger.Error("result write failed", "err", err)
+		return
+	}
+	if traced {
+		s.traceRecv.Record(trace.KRespWritten, res.IP, res.Port, 0)
 	}
 }
 

@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zmapgo/internal/trace"
 )
 
 // Defaults for Config fields left zero.
@@ -290,6 +292,11 @@ type Controller struct {
 	cfg      Config
 	adaptive bool
 
+	// journal, when set, receives one entry per control decision — the
+	// flight recorder's unsampled decision stream. Called only from Tick
+	// (under c.mu), so the sink needs no ordering of its own.
+	journal func(trace.JEntry)
+
 	rateBits atomic.Uint64 // math.Float64bits of the current target rate
 
 	sentTotal    atomic.Uint64
@@ -364,6 +371,16 @@ func NewController(cfg Config) *Controller {
 	}
 	c.storeRate(cfg.ConfiguredRate)
 	return c
+}
+
+// SetJournal attaches the decision journal sink (normally
+// trace.Recorder.Journal). Call before the scan starts.
+func (c *Controller) SetJournal(fn func(trace.JEntry)) { c.journal = fn }
+
+func (c *Controller) emit(e trace.JEntry) {
+	if c.journal != nil {
+		c.journal(e)
+	}
 }
 
 // Adaptive reports whether the AIMD loop is active (a configured rate
@@ -560,6 +577,10 @@ func (c *Controller) quarantinePass(now time.Time) {
 						rec:    len(c.records) - 1,
 					}
 				}
+				c.emit(trace.JEntry{
+					Kind: trace.JQuarantine, Prefix: q.Prefix,
+					WindowSent: wSent, WindowRecv: wRecv, Baseline: baseRate,
+				})
 				cfg.Logger.Warn("quarantining interfered prefix",
 					"prefix", q.Prefix, "sent", sent, "recv", recv,
 					"baseline_rate", baseRate)
@@ -605,6 +626,10 @@ func (c *Controller) parolePass(now time.Time) {
 			ps.grantAt = now
 			c.paroleCredit[p].Store(grant)
 			c.paroleGrants.Add(1)
+			c.emit(trace.JEntry{
+				Kind: trace.JParoleGrant, Prefix: rec.Prefix,
+				WindowSent: uint64(grant), Index: rec.ParoleAttempts + 1,
+			})
 			cfg.Logger.Info("parole window opened",
 				"prefix", rec.Prefix, "budget", grant, "attempt", rec.ParoleAttempts+1)
 			continue
@@ -631,6 +656,10 @@ func (c *Controller) parolePass(now time.Time) {
 				w.badTicks = 0
 			}
 			delete(c.parole, p)
+			c.emit(trace.JEntry{
+				Kind: trace.JParoleRelease, Prefix: rec.Prefix,
+				WindowSent: sent, WindowRecv: recv, Baseline: rec.BaseRate,
+			})
 			cfg.Logger.Info("parole release: prefix recovered",
 				"prefix", rec.Prefix, "parole_sent", sent, "parole_recv", recv)
 			continue
@@ -646,6 +675,10 @@ func (c *Controller) parolePass(now time.Time) {
 			rec.ParoleAttempts++
 			rec.ParoleSent += sent
 			rec.ParoleRecv += recv
+			c.emit(trace.JEntry{
+				Kind: trace.JParoleFail, Prefix: rec.Prefix,
+				WindowSent: sent, WindowRecv: recv, Index: rec.ParoleAttempts,
+			})
 		}
 	}
 }
@@ -668,6 +701,7 @@ func (c *Controller) aimdPass(now time.Time) {
 	recv := c.recvTotal.Load()
 	unr := c.unreachTotal.Load()
 	dSent := sent - c.lastSent
+	dRecv := recv - c.lastRecv
 	dUnr := unr - c.lastUnr
 	if dSent < cfg.MinWindowProbes {
 		return // too quiet to judge; keep the anchors where they are
@@ -679,7 +713,7 @@ func (c *Controller) aimdPass(now time.Time) {
 		// A congested window must not leak into the hit-rate evidence.
 		c.evSent, c.evRecv, c.evAt = sent, recv, now
 		c.collapseStreak = 0
-		c.decrease(now, "unreach_spike", unrFrac)
+		c.decrease(now, "unreach_spike", unrFrac, dSent, dRecv, 0)
 		return
 	}
 
@@ -708,7 +742,7 @@ func (c *Controller) aimdPass(now time.Time) {
 			c.collapseStreak++
 			if c.collapseStreak >= cfg.CollapseWindows {
 				c.collapseStreak = 0
-				c.decrease(now, "hit_rate_collapse", unrFrac)
+				c.decrease(now, "hit_rate_collapse", unrFrac, evSent, evRecv, hitRate)
 			}
 			return
 		}
@@ -734,6 +768,10 @@ func (c *Controller) aimdPass(now time.Time) {
 		}
 		c.storeRate(next)
 		c.increases.Add(1)
+		c.emit(trace.JEntry{
+			Kind: trace.JRateIncrease, RatePPS: next,
+			WindowSent: dSent, WindowRecv: dRecv, Baseline: c.baseline,
+		})
 	}
 }
 
@@ -742,7 +780,7 @@ func (c *Controller) aimdPass(now time.Time) {
 // suppressed signals, so a sustained unreachable storm cuts the rate
 // once per period — stepping down, never spiraling — and the floor is
 // always MinRate.
-func (c *Controller) decrease(now time.Time, reason string, unrFrac float64) {
+func (c *Controller) decrease(now time.Time, reason string, unrFrac float64, wSent, wRecv uint64, hitRate float64) {
 	cfg := &c.cfg
 	if now.Before(c.holdUntil) {
 		cfg.Logger.Debug("congestion signal suppressed inside hold",
@@ -757,6 +795,11 @@ func (c *Controller) decrease(now time.Time, reason string, unrFrac float64) {
 	if next != rate {
 		c.storeRate(next)
 		c.decreases.Add(1)
+		c.emit(trace.JEntry{
+			Kind: trace.JRateDecrease, Reason: reason, RatePPS: next,
+			WindowSent: wSent, WindowRecv: wRecv,
+			UnreachFrac: unrFrac, HitRate: hitRate, Baseline: c.baseline,
+		})
 		cfg.Logger.Warn("congestion signal; decreasing rate",
 			"reason", reason, "rate_pps", next,
 			"window_unreach_frac", unrFrac,

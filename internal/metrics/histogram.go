@@ -132,8 +132,17 @@ func (h *Histogram) Snapshot() HistSnapshot {
 }
 
 // Quantile returns the q-th quantile (q in [0, 1]) as a duration,
-// interpolating linearly inside the landing bucket. Zero observations
-// yield zero.
+// interpolating linearly inside the landing bucket.
+//
+// Edge cases are pinned (see TestQuantileEdgeCases):
+//   - An empty histogram returns 0 for every q.
+//   - A single observation v returns the upper bound of v's bucket for
+//     every q — exact for v < 8ns (unit buckets), and at most 12.5%
+//     above v otherwise (the bucket's relative width). Interpolation
+//     cannot refine a one-sample bucket, and the conservative edge is
+//     the honest one for a latency report.
+//   - q outside [0, 1] is clamped, so Quantile(-1) == Quantile(0) and
+//     Quantile(2) == Quantile(1).
 func (s *HistSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0

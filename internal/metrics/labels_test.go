@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseExposition is a line-level reader for the text exposition format,
+// good enough to round-trip what WritePrometheus emits: it returns
+// series → value, with label values unescaped.
+func parseExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, labels := "", "", ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces: %q", line)
+			}
+			labels = line[i+1 : j]
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("no value on line %q", line)
+			}
+			name, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+		}
+		key := name
+		if labels != "" {
+			key = name + "|" + canonLabels(t, labels)
+		}
+		out[key] = rest
+	}
+	return out
+}
+
+// canonLabels parses `k="v",k2="v2"` honoring escapes, and re-renders
+// the pairs with unescaped values as k=v;k2=v2.
+func canonLabels(t *testing.T, s string) string {
+	t.Helper()
+	var parts []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			t.Fatalf("bad label block tail %q", s)
+		}
+		key := s[:eq]
+		var val strings.Builder
+		i := eq + 2
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '"', '\\':
+					val.WriteByte(s[i])
+				default:
+					t.Fatalf("unknown escape \\%c in %q", s[i], s)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) || s[i] != '"' {
+			t.Fatalf("unterminated label value in %q", s)
+		}
+		parts = append(parts, key+"="+val.String())
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// TestLabelEscapingRoundTrip pins the satellite fix: label values
+// containing backslash, double quote, and newline survive exposition
+// and parse back to the original bytes.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	nasty := []string{
+		`plain`,
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`all\three" of\nthem` + "\n",
+	}
+	r := NewRegistry()
+	for i, v := range nasty {
+		r.CounterWith("zmapgo_test_total", "labeled counter", "class", v).Add(uint64(i + 1))
+	}
+	r.GaugeWith("zmapgo_test_gauge", "labeled gauge", "kind", nasty[4]).Set(2.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "\r") {
+			t.Fatalf("raw control char leaked into exposition: %q", line)
+		}
+	}
+	series := parseExposition(t, text)
+	for i, v := range nasty {
+		key := "zmapgo_test_total|class=" + v
+		if got := series[key]; got != fmt.Sprint(i+1) {
+			t.Errorf("series %q = %q, want %d (have %v)", key, got, i+1, series)
+		}
+	}
+	if got := series["zmapgo_test_gauge|kind="+nasty[4]]; got != "2.5" {
+		t.Errorf("gauge series lost: %v", series)
+	}
+	// One HELP/TYPE block per bare name, not per series.
+	if n := strings.Count(text, "# TYPE zmapgo_test_total counter"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want once:\n%s", n, text)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		`a\b`:         `a\\b`,
+		`a"b`:         `a\"b`,
+		"a\nb":        `a\nb`,
+		`a\"b` + "\n": `a\\\"b\n`,
+	}
+	for in, want := range cases {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestQuantileEdgeCases pins the documented Quantile contract for the
+// empty and single-observation histograms, and q clamping.
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []time.Duration
+		q    float64
+		want time.Duration
+	}{
+		{"empty q0", nil, 0, 0},
+		{"empty q0.5", nil, 0.5, 0},
+		{"empty q1", nil, 1, 0},
+		{"empty q>1 clamped", nil, 2, 0},
+		// Unit buckets (v < 8ns) are exact for a single observation.
+		{"single 0ns", []time.Duration{0}, 0.5, 0},
+		{"single 5ns q0", []time.Duration{5}, 0, 5},
+		{"single 5ns q1", []time.Duration{5}, 1, 5},
+		// Larger single observations report the landing bucket's upper
+		// bound for every q: 100ns lands in [96, 103].
+		{"single 100ns q0", []time.Duration{100}, 0, 103},
+		{"single 100ns q0.5", []time.Duration{100}, 0.5, 103},
+		{"single 100ns q1", []time.Duration{100}, 1, 103},
+		{"single 100ns q<0 clamped", []time.Duration{100}, -1, 103},
+		{"single 100ns q>1 clamped", []time.Duration{100}, 7, 103},
+		// Negative durations count as zero observations of 0ns.
+		{"single negative", []time.Duration{-50}, 1, 0},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(1)
+		for _, d := range tc.obs {
+			h.Record(d)
+		}
+		s := h.Snapshot()
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	// Clamping equivalences on a multi-observation histogram.
+	h := NewHistogram(1)
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Quantile(-3) != s.Quantile(0) {
+		t.Error("q<0 not clamped to 0")
+	}
+	if s.Quantile(42) != s.Quantile(1) {
+		t.Error("q>1 not clamped to 1")
+	}
+}
+
+// TestServerHealthzAndShutdown pins the satellite endpoint: /healthz is
+// ready until Shutdown, which also actually releases the listener.
+func TestServerHealthzAndShutdown(t *testing.T) {
+	r := NewRegistry()
+	s, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get("/debug/trace"); code != 404 {
+		t.Fatalf("/debug/trace with no recorder = %d, want 404", code)
+	}
+	s.SetTraceSource(func(w io.Writer, format string) error {
+		fmt.Fprintf(w, `{"type":"meta","format":%q}`+"\n", format)
+		return nil
+	})
+	if code, body := get("/debug/trace"); code != 200 || !strings.Contains(body, `"jsonl"`) {
+		t.Fatalf("/debug/trace = %d %q", code, body)
+	}
+	if code, body := get("/debug/trace?format=chrome"); code != 200 || !strings.Contains(body, `"chrome"`) {
+		t.Fatalf("/debug/trace?format=chrome = %d %q", code, body)
+	}
+	if code, _ := get("/debug/trace?format=bogus"); code != 400 {
+		t.Fatalf("bad format accepted: %d", code)
+	}
+
+	s.SetReady(false)
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unready /healthz = %d, want 503", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}

@@ -69,11 +69,13 @@ const (
 	kindHistogram
 )
 
-// entry is one registered metric.
+// entry is one registered metric series: a bare name plus a pre-rendered
+// (already escaped) label block, empty for unlabeled metrics.
 type entry struct {
-	name string
-	help string
-	kind metricKind
+	name   string
+	labels string // `{k="v",...}` or ""
+	help   string
+	kind   metricKind
 
 	counter *Counter
 	gauge   *Gauge
@@ -92,34 +94,78 @@ type entry struct {
 type Registry struct {
 	mu      sync.Mutex
 	order   []*entry
-	entries map[string]*entry
+	entries map[string]*entry     // keyed by name+labels (one per series)
+	kinds   map[string]metricKind // keyed by bare name (TYPE consistency)
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{
+		entries: make(map[string]*entry),
+		kinds:   make(map[string]metricKind),
+	}
 }
 
-// lookup returns the entry for name, creating it with the given kind if
-// absent. Panics on a kind mismatch.
-func (r *Registry) lookup(name, help string, kind metricKind) (*entry, bool) {
+// EscapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and line feed become
+// `\\`, `\"`, and `\n`.
+func EscapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\"", `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// renderLabels builds the `{k="v",...}` block from alternating
+// key/value pairs, escaping each value. Odd trailing keys are dropped.
+func renderLabels(pairs []string) string {
+	if len(pairs) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the entry for the (name, labels) series, creating it
+// with the given kind if absent. Panics if the bare name is already
+// registered with a different kind.
+func (r *Registry) lookup(name, labels, help string, kind metricKind) (*entry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.entries[name]; ok {
-		if e.kind != kind {
-			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
-		}
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
+	}
+	r.kinds[name] = kind
+	series := name + labels
+	if e, ok := r.entries[series]; ok {
 		return e, true
 	}
-	e := &entry{name: name, help: help, kind: kind}
-	r.entries[name] = e
+	e := &entry{name: name, labels: labels, help: help, kind: kind}
+	r.entries[series] = e
 	r.order = append(r.order, e)
 	return e, false
 }
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name, help string) *Counter {
-	e, existed := r.lookup(name, help, kindCounter)
+	return r.CounterWith(name, help)
+}
+
+// CounterWith returns the counter series for name plus alternating
+// label key/value pairs (values are escaped at registration), creating
+// it if needed.
+func (r *Registry) CounterWith(name, help string, labelPairs ...string) *Counter {
+	e, existed := r.lookup(name, renderLabels(labelPairs), help, kindCounter)
 	if !existed {
 		e.counter = &Counter{}
 	}
@@ -128,7 +174,13 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	e, existed := r.lookup(name, help, kindGauge)
+	return r.GaugeWith(name, help)
+}
+
+// GaugeWith returns the gauge series for name plus alternating label
+// key/value pairs, creating it if needed.
+func (r *Registry) GaugeWith(name, help string, labelPairs ...string) *Gauge {
+	e, existed := r.lookup(name, renderLabels(labelPairs), help, kindGauge)
 	if !existed {
 		e.gauge = &Gauge{}
 	}
@@ -139,7 +191,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // fn at exposition time. Use it to expose atomics that already exist
 // (e.g. monitor.Counters) without double bookkeeping on the hot path.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
-	e, _ := r.lookup(name, help, kindCounterFunc)
+	r.CounterFuncWith(name, help, fn)
+}
+
+// CounterFuncWith is CounterFunc for a labeled series.
+func (r *Registry) CounterFuncWith(name, help string, fn func() uint64, labelPairs ...string) {
+	e, _ := r.lookup(name, renderLabels(labelPairs), help, kindCounterFunc)
 	r.mu.Lock()
 	e.cfn = fn
 	r.mu.Unlock()
@@ -147,7 +204,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
 
 // GaugeFunc registers a read-only gauge computed by fn at exposition.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	e, _ := r.lookup(name, help, kindGaugeFunc)
+	e, _ := r.lookup(name, "", help, kindGaugeFunc)
 	r.mu.Lock()
 	e.gfn = fn
 	r.mu.Unlock()
@@ -156,8 +213,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // Histogram returns the named histogram, creating it with the given
 // shard count if needed. Shards decouple writer threads: give each
 // sender thread its own shard index and records never contend.
+// Histograms do not take labels: the le series would collide.
 func (r *Registry) Histogram(name, help string, shards int) *Histogram {
-	e, existed := r.lookup(name, help, kindHistogram)
+	e, existed := r.lookup(name, "", help, kindHistogram)
 	if !existed {
 		e.hist = NewHistogram(shards)
 	}
@@ -182,7 +240,12 @@ func (r *Registry) sortedSnapshot() []*entry {
 	defer r.mu.Unlock()
 	out := make([]*entry, len(r.order))
 	copy(out, r.order)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
 	return out
 }
 

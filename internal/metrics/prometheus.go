@@ -12,22 +12,40 @@ import (
 // scrape-side quantile while keeping pages small — plus _sum and _count
 // in seconds, per Prometheus convention for latency histograms.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	prevName := ""
 	for _, e := range r.sortedSnapshot() {
-		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, sanitizeHelp(e.help)); err != nil {
+		// Labeled series of one metric share a single HELP/TYPE block.
+		if e.name != prevName {
+			prevName = e.name
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, sanitizeHelp(e.help)); err != nil {
+					return err
+				}
+			}
+			var typ string
+			switch e.kind {
+			case kindCounter, kindCounterFunc:
+				typ = "counter"
+			case kindGauge, kindGaugeFunc:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, typ); err != nil {
 				return err
 			}
 		}
+		series := e.name + e.labels
 		var err error
 		switch e.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", series, e.counter.Value())
 		case kindCounterFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.cfn())
+			_, err = fmt.Fprintf(w, "%s %d\n", series, e.cfn())
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.gauge.Value()))
+			_, err = fmt.Fprintf(w, "%s %s\n", series, formatFloat(e.gauge.Value()))
 		case kindGaugeFunc:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.gfn()))
+			_, err = fmt.Fprintf(w, "%s %s\n", series, formatFloat(e.gfn()))
 		case kindHistogram:
 			err = writeHistogram(w, e.name, e.hist.Snapshot())
 		}
@@ -43,11 +61,9 @@ func formatFloat(v float64) string {
 }
 
 // writeHistogram emits cumulative le buckets at octave-final boundaries
-// between the first and last non-empty buckets.
+// between the first and last non-empty buckets. The TYPE line is the
+// caller's job (WritePrometheus groups it with HELP).
 func writeHistogram(w io.Writer, name string, s HistSnapshot) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
-	}
 	first, last := -1, -1
 	for i, c := range s.Counts {
 		if c == 0 {

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"zmapgo/internal/trace"
+)
+
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestServerHealthzReadiness: /healthz answers 200 while serving and
+// 503 once the scan marks the server draining — the contract an
+// orchestrator's readiness probe relies on.
+func TestServerHealthzReadiness(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.Addr(), "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("ready server: status %d body %q, want 200 ok", code, body)
+	}
+	srv.SetReady(false)
+	if code, body := get(t, srv.Addr(), "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining server: status %d body %q, want 503 draining", code, body)
+	}
+	srv.SetReady(true)
+	if code, _ := get(t, srv.Addr(), "/healthz"); code != http.StatusOK {
+		t.Errorf("re-readied server: status %d, want 200", code)
+	}
+}
+
+// TestServerDebugTraceEndpoint: /debug/trace is 404 until a recorder is
+// attached, then serves parseable JSONL and chrome dumps with the right
+// content types, and 400s unknown formats.
+func TestServerDebugTraceEndpoint(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, _ := get(t, srv.Addr(), "/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("unattached /debug/trace: status %d, want 404", code)
+	}
+
+	rec := trace.New(trace.Config{Shards: 1})
+	rec.Shard(0).Record(trace.KProbeSent, 0x0a000001, 80, 0)
+	rec.Journal(trace.JEntry{Kind: trace.JPhase, Phase: "send"})
+	srv.SetTraceSource(func(w io.Writer, format string) error {
+		snap := rec.Snapshot()
+		if format == "chrome" {
+			return snap.WriteChromeTrace(w)
+		}
+		return snap.WriteJSONL(w)
+	})
+
+	code, body := get(t, srv.Addr(), "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", code)
+	}
+	snap, err := trace.ReadJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("served JSONL does not parse: %v", err)
+	}
+	if len(snap.Events) != 1 || len(snap.Journal) != 1 {
+		t.Errorf("served snapshot: %d events, %d journal entries, want 1+1",
+			len(snap.Events), len(snap.Journal))
+	}
+	if code, body := get(t, srv.Addr(), "/debug/trace?format=chrome"); code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Errorf("chrome dump: status %d body %q", code, body)
+	}
+	if code, _ := get(t, srv.Addr(), "/debug/trace?format=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bogus format: status %d, want 400", code)
+	}
+}
+
+// TestServerShutdownReleasesListener: Shutdown marks the server
+// draining, stops accepting, and frees the port — the listener must not
+// leak past scan end (it used to).
+func TestServerShutdownReleasesListener(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+	// The port is actually free again: a fresh server can bind it.
+	srv2, err := NewServer(addr, NewRegistry())
+	if err != nil {
+		t.Fatalf("rebind %s after shutdown: %v", addr, err)
+	}
+	srv2.Close()
+}

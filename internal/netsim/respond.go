@@ -291,7 +291,10 @@ type Link struct {
 	// weather, when set, plays a scripted fault scenario over the link
 	// (see scenario.go): forward effects before the host model responds,
 	// reverse effects on each response before it is scheduled.
-	weather *Weather
+	// weatherObs is instrumentation attached via SetWeatherObserver,
+	// kept on the link so it survives a later SetWeather.
+	weather    *Weather
+	weatherObs WeatherObserver
 
 	mu      sync.Mutex
 	closed  bool

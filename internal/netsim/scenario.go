@@ -126,6 +126,31 @@ const (
 	wxDrawJitter
 )
 
+// WeatherObserver receives a playing weather layer's lifecycle, for the
+// scan flight recorder (or any other instrumentation) to put scenario
+// faults on the same timeline as the controller's decisions. Like
+// DelayRecorder, it is a local interface so netsim stays free of
+// dependencies on the instrumentation layer.
+//
+// WeatherTransition fires once when an event's window opens (began=true)
+// and once when it closes; an event with no end stays open. WeatherDrop
+// fires for every probe or response a scripted fault consumes. Both may
+// be called concurrently from sender goroutines; implementations must be
+// safe for concurrent use.
+type WeatherObserver interface {
+	WeatherTransition(began bool, index int, ev ScenarioEvent, at time.Duration)
+	WeatherDrop(class string, dst uint32, at time.Duration)
+}
+
+// Weather-drop classes passed to WeatherObserver.WeatherDrop.
+const (
+	WeatherDropBlackout = "blackout"
+	WeatherDropBursty   = "bursty_loss"
+	WeatherDropForward  = "asym_forward"
+	WeatherDropReverse  = "asym_reverse"
+	WeatherDropKnee     = "knee"
+)
+
 // weatherEvent is one compiled scenario event with its runtime state.
 type weatherEvent struct {
 	ScenarioEvent
@@ -133,6 +158,10 @@ type weatherEvent struct {
 	at, until  time.Duration
 	prefixNet  uint32
 	prefixMask uint32 // 0 = matches everything
+
+	// announced tracks observer notification: 0 pending, 1 begun, 2
+	// ended. CAS transitions so concurrent senders announce once.
+	announced atomic.Uint32
 
 	knee  *tokenBucket // cross_traffic capacity
 	icmp  *tokenBucket // cross_traffic unreachable budget
@@ -170,6 +199,8 @@ type Weather struct {
 	startMu sync.Mutex
 	started bool
 	start   time.Time
+
+	observer WeatherObserver // nil = unobserved
 
 	burstyDropped   atomic.Uint64
 	blackoutDropped atomic.Uint64
@@ -244,6 +275,10 @@ func (w *Weather) Stats() WeatherStats {
 	}
 }
 
+// SetObserver attaches lifecycle instrumentation. Call before the scan
+// starts; concurrent Sends observe it racily otherwise.
+func (w *Weather) SetObserver(obs WeatherObserver) { w.observer = obs }
+
 // elapsed converts wall time to the scenario clock, anchoring the clock
 // at the first call (the link's first probe).
 func (w *Weather) elapsed(now time.Time) time.Duration {
@@ -255,6 +290,37 @@ func (w *Weather) elapsed(now time.Time) time.Duration {
 	start := w.start
 	w.startMu.Unlock()
 	return now.Sub(start)
+}
+
+// notice announces event-window transitions to the observer. Called per
+// probe from the send path: transitions are detected at packet times, so
+// an end is announced on the first probe after the window closes. The
+// per-event check is two time comparisons; the CAS runs only at the
+// transitions themselves.
+func (w *Weather) notice(el time.Duration) {
+	obs := w.observer
+	if obs == nil {
+		return
+	}
+	for _, ev := range w.events {
+		switch ev.announced.Load() {
+		case 0:
+			if el >= ev.at && ev.announced.CompareAndSwap(0, 1) {
+				obs.WeatherTransition(true, int(ev.idx), ev.ScenarioEvent, el)
+			}
+		case 1:
+			if el >= ev.until && ev.announced.CompareAndSwap(1, 2) {
+				obs.WeatherTransition(false, int(ev.idx), ev.ScenarioEvent, el)
+			}
+		}
+	}
+}
+
+// noteDrop reports one fault-consumed packet to the observer.
+func (w *Weather) noteDrop(class string, dst uint32, el time.Duration) {
+	if obs := w.observer; obs != nil {
+		obs.WeatherDrop(class, dst, el)
+	}
 }
 
 // draw produces one uniform decision for (event, domain, ordinal) —
@@ -304,6 +370,7 @@ type forwardDecision struct {
 // for observed probes regardless of their fate — so they are evaluated
 // for every probe.
 func (w *Weather) forwardDecide(dst uint32, isV4 bool, el time.Duration) forwardDecision {
+	w.notice(el)
 	var d forwardDecision
 	for _, ev := range w.events {
 		if !ev.active(el) || !ev.matches(dst, isV4) {
@@ -325,21 +392,25 @@ func (w *Weather) forwardDecide(dst uint32, isV4 bool, el time.Duration) forward
 		switch ev.Type {
 		case ScenarioBlackout:
 			w.blackoutDropped.Add(1)
+			w.noteDrop(WeatherDropBlackout, dst, el)
 			d.drop = true
 		case ScenarioBurstyLoss:
 			if w.geDrop(ev) {
 				w.burstyDropped.Add(1)
+				w.noteDrop(WeatherDropBursty, dst, el)
 				d.drop = true
 			}
 		case ScenarioAsymLoss:
 			if ev.ForwardLoss > 0 &&
 				w.draw(ev, wxDrawForward, ev.fwdOrd.Add(1)) < ev.ForwardLoss {
 				w.forwardDropped.Add(1)
+				w.noteDrop(WeatherDropForward, dst, el)
 				d.drop = true
 			}
 		case ScenarioCrossTraffic:
 			if !ev.knee.take(el.Seconds()) {
 				w.kneeDropped.Add(1)
+				w.noteDrop(WeatherDropKnee, dst, el)
 				d.drop = true
 				if ev.ICMPPPS > 0 && isV4 && ev.icmp.take(el.Seconds()) {
 					d.kneeICMP = true
@@ -362,6 +433,7 @@ func (w *Weather) reverseDecide(src uint32, el time.Duration) (drop bool, extra 
 			if ev.ReverseLoss > 0 &&
 				w.draw(ev, wxDrawReverse, ev.revOrd.Add(1)) < ev.ReverseLoss {
 				w.reverseDropped.Add(1)
+				w.noteDrop(WeatherDropReverse, src, el)
 				return true, 0
 			}
 		case ScenarioLatency:
@@ -387,7 +459,23 @@ func (w *Weather) reverseDecide(src uint32, el time.Duration) (drop bool, extra 
 
 // SetWeather installs a compiled weather layer on the link. Call before
 // the scan starts; concurrent Sends observe it racily otherwise.
-func (l *Link) SetWeather(w *Weather) { l.weather = w }
+func (l *Link) SetWeather(w *Weather) {
+	l.weather = w
+	if l.weatherObs != nil {
+		w.SetObserver(l.weatherObs)
+	}
+}
+
+// SetWeatherObserver attaches scenario instrumentation to the link's
+// weather layer — now if one is installed, or at SetWeather time
+// otherwise, so Compile-time wiring works in either order. Call before
+// the scan starts.
+func (l *Link) SetWeatherObserver(obs WeatherObserver) {
+	l.weatherObs = obs
+	if l.weather != nil {
+		l.weather.SetObserver(obs)
+	}
+}
 
 // WeatherStats reports the installed weather layer's counters (zero
 // value when no scenario is installed).

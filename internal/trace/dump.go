@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Dump formats. JSONL is the machine-readable interchange format
+// (consumed by `zanalyze trace`); Chrome trace-event JSON loads
+// directly into chrome://tracing or Perfetto for a visual timeline.
+
+// MetaLine is the first line of a JSONL dump.
+type MetaLine struct {
+	Type        string `json:"type"` // "meta"
+	Version     int    `json:"v"`
+	EpochUnixNS int64  `json:"epoch_unix_ns"`
+	SampleEvery int    `json:"sample_every"`
+	Shards      int    `json:"shards"`
+	RingSize    int    `json:"ring_size"`
+	JournalDrop uint64 `json:"journal_dropped,omitempty"`
+}
+
+// RingLine is one ring event in a JSONL dump.
+type RingLine struct {
+	Type  string `json:"type"` // "ring"
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	TS    int64  `json:"ts_ns"`
+	Kind  string `json:"kind"`
+	IP    string `json:"ip"`
+	Port  uint16 `json:"port"`
+	Val   uint64 `json:"val,omitempty"`
+}
+
+// JournalLine is one journal entry in a JSONL dump.
+type JournalLine struct {
+	Type string `json:"type"` // "journal"
+	JEntry
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+func parseIP(s string) uint32 {
+	var a, b, c, d uint32
+	fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d)
+	return a<<24 | b<<16 | c<<8 | d
+}
+
+// WriteJSONL writes the snapshot as one JSON object per line: a meta
+// header, then ring and journal lines merged in timestamp order.
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(MetaLine{
+		Type:        "meta",
+		Version:     1,
+		EpochUnixNS: s.Epoch.UnixNano(),
+		SampleEvery: s.SampleEvery,
+		Shards:      s.Shards,
+		RingSize:    s.RingSize,
+		JournalDrop: s.JournalDrop,
+	}); err != nil {
+		return err
+	}
+	// Merge the two ts-sorted streams. The journal is already in append
+	// (≈ timestamp) order; ring events are sorted by Snapshot.
+	ei, ji := 0, 0
+	for ei < len(s.Events) || ji < len(s.Journal) {
+		if ji >= len(s.Journal) || (ei < len(s.Events) && s.Events[ei].TS <= s.Journal[ji].TS) {
+			e := s.Events[ei]
+			ei++
+			if err := enc.Encode(RingLine{
+				Type: "ring", Shard: e.Shard, Seq: e.Seq, TS: e.TS,
+				Kind: e.Kind.String(), IP: ipString(e.IP), Port: e.Port, Val: e.Val,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := enc.Encode(JournalLine{Type: "journal", JEntry: s.Journal[ji]}); err != nil {
+			return err
+		}
+		ji++
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL dump back into a Snapshot. zanalyze and the
+// round-trip tests share this so the format has one reader.
+func ReadJSONL(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	snap := &Snapshot{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("trace dump line %d: %w", lineNo, err)
+		}
+		switch probe.Type {
+		case "meta":
+			var m MetaLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, fmt.Errorf("trace dump line %d: %w", lineNo, err)
+			}
+			snap.Epoch = time.Unix(0, m.EpochUnixNS)
+			snap.SampleEvery = m.SampleEvery
+			snap.Shards = m.Shards
+			snap.RingSize = m.RingSize
+			snap.JournalDrop = m.JournalDrop
+		case "ring":
+			var rl RingLine
+			if err := json.Unmarshal(line, &rl); err != nil {
+				return nil, fmt.Errorf("trace dump line %d: %w", lineNo, err)
+			}
+			snap.Events = append(snap.Events, Event{
+				Shard: rl.Shard, Seq: rl.Seq, TS: rl.TS,
+				Kind: KindByName(rl.Kind), IP: parseIP(rl.IP), Port: rl.Port, Val: rl.Val,
+			})
+		case "journal":
+			var jl JournalLine
+			if err := json.Unmarshal(line, &jl); err != nil {
+				return nil, fmt.Errorf("trace dump line %d: %w", lineNo, err)
+			}
+			snap.Journal = append(snap.Journal, jl.JEntry)
+		default:
+			return nil, fmt.Errorf("trace dump line %d: unknown type %q", lineNo, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// chromeEvent is one entry in the Chrome trace-event JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the snapshot in Chrome trace-event JSON
+// (chrome://tracing / Perfetto): ring events as thread-scoped instants
+// per shard, sampled probe lifecycles as async spans keyed by target,
+// the controller rate as a counter track, and every journal entry as a
+// process-scoped instant.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	us := func(ts int64) float64 { return float64(ts) / 1e3 }
+
+	// Lifecycle spans: first→last ring event per (ip, port).
+	type span struct{ first, last int64 }
+	spans := make(map[uint64]*span)
+	for _, e := range s.Events {
+		key := uint64(e.IP)<<16 | uint64(e.Port)
+		sp := spans[key]
+		if sp == nil {
+			spans[key] = &span{first: e.TS, last: e.TS}
+			continue
+		}
+		if e.TS < sp.first {
+			sp.first = e.TS
+		}
+		if e.TS > sp.last {
+			sp.last = e.TS
+		}
+	}
+	for key, sp := range spans {
+		if sp.last == sp.first {
+			continue
+		}
+		name := fmt.Sprintf("%s:%d", ipString(uint32(key>>16)), uint16(key))
+		evs = append(evs,
+			chromeEvent{Name: name, Cat: "lifecycle", Phase: "b", TS: us(sp.first), PID: 1, TID: 0, ID: name},
+			chromeEvent{Name: name, Cat: "lifecycle", Phase: "e", TS: us(sp.last), PID: 1, TID: 0, ID: name},
+		)
+	}
+
+	for _, e := range s.Events {
+		evs = append(evs, chromeEvent{
+			Name: e.Kind.String(), Cat: "probe", Phase: "i",
+			TS: us(e.TS), PID: 1, TID: e.Shard + 1, Scope: "t",
+			Args: map[string]any{"ip": ipString(e.IP), "port": e.Port, "val": e.Val},
+		})
+	}
+
+	for _, j := range s.Journal {
+		if j.Kind == JRateDecrease || j.Kind == JRateIncrease {
+			evs = append(evs, chromeEvent{
+				Name: "controller_rate_pps", Phase: "C", TS: us(j.TS), PID: 1, TID: 0,
+				Args: map[string]any{"pps": j.RatePPS},
+			})
+		}
+		args := map[string]any{}
+		if j.Reason != "" {
+			args["reason"] = j.Reason
+		}
+		if j.Prefix != "" {
+			args["prefix"] = j.Prefix
+		}
+		if j.Phase != "" {
+			args["phase"] = j.Phase
+		}
+		if j.Name != "" {
+			args["name"] = j.Name
+		}
+		if j.RatePPS != 0 {
+			args["rate_pps"] = j.RatePPS
+		}
+		if j.Detail != "" {
+			args["detail"] = j.Detail
+		}
+		evs = append(evs, chromeEvent{
+			Name: j.Kind, Cat: "journal", Phase: "i",
+			TS: us(j.TS), PID: 1, TID: 0, Scope: "p", Args: args,
+		})
+	}
+
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -50,4 +50,22 @@ go test -race -count=1 \
     -run 'TestBurstyLossDoesNotCollapseAdaptiveRate|TestBlackoutQuarantineParoleRelease|TestParoleSurvivesKillAndResume|TestUnreachStormClampedEndToEnd' \
     ./zmap
 
+echo "==> flight recorder: SIGUSR1 dump, scenario attribution, overhead budget"
+go test -race -count=1 \
+    -run 'TestCLISigusr1DumpsTraceMidScan' ./cmd/zmapgo
+go test -race -count=1 \
+    -run 'TestZAnalyzeTraceAttributesScenarioRun' ./cmd/zanalyze
+go test -count=1 \
+    -run 'TestTracingOverheadWithinTwoPercent' ./zmap
+
+echo "==> trace-dump smoke: scan with --trace-file, analyze with zanalyze trace"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/zmapgo -r 10.0.0.0/22 -p 80 --seed 5 --sim-lossless \
+    --sim-time-scale 0 --cooldown-time 50ms --trace-sample-every 4 \
+    --trace-file "$tracedir/trace.jsonl" -o /dev/null
+go run ./cmd/zanalyze trace -strict "$tracedir/trace.jsonl" > "$tracedir/report.txt"
+grep -q "stage latencies" "$tracedir/report.txt" \
+    || { echo "zanalyze trace produced no latency report" >&2; exit 1; }
+
 echo "OK"

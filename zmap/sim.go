@@ -255,6 +255,13 @@ func (l *Link) SetSimDelayRecorder(r interface{ Record(d time.Duration) }) {
 	l.inner.SetDelayRecorder(r)
 }
 
+// SetWeatherObserver forwards scenario instrumentation to the link's
+// weather layer. Compile calls this automatically so scenario events
+// and fault drops land in the scan's flight recorder.
+func (l *Link) SetWeatherObserver(obs netsim.WeatherObserver) {
+	l.inner.SetWeatherObserver(obs)
+}
+
 // Send implements Transport.
 func (l *Link) Send(frame []byte) error {
 	if l.send != nil {

@@ -1,0 +1,70 @@
+package zmap
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"zmapgo/internal/netsim"
+	"zmapgo/internal/trace"
+)
+
+// FlightRecorder is the scan's always-on, bounded-memory event tracer:
+// sampled probe-lifecycle spans in per-thread ring buffers plus a
+// complete journal of controller decisions (rate cuts and recoveries
+// with their evidence windows, quarantine, parole, cooldown, phase
+// changes, checkpoints, scenario faults). Obtain one from
+// Scanner.Trace; dump it with Scanner.WriteTrace, the metrics server's
+// /debug/trace endpoint, or (in the CLI) SIGUSR1.
+type FlightRecorder = trace.Recorder
+
+// Trace returns the scan's flight recorder. Valid before, during, and
+// after Run.
+func (s *Scanner) Trace() *FlightRecorder { return s.inner.Trace() }
+
+// WriteTrace snapshots the flight recorder and writes a dump: "jsonl"
+// (one meta line, then ring and journal lines merged by timestamp) or
+// "chrome" (trace-event JSON loadable in Perfetto or about:tracing).
+// Safe at any time, including mid-scan from a signal handler. Analyze
+// JSONL dumps offline with `zanalyze trace`.
+func (s *Scanner) WriteTrace(w io.Writer, format string) error {
+	return s.inner.WriteTrace(w, format)
+}
+
+// weatherBridge adapts netsim's scenario instrumentation to the flight
+// recorder: event-window transitions become journal entries, per-packet
+// fault drops become KFaultDrop ring events. netsim calls it from
+// concurrent sender goroutines; the ring shard is single-writer, so
+// drops serialize through a mutex (scripted faults are transport-side,
+// off the engine's zero-alloc hot path).
+type weatherBridge struct {
+	rec *trace.Recorder
+	mu  sync.Mutex
+	sh  *trace.Shard
+}
+
+func (b *weatherBridge) WeatherTransition(began bool, index int, ev netsim.ScenarioEvent, at time.Duration) {
+	kind := trace.JScenarioBegin
+	if !began {
+		kind = trace.JScenarioEnd
+	}
+	b.rec.Journal(trace.JEntry{
+		Kind:   kind,
+		Name:   ev.Type,
+		Prefix: ev.Prefix,
+		Index:  index + 1, // 1-based so index 0 survives omitempty
+		Detail: at.String(),
+	})
+}
+
+func (b *weatherBridge) WeatherDrop(class string, dst uint32, _ time.Duration) {
+	b.mu.Lock()
+	b.sh.Record(trace.KFaultDrop, dst, 0, trace.FaultClassCode(class))
+	b.mu.Unlock()
+}
+
+// weatherObservable is satisfied by *Link; Compile uses it to attach the
+// flight-recorder bridge without binding Options to the simulator.
+type weatherObservable interface {
+	SetWeatherObserver(obs netsim.WeatherObserver)
+}

@@ -242,6 +242,15 @@ type Options struct {
 	// Metrics optionally supplies the registry the scan records into;
 	// nil creates a private one, available via Scanner.Metrics.
 	Metrics *MetricsRegistry
+
+	// TraceSampleEvery tunes the flight recorder's probe-lifecycle
+	// sampling: 1 in N targets is traced end-to-end (0 = default 256,
+	// rounded up to a power of two; 1 traces every target; negative
+	// disables probe sampling — the decision journal always stays on).
+	TraceSampleEvery int
+	// TraceRingSize is the recorder's per-shard event capacity
+	// (0 = default 8192).
+	TraceRingSize int
 	// Metadata receives the end-of-scan JSON document.
 	Metadata io.Writer
 	// Logger receives structured logs; nil discards them.
@@ -374,6 +383,8 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		Logger:              o.Logger,
 		MetadataOut:         o.Metadata,
 		DedupWindow:         o.DedupWindow,
+		TraceSampleEvery:    o.TraceSampleEvery,
+		TraceRingSize:       o.TraceRingSize,
 	}
 	inner, err := core.New(cfg, transport)
 	if err != nil {
@@ -386,6 +397,15 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		h := inner.Registry().Histogram("zmapgo_sim_response_delay_seconds",
 			"Simulated (unscaled) response delay scheduled by the netsim link.", 1)
 		dr.SetSimDelayRecorder(h.Shard(0))
+	}
+	// Put netsim scenario events and fault drops on the flight
+	// recorder's timeline, so an offline trace can attribute controller
+	// decisions to the faults that provoked them.
+	if wo, ok := transport.(weatherObservable); ok {
+		wo.SetWeatherObserver(&weatherBridge{
+			rec: inner.Trace(),
+			sh:  inner.TraceFaultShard(),
+		})
 	}
 	return &Scanner{inner: inner}, nil
 }
