@@ -29,7 +29,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	// Fleet workers are re-executions of this binary: when the worker
+	// spec environment variable is present, run the assigned shard and
+	// exit instead of parsing flags.
+	if zmap.FleetWorkerMain() {
+		return
+	}
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "fleet" {
+		os.Exit(runFleet(args[1:]))
+	}
+	os.Exit(run(args))
 }
 
 func run(args []string) int {

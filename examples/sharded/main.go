@@ -1,14 +1,18 @@
-// Sharded: split one scan across three "machines" (§4.2). Every shard
-// shares the seed — hence the permutation — and owns a disjoint pizza
-// slice of the exponent space, so the union covers every target exactly
-// once with no coordination at runtime.
+// Sharded: split one scan across three worker processes (§4.2). Every
+// worker shares the seed — hence the permutation — and owns a disjoint
+// pizza slice of the exponent space, so the union covers every target
+// exactly once. Instead of looping over shards by hand, this drives the
+// fleet coordinator: it spawns the workers (re-executions of this very
+// binary), supervises them through heartbeat leases, would respawn any
+// that crashed from their checkpoints, and merges the per-shard outputs
+// with cross-shard deduplication back to an exactly-once result.
 package main
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -16,54 +20,50 @@ import (
 )
 
 func main() {
-	internet := zmap.NewInternet(zmap.SimOptions{Seed: 5, Lossless: true, DisableBlowback: true})
-
-	const shards = 3
-	found := make([]map[string]bool, shards)
-	var totalProbes uint64
-
-	for idx := 0; idx < shards; idx++ {
-		link := internet.NewLink(1<<16, 0)
-		var out bytes.Buffer
-		scanner, err := zmap.Options{
-			Ranges:     []string{"192.168.0.0/16"},
-			Ports:      "443",
-			Seed:       1234, // identical across shards: same permutation
-			Shards:     shards,
-			ShardIndex: idx,
-			Threads:    2,
-			Cooldown:   300 * time.Millisecond,
-			Results:    &out,
-		}.Compile(link)
-		if err != nil {
-			log.Fatal(err)
-		}
-		summary, err := scanner.Run(context.Background())
-		if err != nil {
-			log.Fatal(err)
-		}
-		link.Close()
-
-		found[idx] = map[string]bool{}
-		for _, addr := range strings.Fields(out.String()) {
-			found[idx][addr] = true
-		}
-		totalProbes += summary.PacketsSent
-		fmt.Printf("shard %d/%d: %6d probes, %4d services\n",
-			idx, shards, summary.PacketsSent, len(found[idx]))
+	// Fleet workers are re-executions of this binary: when the
+	// coordinator spawns one, this hook runs the assigned shard and
+	// exits before the example's own logic begins.
+	if zmap.FleetWorkerMain() {
+		return
 	}
 
-	// Verify the partition: no overlap, full probe coverage.
-	union := map[string]bool{}
-	overlap := 0
-	for _, f := range found {
-		for addr := range f {
-			if union[addr] {
-				overlap++
-			}
-			union[addr] = true
-		}
+	dir, err := os.MkdirTemp("", "zmapgo-sharded-")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
+
+	res, err := zmap.RunFleet(context.Background(), zmap.FleetOptions{
+		Workers:  3,
+		Dir:      dir,
+		Ranges:   []string{"192.168.0.0/16"},
+		Ports:    "443",
+		Seed:     1234, // identical across workers: same permutation
+		Threads:  2,
+		Cooldown: 300 * time.Millisecond,
+
+		SimSeed:            5,
+		SimLossless:        true,
+		SimDisableBlowback: true,
+		SimTimeScale:       0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sh := range res.Shards {
+		fmt.Printf("shard %d/%d: %6d probes, %4d services (epochs %d, reclaims %d)\n",
+			sh.Shard, res.Workers, sh.Summary.PacketsSent, sh.Summary.UniqueSucc,
+			sh.Epochs, sh.Reclaims)
+	}
+
+	// The merge already verified the partition: duplicates between
+	// shards would have been counted (and dropped) here.
+	merged, err := os.ReadFile(res.MergedOutput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	union := len(strings.Fields(string(merged)))
 	fmt.Printf("union: %d services, overlap between shards: %d, probes: %d (space = 65536)\n",
-		len(union), overlap, totalProbes)
+		union, res.Merge.Duplicates, res.PacketsSent)
 }

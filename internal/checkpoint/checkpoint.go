@@ -22,8 +22,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"zmapgo/internal/health"
@@ -191,7 +194,11 @@ func joinDiffs(diffs []string) string {
 // Save writes the snapshot atomically: marshal, write to a temp file in
 // the target directory, fsync, then rename over path. Readers therefore
 // always see either the previous complete snapshot or the new one, never
-// a torn write — the property resume correctness rests on.
+// a torn write — the property resume correctness rests on. Transient
+// filesystem failures (interrupted syscalls, short writes, a temp file
+// racing an external cleaner at rename time) are retried with bounded
+// exponential backoff rather than surfacing: a scan that checkpoints
+// every few seconds for hours must not die on one interrupted write.
 func Save(path string, s *Snapshot) error {
 	s.FormatVersion = FormatVersion
 	data, err := json.MarshalIndent(s, "", "  ")
@@ -199,27 +206,99 @@ func Save(path string, s *Snapshot) error {
 		return fmt.Errorf("checkpoint: encode: %w", err)
 	}
 	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+// Retry policy for writeFileAtomic. Attempt n sleeps base<<(n-1) first,
+// so a full budget costs ~31ms of backoff — negligible against the
+// checkpoint interval, and enough to ride out signal storms or a
+// momentarily contended filesystem.
+const (
+	saveAttempts    = 6
+	saveBackoffBase = time.Millisecond
+)
+
+// injectFSFault, when non-nil, is consulted before each filesystem
+// operation an atomic write performs ("create", "write", "sync",
+// "close", "rename"); a non-nil return replaces the real operation's
+// result. Tests use it to inject transient and fatal failures.
+var injectFSFault func(op string) error
+
+// fsOp runs one filesystem operation through the fault-injection seam.
+func fsOp(op string, fn func() error) error {
+	if injectFSFault != nil {
+		if err := injectFSFault(op); err != nil {
+			return err
+		}
+	}
+	return fn()
+}
+
+// transientFS reports whether a filesystem error is worth retrying:
+// interrupted or would-block syscalls, short writes, and the temp file
+// vanishing between create and rename (an external tmp-cleaner race —
+// the retry recreates it). Permission, quota, and media errors are not
+// transient; retrying them just delays the real failure.
+func transientFS(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, io.ErrShortWrite) ||
+		errors.Is(err, fs.ErrNotExist)
+}
+
+// writeFileAtomic is the durable write every checkpoint artifact
+// (snapshots, leases) goes through: temp file in the target directory,
+// fsync, rename, with the whole attempt retried on transient failure.
+// Each attempt starts from a fresh temp file, so a partial write from a
+// failed attempt never survives into the next one.
+func writeFileAtomic(path string, data []byte) error {
+	var err error
+	backoff := saveBackoffBase
+	for attempt := 0; attempt < saveAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err = writeFileOnce(path, data); err == nil || !transientFS(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("checkpoint: giving up after %d attempts: %w", saveAttempts, err)
+}
+
+// writeFileOnce performs one write-fsync-rename attempt.
+func writeFileOnce(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	var tmp *os.File
+	err := fsOp("create", func() error {
+		var cerr error
+		tmp, cerr = os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+		return cerr
+	})
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	if err := fsOp("write", func() error {
+		_, werr := tmp.Write(data)
+		return werr
+	}); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: write: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := fsOp("sync", tmp.Sync); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: sync: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
+	if err := fsOp("close", tmp.Close); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsOp("rename", func() error {
+		return os.Rename(tmpName, path)
+	}); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}

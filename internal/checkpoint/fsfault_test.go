@@ -1,0 +1,243 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// withFSFaults installs an injection hook for the test and removes it on
+// cleanup. The hook runs before each filesystem operation; returning a
+// non-nil error replaces that operation's result.
+func withFSFaults(t *testing.T, hook func(op string) error) {
+	t.Helper()
+	injectFSFault = hook
+	t.Cleanup(func() { injectFSFault = nil })
+}
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Tool:      "zmapgo",
+		WrittenAt: time.Now(),
+		Phase:     "send",
+		Progress:  []uint64{10, 20},
+		Fingerprint: Fingerprint{
+			Seed: 7, Shards: 3, ShardIndex: 1, Threads: 2,
+			ShardMode: "pizza", ProbeModule: "tcp_synscan", Ports: "80",
+			ProbesPerTarget: 1, TargetsDigest: "d",
+		},
+	}
+}
+
+// TestSaveRetriesTransientWriteFaults: EINTR on the first few write
+// syscalls must not abort the scan's checkpoint — the save retries and
+// lands the snapshot.
+func TestSaveRetriesTransientWriteFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	writes := 0
+	withFSFaults(t, func(op string) error {
+		if op == "write" {
+			writes++
+			if writes <= 3 {
+				return &os.PathError{Op: "write", Path: path, Err: syscall.EINTR}
+			}
+		}
+		return nil
+	})
+	if err := Save(path, testSnapshot()); err != nil {
+		t.Fatalf("Save with 3 transient EINTR faults: %v", err)
+	}
+	if writes != 4 {
+		t.Fatalf("expected 4 write attempts (3 faulted + 1 clean), got %d", writes)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("Load after retried save: %v", err)
+	}
+}
+
+// TestSaveRetriesShortWrite: a short write is transient; the retry
+// starts from a fresh temp file so no partial data survives.
+func TestSaveRetriesShortWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	n := 0
+	withFSFaults(t, func(op string) error {
+		if op == "write" {
+			n++
+			if n == 1 {
+				return io.ErrShortWrite
+			}
+		}
+		return nil
+	})
+	if err := Save(path, testSnapshot()); err != nil {
+		t.Fatalf("Save with one short write: %v", err)
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if snap.Phase != "send" {
+		t.Fatalf("snapshot corrupted by short-write retry: phase %q", snap.Phase)
+	}
+}
+
+// TestSaveRetriesRenameRace: the temp file vanishing between create and
+// rename (an external tmp cleaner) classifies as transient; the retry
+// recreates it.
+func TestSaveRetriesRenameRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	renames := 0
+	withFSFaults(t, func(op string) error {
+		if op == "rename" {
+			renames++
+			if renames == 1 {
+				return fs.ErrNotExist
+			}
+		}
+		return nil
+	})
+	if err := Save(path, testSnapshot()); err != nil {
+		t.Fatalf("Save with one rename race: %v", err)
+	}
+	if renames != 2 {
+		t.Fatalf("expected 2 rename attempts, got %d", renames)
+	}
+}
+
+// TestSaveFatalErrorNotRetried: permission errors are not transient —
+// retrying them only delays the real failure.
+func TestSaveFatalErrorNotRetried(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	creates := 0
+	withFSFaults(t, func(op string) error {
+		if op == "create" {
+			creates++
+			return &os.PathError{Op: "open", Path: path, Err: syscall.EACCES}
+		}
+		return nil
+	})
+	err := Save(path, testSnapshot())
+	if err == nil {
+		t.Fatal("Save succeeded through an EACCES fault")
+	}
+	if !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("error does not carry the underlying EACCES: %v", err)
+	}
+	if creates != 1 {
+		t.Fatalf("fatal error was retried: %d create attempts", creates)
+	}
+}
+
+// TestSaveExhaustedRetriesPreservePrevious: a persistently failing save
+// gives up with a bounded error and the previous snapshot stays intact
+// and loadable — the whole point of the atomic write discipline.
+func TestSaveExhaustedRetriesPreservePrevious(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	good := testSnapshot()
+	if err := Save(path, good); err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+
+	attempts := 0
+	withFSFaults(t, func(op string) error {
+		if op == "sync" {
+			attempts++
+			return &os.PathError{Op: "sync", Path: path, Err: syscall.EINTR}
+		}
+		return nil
+	})
+	next := testSnapshot()
+	next.Progress = []uint64{99, 99}
+	err := Save(path, next)
+	if err == nil {
+		t.Fatal("Save succeeded with every sync faulted")
+	}
+	if attempts != saveAttempts {
+		t.Fatalf("expected exactly %d attempts, got %d", saveAttempts, attempts)
+	}
+	injectFSFault = nil
+	snap, lerr := Load(path)
+	if lerr != nil {
+		t.Fatalf("previous snapshot unloadable after failed save: %v", lerr)
+	}
+	if snap.Progress[0] != 10 {
+		t.Fatalf("previous snapshot clobbered: progress %v", snap.Progress)
+	}
+}
+
+// TestLeaseRoundTripAndExpiry covers the lease document lifecycle:
+// grant, load, renewal freshness, and TTL expiry.
+func TestLeaseRoundTripAndExpiry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-1.lease")
+	now := time.Now()
+	l := &Lease{
+		FleetID: "f1", ShardIndex: 1, Epoch: 1, OwnerPID: 1234,
+		WorkerID: "shard-1.epoch-1", State: LeaseGranted,
+		GrantedAt: now, RenewedAt: now, TTLSecs: 0.5,
+		Fingerprint: testSnapshot().Fingerprint,
+	}
+	if err := SaveLease(path, l); err != nil {
+		t.Fatalf("SaveLease: %v", err)
+	}
+	got, err := LoadLease(path)
+	if err != nil {
+		t.Fatalf("LoadLease: %v", err)
+	}
+	if got.Epoch != 1 || got.WorkerID != "shard-1.epoch-1" {
+		t.Fatalf("lease round trip mangled: %+v", got)
+	}
+	if got.Expired(now.Add(100 * time.Millisecond)) {
+		t.Fatal("fresh lease reported expired")
+	}
+	if !got.Expired(now.Add(time.Second)) {
+		t.Fatal("stale lease not reported expired")
+	}
+
+	renewed, err := RenewLease(path, 1, 4321, now.Add(time.Second))
+	if err != nil {
+		t.Fatalf("RenewLease: %v", err)
+	}
+	if renewed.State != LeaseRunning || renewed.OwnerPID != 4321 {
+		t.Fatalf("renewal did not take: %+v", renewed)
+	}
+	if renewed.Expired(now.Add(1200 * time.Millisecond)) {
+		t.Fatal("renewed lease reported expired inside its fresh TTL")
+	}
+
+	// Done leases never expire: completion is terminal, not stale.
+	renewed.State = LeaseDone
+	if renewed.Expired(now.Add(time.Hour)) {
+		t.Fatal("done lease reported expired")
+	}
+}
+
+// TestLeaseEpochFencing: a worker whose shard was reclaimed must be
+// fenced out at its next renewal, even if it wakes up healthy.
+func TestLeaseEpochFencing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard-0.lease")
+	now := time.Now()
+	l := &Lease{
+		FleetID: "f1", ShardIndex: 0, Epoch: 3, OwnerPID: 100,
+		WorkerID: "shard-0.epoch-3", State: LeaseRunning,
+		GrantedAt: now, RenewedAt: now, TTLSecs: 1,
+	}
+	if err := SaveLease(path, l); err != nil {
+		t.Fatalf("SaveLease: %v", err)
+	}
+	if _, err := RenewLease(path, 2, 99, now); !errors.Is(err, ErrLeaseFenced) {
+		t.Fatalf("stale-epoch renewal returned %v, want ErrLeaseFenced", err)
+	}
+	// The fenced attempt must not have disturbed the live lease.
+	got, err := LoadLease(path)
+	if err != nil {
+		t.Fatalf("LoadLease: %v", err)
+	}
+	if got.Epoch != 3 || got.OwnerPID != 100 {
+		t.Fatalf("fenced renewal mutated the lease: %+v", got)
+	}
+}

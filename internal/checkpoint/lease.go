@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// LeaseFormatVersion identifies the lease document schema.
+const LeaseFormatVersion = 1
+
+// ErrLeaseFenced is returned by RenewLease when the lease on disk
+// carries a different epoch than the renewer holds: the coordinator has
+// reclaimed the shard and granted it to a newer worker, so the renewer
+// must stop scanning immediately. Epoch fencing is what makes reclaim
+// safe when a "dead" worker was merely slow: even if it wakes up after
+// the coordinator gave its shard away, its next renewal fails and it
+// exits instead of double-scanning the slice.
+var ErrLeaseFenced = errors.New("checkpoint: lease superseded by a newer epoch")
+
+// Lease states. A lease is granted by the coordinator, marked running by
+// the worker's first renewal, and done when the shard's scan completed.
+const (
+	LeaseGranted = "granted"
+	LeaseRunning = "running"
+	LeaseDone    = "done"
+)
+
+// Lease is the per-shard ownership document a fleet coordinator and its
+// workers share through the filesystem. The coordinator writes it to
+// grant a shard (bumping Epoch); the owning worker rewrites it every
+// heartbeat interval with a fresh RenewedAt; the coordinator reclaims
+// the shard when RenewedAt goes stale past the TTL. All writes go
+// through the same atomic temp-fsync-rename path as snapshots, so a
+// reader never observes a torn lease.
+type Lease struct {
+	FormatVersion int    `json:"format_version"`
+	FleetID       string `json:"fleet_id"`
+	ShardIndex    int    `json:"shard_index"`
+
+	// Epoch increments on every grant, including reclaim re-grants. A
+	// worker may renew only the epoch it was spawned with.
+	Epoch int `json:"epoch"`
+
+	// OwnerPID and WorkerID identify the current holder. WorkerID is
+	// human-readable ("shard-2.epoch-3") and rides journal entries.
+	OwnerPID int    `json:"owner_pid"`
+	WorkerID string `json:"worker_id"`
+
+	State     string    `json:"state"`
+	GrantedAt time.Time `json:"granted_at"`
+	RenewedAt time.Time `json:"renewed_at"`
+	TTLSecs   float64   `json:"ttl_secs"`
+
+	// Fingerprint pins the permutation slice this lease covers. A
+	// reclaimed shard handed to a different worker is adopted only when
+	// the new worker's scan fingerprint matches; see Snapshot.Verify.
+	Fingerprint Fingerprint `json:"fingerprint"`
+}
+
+// TTL returns the lease's heartbeat time-to-live.
+func (l *Lease) TTL() time.Duration {
+	return time.Duration(l.TTLSecs * float64(time.Second))
+}
+
+// Expired reports whether the lease's last renewal is stale past the
+// TTL at the given instant. Done leases never expire.
+func (l *Lease) Expired(now time.Time) bool {
+	if l.State == LeaseDone {
+		return false
+	}
+	return now.Sub(l.RenewedAt) > l.TTL()
+}
+
+// SaveLease writes the lease atomically with the same transient-failure
+// retry policy as snapshots.
+func SaveLease(path string, l *Lease) error {
+	l.FormatVersion = LeaseFormatVersion
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode lease: %w", err)
+	}
+	data = append(data, '\n')
+	return writeFileAtomic(path, data)
+}
+
+// LoadLease reads and validates a lease written by SaveLease.
+func LoadLease(path string) (*Lease, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: lease: %w", err)
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode lease %s: %w", path, err)
+	}
+	if l.FormatVersion != LeaseFormatVersion {
+		return nil, fmt.Errorf("%w: lease has %d, this build reads %d",
+			ErrVersion, l.FormatVersion, LeaseFormatVersion)
+	}
+	return &l, nil
+}
+
+// RenewLease is the worker-side heartbeat: re-read the lease, verify the
+// caller still holds it (epoch fencing), stamp a fresh renewal, and
+// write it back. It returns the renewed lease, or ErrLeaseFenced
+// (wrapped) when the epoch on disk moved past the caller's — the signal
+// to abandon the shard.
+func RenewLease(path string, epoch, pid int, now time.Time) (*Lease, error) {
+	l, err := LoadLease(path)
+	if err != nil {
+		return nil, err
+	}
+	if l.Epoch != epoch {
+		return nil, fmt.Errorf("%w: held epoch %d, disk has %d",
+			ErrLeaseFenced, epoch, l.Epoch)
+	}
+	if l.State == LeaseDone {
+		// Completion is terminal; a straggling heartbeat must not
+		// regress it to running (Done leases never expire anyway).
+		return l, nil
+	}
+	l.OwnerPID = pid
+	l.RenewedAt = now
+	if l.State == LeaseGranted {
+		l.State = LeaseRunning
+	}
+	if err := SaveLease(path, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

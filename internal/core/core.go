@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -430,6 +431,11 @@ type Scanner struct {
 	stopOnce      sync.Once
 	stopRequested atomic.Bool
 
+	// rateCapBits is an externally imposed aggregate rate cap (float64
+	// bits; 0 = none), distinct from both the configured Rate and the
+	// health controller's target. See SetRateCap.
+	rateCapBits atomic.Uint64
+
 	// Flight recorder (always on, bounded): sender thread t writes ring
 	// shard t, the receive loop writes shard Threads (traceRecv), and
 	// the controller/lifecycle paths write the decision journal.
@@ -823,6 +829,31 @@ func (s *Scanner) Stop() {
 // Interrupted reports whether Stop was called (or a graceful interrupt
 // otherwise ended the send phase early).
 func (s *Scanner) Interrupted() bool { return s.stopRequested.Load() }
+
+// SetRateCap imposes (or, with 0, lifts) an external aggregate rate cap
+// on a running scan without touching its configured Rate. A fleet
+// coordinator uses it to redistribute a global packets-per-second budget
+// across worker processes: when a sibling worker dies its allowance
+// moves to the survivors, and moves back on recovery. Senders fold the
+// cap in at batch boundaries, so a new cap takes effect within one
+// batch. The effective per-thread rate is min(configured share, health
+// controller slice, cap/threads); a cap above the configured Rate has
+// no effect. Safe from any goroutine.
+func (s *Scanner) SetRateCap(pps float64) {
+	if pps < 0 {
+		pps = 0
+	}
+	s.rateCapBits.Store(math.Float64bits(pps))
+}
+
+// rateCap returns the current external cap (0 = none).
+func (s *Scanner) rateCap() float64 {
+	return math.Float64frombits(s.rateCapBits.Load())
+}
+
+// Fingerprint returns the configuration fingerprint pinning this scan's
+// permutation — what checkpoints embed and resume verifies against.
+func (s *Scanner) Fingerprint() checkpoint.Fingerprint { return s.fingerprint }
 
 // Run executes the scan to completion (or ctx cancellation) and returns
 // the metadata summary. Run may be called once.
@@ -1256,6 +1287,11 @@ func (rs *rateState) applyRate() {
 	target := rs.rate
 	if h := rs.s.health; h != nil && h.Adaptive() {
 		if g := h.Rate() / float64(rs.s.cfg.Threads); g < target {
+			target = g
+		}
+	}
+	if c := rs.s.rateCap(); c > 0 {
+		if g := c / float64(rs.s.cfg.Threads); g < target {
 			target = g
 		}
 	}

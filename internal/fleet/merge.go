@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"zmapgo/internal/output"
+	"zmapgo/internal/target"
+)
+
+// MergeStats accounts for the exactly-once merge: how many run files
+// contributed, how many rows they held, and how many were duplicates
+// collapsed away. Duplicates are expected after crash recovery — a
+// response received after the last checkpoint but before the crash is
+// re-probed by the respawned worker, so the union of run files is
+// at-least-once; the merge's dedup restores exactly-once. TornRows
+// counts partial trailing lines cut short by a crash mid-write; the
+// torn row's target is re-probed on resume (it lies past the last
+// checkpoint by construction), so dropping the fragment loses nothing.
+type MergeStats struct {
+	Files      int `json:"files"`
+	RowsRead   int `json:"rows_read"`
+	UniqueRows int `json:"unique_rows"`
+	Duplicates int `json:"duplicate_rows"`
+	TornRows   int `json:"torn_rows,omitempty"`
+}
+
+// mergeKey identifies a result row for deduplication: the responding
+// (address, port) pair, the same identity the engine's own dedup uses.
+type mergeKey struct {
+	ip   uint32
+	port uint16
+}
+
+// mergeRow is one surviving row with its sort identity.
+type mergeRow struct {
+	key mergeKey
+	// text is the row's serialized form (text line or csv fields).
+	text   string
+	fields []string
+	rec    output.Record
+}
+
+// RunFiles lists every per-epoch output file of every shard under the
+// fleet directory, in (shard, epoch) order — the deterministic
+// first-seen order the merge dedups in.
+func RunFiles(fleetDir string, workers int, format string) ([]string, error) {
+	ext := outputExt(format)
+	var files []string
+	for s := 0; s < workers; s++ {
+		matches, err := filepath.Glob(filepath.Join(ShardDir(fleetDir, s), "out.run-*."+ext))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: list run files: %w", err)
+		}
+		sort.Strings(matches) // epoch is zero-padded, lexical == numeric
+		files = append(files, matches...)
+	}
+	return files, nil
+}
+
+// MergeOutputs unions per-shard run files into one scan-level result
+// stream: rows are deduplicated by (address, port) keeping the first
+// occurrence in file order, then emitted sorted by numeric address and
+// port. For the text format the merged stream is therefore byte-equal
+// to a sorted-unique single-process reference scan of the same space.
+func MergeOutputs(format string, files []string, w io.Writer) (MergeStats, error) {
+	var stats MergeStats
+	seen := make(map[mergeKey]int)
+	var rows []mergeRow
+
+	keep := func(row mergeRow) {
+		stats.RowsRead++
+		if _, dup := seen[row.key]; dup {
+			stats.Duplicates++
+			return
+		}
+		seen[row.key] = len(rows)
+		rows = append(rows, row)
+	}
+
+	parse := parseTextRow
+	switch format {
+	case "csv":
+		parse = parseCSVRow
+	case "jsonl", "json":
+		parse = parseJSONLRow
+	}
+
+	for _, path := range files {
+		torn, err := mergeFile(path, parse, keep)
+		if err != nil {
+			return stats, fmt.Errorf("fleet: merge %s: %w", path, err)
+		}
+		stats.TornRows += torn
+		stats.Files++
+	}
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key.ip != rows[j].key.ip {
+			return rows[i].key.ip < rows[j].key.ip
+		}
+		return rows[i].key.port < rows[j].key.port
+	})
+	stats.UniqueRows = len(rows)
+
+	switch format {
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write(output.CSVHeader()); err != nil {
+			return stats, err
+		}
+		for _, r := range rows {
+			if err := cw.Write(r.fields); err != nil {
+				return stats, err
+			}
+		}
+		cw.Flush()
+		return stats, cw.Error()
+	case "jsonl", "json":
+		enc := json.NewEncoder(w)
+		for _, r := range rows {
+			if err := enc.Encode(r.rec); err != nil {
+				return stats, err
+			}
+		}
+		return stats, nil
+	default:
+		bw := bufio.NewWriter(w)
+		for _, r := range rows {
+			if _, err := fmt.Fprintln(bw, r.text); err != nil {
+				return stats, err
+			}
+		}
+		return stats, bw.Flush()
+	}
+}
+
+// mergeFile reads one run file line by line. A parse failure on the
+// final line is a torn tail from a crashed writer and is dropped (the
+// count is returned); a failure anywhere else is real corruption.
+func mergeFile(path string, parse func(line string) (mergeRow, bool, error), keep func(mergeRow)) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var badErr error
+	badLine := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if badErr != nil {
+			// The bad line was not the last one: hard error.
+			return 0, fmt.Errorf("row %q: %w", badLine, badErr)
+		}
+		row, skip, err := parse(line)
+		if err != nil {
+			badErr, badLine = err, line
+			continue
+		}
+		if !skip {
+			keep(row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if badErr != nil {
+		return 1, nil // torn tail: dropped, not fatal
+	}
+	return 0, nil
+}
+
+// parseTextRow reads a text-format row: "a.b.c.d" or "a.b.c.d:port".
+func parseTextRow(line string) (mergeRow, bool, error) {
+	addr, portStr, hasPort := strings.Cut(line, ":")
+	ip, err := target.ParseIPv4(addr)
+	if err != nil {
+		return mergeRow{}, false, err
+	}
+	var port uint16
+	if hasPort {
+		var p int
+		if _, err := fmt.Sscanf(portStr, "%d", &p); err != nil || p < 0 || p > 0xFFFF {
+			return mergeRow{}, false, fmt.Errorf("bad port %q", portStr)
+		}
+		port = uint16(p)
+	}
+	return mergeRow{key: mergeKey{ip: ip, port: port}, text: line}, false, nil
+}
+
+// parseCSVRow reads one schema row; per-file header rows are skipped.
+// Rows are parsed line-wise (the schema has no quoted newlines), which
+// is what lets a torn tail be detected per line.
+func parseCSVRow(line string) (mergeRow, bool, error) {
+	header := output.CSVHeader()
+	if strings.HasPrefix(line, header[0]+",") {
+		return mergeRow{}, true, nil
+	}
+	fields, err := csv.NewReader(strings.NewReader(line)).Read()
+	if err != nil {
+		return mergeRow{}, false, err
+	}
+	if len(fields) != len(header) {
+		return mergeRow{}, false, fmt.Errorf("csv row with %d fields, want %d", len(fields), len(header))
+	}
+	ip, err := target.ParseIPv4(fields[0])
+	if err != nil {
+		return mergeRow{}, false, fmt.Errorf("csv saddr %q: %w", fields[0], err)
+	}
+	var port int
+	if _, err := fmt.Sscanf(fields[1], "%d", &port); err != nil || port < 0 || port > 0xFFFF {
+		return mergeRow{}, false, fmt.Errorf("csv sport %q", fields[1])
+	}
+	return mergeRow{key: mergeKey{ip: ip, port: uint16(port)}, fields: fields}, false, nil
+}
+
+// parseJSONLRow reads one JSON Lines record.
+func parseJSONLRow(line string) (mergeRow, bool, error) {
+	var rec output.Record
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		return mergeRow{}, false, err
+	}
+	ip, err := target.ParseIPv4(rec.Saddr)
+	if err != nil {
+		return mergeRow{}, false, fmt.Errorf("jsonl saddr %q: %w", rec.Saddr, err)
+	}
+	return mergeRow{key: mergeKey{ip: ip, port: rec.Sport}, rec: rec}, false, nil
+}

@@ -152,6 +152,10 @@ func (t *TextWriter) Close() error { return nil }
 // csvHeader matches Schema() order.
 var csvHeader = []string{"saddr", "sport", "classification", "success", "repeat", "cooldown", "ttl", "timestamp"}
 
+// CSVHeader returns the CSV column header row in Schema() order, for
+// consumers that read or re-emit CSV results (e.g. the fleet merge).
+func CSVHeader() []string { return append([]string(nil), csvHeader...) }
+
 // CSVWriter emits the full schema as CSV with a header row.
 type CSVWriter struct {
 	cw          *csv.Writer

@@ -133,6 +133,27 @@ const (
 	JAbort         = "abort"
 )
 
+// Fleet coordinator journal kinds (see internal/fleet): worker lifecycle
+// (spawn/adopt/exit/done), the lease reclaim state machine
+// (lease_expired → reclaim → respawn, with backoff), global rate budget
+// redistribution, injected chaos faults, and the merge stage. JEntry
+// usage: Index carries the shard, Name the worker ID, RatePPS the
+// allocation after a realloc decision.
+const (
+	JFleetStart        = "fleet_start"
+	JFleetSpawn        = "fleet_spawn"
+	JFleetAdopt        = "fleet_adopt"
+	JFleetWorkerDone   = "fleet_worker_done"
+	JFleetWorkerExit   = "fleet_worker_exit"
+	JFleetLeaseExpired = "fleet_lease_expired"
+	JFleetReclaim      = "fleet_reclaim"
+	JFleetRespawn      = "fleet_respawn"
+	JFleetRateRealloc  = "fleet_rate_realloc"
+	JFleetFault        = "fleet_fault"
+	JFleetMerge        = "fleet_merge"
+	JFleetDone         = "fleet_done"
+)
+
 // JEntry is one journal record. Fields are a flat union across entry
 // kinds; zero values are omitted from dumps.
 type JEntry struct {

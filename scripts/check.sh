@@ -58,6 +58,9 @@ go test -race -count=1 \
 go test -count=1 \
     -run 'TestTracingOverheadWithinTwoPercent' ./zmap
 
+echo "==> fleet chaos: SIGKILL each of 3 workers mid-scan, exactly-once merge"
+go test -race -count=1 -run 'TestFleetChaosExactlyOnce|TestFleetSlowWorkerNotReclaimed' ./zmap
+
 echo "==> trace-dump smoke: scan with --trace-file, analyze with zanalyze trace"
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT

@@ -1,0 +1,175 @@
+package zmap
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"time"
+
+	"zmapgo/internal/fleet"
+)
+
+// FleetResult is the fleet-level scan summary: per-shard supervision
+// history, the merge accounting, and aggregated engine counters.
+type FleetResult = fleet.Result
+
+// FleetFaultPlan is a deterministic schedule of injected worker faults
+// (kill, hang, slow) for chaos testing a fleet; see ParseFleetFaults.
+type FleetFaultPlan = fleet.FaultPlan
+
+// ErrFleetRespawnsExhausted is wrapped into RunFleet's error when one
+// shard's worker died more times than FleetOptions.MaxRespawns allows.
+var ErrFleetRespawnsExhausted = fleet.ErrRespawnsExhausted
+
+// ParseFleetFaults reads a fault schedule like
+// "kill:0@800ms,hang:1@1.2s,slow:2@500ms/300ms" — each term is
+// kind:shard@delay, with /duration on slow faults.
+func ParseFleetFaults(s string) (*FleetFaultPlan, error) {
+	return fleet.ParseFaultPlan(s)
+}
+
+// RandomFleetFaults derives a deterministic chaos schedule from a seed:
+// count faults spread over the window, hitting random shards with
+// random kinds. Same inputs, same plan.
+func RandomFleetFaults(seed uint64, workers, count int, window, maxSlow time.Duration) *FleetFaultPlan {
+	return fleet.RandomFaultPlan(seed, workers, count, window, maxSlow)
+}
+
+// FleetOptions configures a fault-tolerant multi-worker scan: one
+// logical scan split into Workers pizza shards, each run by a separate
+// supervised worker process against the shared simulated Internet, with
+// crash recovery from per-shard checkpoints and an exactly-once merge
+// of the results. See RunFleet.
+type FleetOptions struct {
+	// Workers is the shard/worker count (default 1).
+	Workers int
+
+	// Dir is the fleet state directory (default: a fresh temp dir).
+	// Re-running over an existing directory resumes it: finished
+	// shards are skipped, live workers are adopted, dead ones are
+	// reclaimed and resumed from their checkpoints.
+	Dir string
+
+	// Binary is the worker executable; default is this process's own
+	// binary, which must call FleetWorkerMain at the top of main().
+	Binary string
+
+	// Scan shape (the zmap.Options subset a fleet distributes).
+	// Seed is required and must be non-zero: every worker derives the
+	// same target permutation from it, which is what makes the pizza
+	// shards a disjoint cover of the space.
+	Ranges          []string
+	Blocklist       []string
+	Ports           string
+	Probe           string
+	Seed            int64
+	Threads         int // sender threads per worker
+	BatchSize       int
+	ProbesPerTarget int
+	DedupWindow     int
+	Cooldown        time.Duration
+	CooldownMax     time.Duration
+	MaxRuntime      time.Duration
+	Format          string
+	Filter          string
+
+	// Rate is the aggregate fleet budget in probes/sec (0 =
+	// unlimited). Live workers share it equally; a dead worker's
+	// slice moves to the survivors until its shard respawns.
+	Rate float64
+
+	// Simulated Internet shared by all workers (the population is a
+	// pure function of SimSeed, so every process sees the same hosts).
+	SimSeed            uint64
+	SimLossless        bool
+	SimDisableBlowback bool
+	SimTimeScale       float64
+
+	// Supervision knobs; zero values take the fleet defaults
+	// (2s lease TTL, TTL/4 heartbeat, 500ms checkpoints, 5 respawns,
+	// 100ms initial backoff doubling to 2s).
+	LeaseTTL           time.Duration
+	HeartbeatInterval  time.Duration
+	CheckpointInterval time.Duration
+	RatePollInterval   time.Duration
+	MaxRespawns        int
+	RespawnBackoff     time.Duration
+	RespawnBackoffMax  time.Duration
+
+	// Faults optionally injects a chaos schedule into the run.
+	Faults *FleetFaultPlan
+
+	// MergedOutput receives the deduplicated union of every shard's
+	// results (default <Dir>/merged.<ext>). MetadataPath receives the
+	// fleet summary document; TracePath the coordinator's decision
+	// journal as JSONL ("-" disables either).
+	MergedOutput string
+	MetadataPath string
+	TracePath    string
+
+	// Metrics optionally supplies the registry fleet metrics record
+	// into; Logger receives coordinator logs (nil discards).
+	Metrics *MetricsRegistry
+	Logger  *slog.Logger
+}
+
+// RunFleet splits the scan into Workers pizza shards and runs each in a
+// supervised worker process: heartbeat leases detect crashed or hung
+// workers, which are reclaimed and respawned from their last durable
+// checkpoint with bounded backoff (at-least-once per shard), and the
+// per-shard outputs are merged with cross-shard deduplication back to
+// exactly-once. The merged result is byte-equivalent to an
+// uninterrupted single-process scan of the same space (text format,
+// sorted-unique), faults or not.
+func RunFleet(ctx context.Context, o FleetOptions) (*FleetResult, error) {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	dir := o.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "zmapgo-fleet-"); err != nil {
+			return nil, err
+		}
+	}
+	cfg := fleet.Config{
+		Workers: o.Workers,
+		Dir:     dir,
+		Binary:  o.Binary,
+		Scan: fleet.ScanSpec{
+			Ranges:             o.Ranges,
+			Blocklist:          o.Blocklist,
+			Ports:              o.Ports,
+			Probe:              o.Probe,
+			Seed:               o.Seed,
+			Threads:            o.Threads,
+			BatchSize:          o.BatchSize,
+			ProbesPerTarget:    o.ProbesPerTarget,
+			DedupWindow:        o.DedupWindow,
+			Cooldown:           o.Cooldown,
+			CooldownMax:        o.CooldownMax,
+			MaxRuntime:         o.MaxRuntime,
+			Format:             o.Format,
+			Filter:             o.Filter,
+			SimSeed:            o.SimSeed,
+			SimLossless:        o.SimLossless,
+			SimDisableBlowback: o.SimDisableBlowback,
+			SimTimeScale:       o.SimTimeScale,
+		},
+		RateBudget:         o.Rate,
+		LeaseTTL:           o.LeaseTTL,
+		HeartbeatInterval:  o.HeartbeatInterval,
+		CheckpointInterval: o.CheckpointInterval,
+		RatePollInterval:   o.RatePollInterval,
+		MaxRespawns:        o.MaxRespawns,
+		RespawnBackoff:     o.RespawnBackoff,
+		RespawnBackoffMax:  o.RespawnBackoffMax,
+		Faults:             o.Faults,
+		MergedOutput:       o.MergedOutput,
+		MetadataPath:       o.MetadataPath,
+		TracePath:          o.TracePath,
+		Metrics:            o.Metrics,
+		Logger:             o.Logger,
+	}
+	return fleet.Run(ctx, cfg)
+}

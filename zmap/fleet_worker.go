@@ -1,0 +1,249 @@
+package zmap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"zmapgo/internal/checkpoint"
+	"zmapgo/internal/fleet"
+)
+
+// FleetWorkerMain is the worker-process hook for fleet scans. Any
+// binary that may host RunFleet must call it at the top of main():
+//
+//	func main() {
+//		if zmap.FleetWorkerMain() {
+//			return // unreachable; the worker exits itself
+//		}
+//		...normal entry point...
+//	}
+//
+// In the parent (no worker environment present) it returns false
+// immediately. In a worker child process — spawned by a fleet
+// coordinator with the spec path in the environment — it runs the
+// assigned shard to completion and exits with one of the fleet exit
+// codes, never returning.
+func FleetWorkerMain() bool {
+	specPath := os.Getenv(fleet.WorkerSpecEnv)
+	if specPath == "" {
+		return false
+	}
+	os.Exit(runFleetWorker(specPath))
+	return true
+}
+
+// runFleetWorker executes one shard under a lease: adopt (first
+// renewal, epoch-fenced), heartbeat, scan with periodic checkpoints,
+// honor the live rate cap, and commit by writing the run metadata
+// atomically before marking the lease done.
+func runFleetWorker(specPath string) int {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	spec, err := fleet.LoadWorkerSpec(specPath)
+	if err != nil {
+		logger.Error("fleet worker: bad spec", "err", err)
+		return fleet.ExitConfig
+	}
+	logger = logger.With("worker", spec.WorkerID())
+	pid := os.Getpid()
+	hbInterval := spec.HeartbeatInterval
+	if hbInterval <= 0 {
+		hbInterval = 500 * time.Millisecond
+	}
+	ratePoll := spec.RatePollInterval
+	if ratePoll <= 0 {
+		ratePoll = 100 * time.Millisecond
+	}
+
+	// Adopt the lease. The first renewal both proves liveness to the
+	// coordinator and fences this worker out if the shard has already
+	// been re-granted (stale spawn racing a reclaim).
+	if _, err := checkpoint.RenewLease(spec.Paths.Lease, spec.Epoch, pid, time.Now()); err != nil {
+		if errors.Is(err, checkpoint.ErrLeaseFenced) {
+			logger.Warn("lease already re-granted; exiting")
+			return fleet.ExitFenced
+		}
+		logger.Error("fleet worker: lease adopt failed", "err", err)
+		return fleet.ExitConfig
+	}
+
+	// Heartbeat: renew the lease every interval. A fenced renewal
+	// means the coordinator reclaimed this shard (it SIGKILLs first,
+	// so reaching this path means something raced); stop probing
+	// immediately rather than double-scan the slice. The stop is
+	// once-guarded and deferred so in-process callers (tests) don't
+	// leak the goroutine on early-error returns.
+	stopHB := make(chan struct{})
+	hbExited := make(chan struct{})
+	var hbOnce sync.Once
+	stopHeartbeat := func() { hbOnce.Do(func() { close(stopHB) }) }
+	defer stopHeartbeat()
+	go func() {
+		defer close(hbExited)
+		t := time.NewTicker(hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-t.C:
+				if _, err := checkpoint.RenewLease(spec.Paths.Lease, spec.Epoch, pid, time.Now()); err != nil {
+					if errors.Is(err, checkpoint.ErrLeaseFenced) {
+						logger.Warn("lease fenced mid-scan; aborting")
+						os.Exit(fleet.ExitFenced)
+					}
+					logger.Warn("heartbeat renewal failed; retrying", "err", err)
+				}
+			}
+		}
+	}()
+
+	var resume *Checkpoint
+	if spec.Resume {
+		snap, lerr := checkpoint.Load(spec.Paths.Checkpoint)
+		if lerr != nil {
+			// A missing or corrupt checkpoint only costs re-scanning
+			// the shard from zero; at-least-once is preserved and the
+			// merge dedups the overlap.
+			logger.Warn("resume requested but checkpoint unreadable; starting fresh", "err", lerr)
+		} else {
+			resume = snap
+		}
+	}
+
+	out, err := os.Create(spec.Paths.Output)
+	if err != nil {
+		logger.Error("fleet worker: output file", "err", err)
+		return fleet.ExitConfig
+	}
+
+	internet := NewInternet(SimOptions{
+		Seed:            spec.Scan.SimSeed,
+		Lossless:        spec.Scan.SimLossless,
+		DisableBlowback: spec.Scan.SimDisableBlowback,
+	})
+	link := internet.NewLink(0, spec.Scan.SimTimeScale)
+	defer link.Close()
+
+	var metaBuf bytes.Buffer
+	opts := Options{
+		Ranges:             spec.Scan.Ranges,
+		Blocklist:          spec.Scan.Blocklist,
+		Ports:              spec.Scan.Ports,
+		Probe:              spec.Scan.Probe,
+		Seed:               spec.Scan.Seed,
+		Shards:             spec.Shards,
+		ShardIndex:         spec.Shard,
+		Threads:            spec.Scan.Threads,
+		Rate:               spec.RatePPS,
+		BatchSize:          spec.Scan.BatchSize,
+		ProbesPerTarget:    spec.Scan.ProbesPerTarget,
+		DedupWindow:        spec.Scan.DedupWindow,
+		Cooldown:           spec.Scan.Cooldown,
+		CooldownMax:        spec.Scan.CooldownMax,
+		MaxRuntime:         spec.Scan.MaxRuntime,
+		Format:             spec.Scan.Format,
+		Filter:             spec.Scan.Filter,
+		Results:            out,
+		Metadata:           &metaBuf,
+		CheckpointPath:     spec.Paths.Checkpoint,
+		CheckpointInterval: spec.CheckpointInterval,
+		Resume:             resume,
+		Logger:             logger,
+	}
+	scanner, err := opts.Compile(link)
+	if err != nil {
+		if errors.Is(err, ErrCheckpointMismatch) {
+			// The checkpoint belongs to a different scan configuration:
+			// resuming it would mis-cover the target space. Hard
+			// failure, never retried.
+			logger.Error("checkpoint fingerprint mismatch on handoff", "err", err)
+			return fleet.ExitFingerprint
+		}
+		logger.Error("fleet worker: compile", "err", err)
+		return fleet.ExitConfig
+	}
+
+	// Live rate cap: the coordinator publishes this worker's slice of
+	// the fleet budget in the rate file and rewrites it as membership
+	// changes; poll it into the engine (applied at batch boundaries).
+	scanner.SetRateCap(fleet.ReadRateFile(spec.Paths.Rate))
+	stopRate := make(chan struct{})
+	go func() {
+		t := time.NewTicker(ratePoll)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopRate:
+				return
+			case <-t.C:
+				scanner.SetRateCap(fleet.ReadRateFile(spec.Paths.Rate))
+			}
+		}
+	}()
+
+	// SIGTERM/SIGINT stop gracefully: sending halts, streams flush, a
+	// final checkpoint lands, and the run exits uncommitted so the
+	// coordinator respawns it to finish from that checkpoint.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigCh
+		logger.Info("signal received; stopping gracefully")
+		scanner.Stop()
+	}()
+
+	summary, runErr := scanner.Run(context.Background())
+	signal.Stop(sigCh)
+	close(stopRate)
+	// Wait the heartbeat out before committing: a renewal still in
+	// flight while the lease is marked done would rewrite the file and
+	// regress the terminal state (lost update through the filesystem).
+	stopHeartbeat()
+	<-hbExited
+	cerr := out.Close()
+	if runErr != nil {
+		logger.Error("fleet worker: scan failed", "err", runErr)
+		return fleet.ExitCrash
+	}
+	if cerr != nil {
+		logger.Error("fleet worker: output close", "err", cerr)
+		return fleet.ExitCrash
+	}
+	if summary.Interrupted {
+		// Graceful interrupt: progress is durable but the shard is not
+		// finished, so no commit record is written. The coordinator
+		// reclaims and respawns from the final checkpoint.
+		logger.Info("interrupted; exiting uncommitted for respawn")
+		return fleet.ExitCrash
+	}
+
+	// Commit: the metadata file's atomic appearance is the shard's
+	// completion record; only then is the lease marked done.
+	tmp := spec.Paths.Metadata + ".tmp"
+	if err := os.WriteFile(tmp, metaBuf.Bytes(), 0o644); err != nil {
+		logger.Error("fleet worker: metadata", "err", err)
+		return fleet.ExitCrash
+	}
+	if err := os.Rename(tmp, spec.Paths.Metadata); err != nil {
+		logger.Error("fleet worker: metadata rename", "err", err)
+		return fleet.ExitCrash
+	}
+	if l, lerr := checkpoint.LoadLease(spec.Paths.Lease); lerr == nil && l.Epoch == spec.Epoch {
+		l.State = checkpoint.LeaseDone
+		l.OwnerPID = pid
+		l.RenewedAt = time.Now()
+		if err := checkpoint.SaveLease(spec.Paths.Lease, l); err != nil {
+			logger.Warn("lease done-mark failed", "err", err)
+		}
+	}
+	logger.Info("shard complete",
+		"unique_successes", summary.UniqueSucc, "sent", summary.PacketsSent)
+	return fleet.ExitOK
+}

@@ -429,6 +429,13 @@ func (s *Scanner) Run(ctx context.Context) (*Summary, error) {
 // aborts hard, skipping cooldown and the output flush ordering.
 func (s *Scanner) Stop() { s.inner.Stop() }
 
+// SetRateCap imposes (or, with 0, lifts) a live aggregate rate cap in
+// probes/sec on a compiled scan, below both Options.Rate and the
+// adaptive controller's target. Safe to call concurrently with Run; the
+// cap takes effect at the next sender batch boundary. Fleet workers use
+// this to follow the coordinator's budget redistribution.
+func (s *Scanner) SetRateCap(pps float64) { s.inner.SetRateCap(pps) }
+
 // Metrics returns the scan's registry (Options.Metrics, or the private
 // one Compile created). Valid before, during, and after Run.
 func (s *Scanner) Metrics() *MetricsRegistry { return s.inner.Registry() }
