@@ -34,6 +34,10 @@ bench:
 		| $(GO) run ./scripts/benchjson \
 		> BENCH_trace.json
 	@cat BENCH_trace.json
+	$(GO) test -run XXX -bench 'BenchmarkRecvPath' -benchmem -benchtime=2s ./internal/core \
+		| $(GO) run ./scripts/benchjson -baseline 'BenchmarkRecvPath/workers=1' \
+		> BENCH_recvpath.json
+	@cat BENCH_recvpath.json
 
 clean:
 	$(GO) clean ./...

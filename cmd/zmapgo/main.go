@@ -52,6 +52,7 @@ func run(args []string) int {
 		rate        = fs.Float64("rate", 0, "send rate in packets/sec (0 = unlimited)")
 		bandwidth   = fs.String("B", "", "send bandwidth, e.g. 10M or 1G (overrides --rate)")
 		batchSize   = fs.Int("batch-size", 0, "probe frames per transport flush (0 = default 64, 1 = per-probe sends)")
+		recvWorkers = fs.Int("recv-workers", 0, "sharded receive workers (0 = default 1; rounded up to a power of two)")
 		seed        = fs.Int64("seed", 0, "permutation seed (0 = time-derived)")
 		shards      = fs.Int("shards", 1, "total shards")
 		shardIdx    = fs.Int("shard", 0, "this machine's shard index")
@@ -146,6 +147,7 @@ func run(args []string) int {
 		Rate:                *rate,
 		Bandwidth:           *bandwidth,
 		BatchSize:           *batchSize,
+		RecvWorkers:         *recvWorkers,
 		Seed:                *seed,
 		Shards:              *shards,
 		ShardIndex:          *shardIdx,

@@ -3,12 +3,17 @@
 // deduplication, and the four output streams into ZMap's send/receive
 // architecture.
 //
-// Concurrency model (unchanged since "Zippier ZMap", modulo the pizza
-// sharding switch): N sender goroutines each own a disjoint subshard of
-// the cyclic permutation and share nothing but atomic counters; one
-// receiver goroutine parses, validates, deduplicates, and writes results
-// as they arrive; the main goroutine waits for senders, then holds the
-// receiver open through a cooldown window for stragglers.
+// Concurrency model: N sender goroutines each own a disjoint subshard
+// of the cyclic permutation and share nothing but atomic counters. The
+// receive side mirrors that sharding (see recv.go): a dispatcher drains
+// the transport and fans frames out to RecvWorkers workers by a flow
+// hash over (source IP, source port), so each worker owns a private
+// dedup shard, latency-histogram shard, and flight-recorder ring shard
+// with no locks on the per-frame path; one merge writer drains the
+// per-worker result buffers into the output stream. The main goroutine
+// waits for senders, then holds the receive side open through a
+// cooldown window for stragglers. RecvWorkers=1 (the default) is the
+// classic single-receiver architecture.
 //
 // The engine is stateless per target: probes carry validator-derived
 // fields, so the receiver needs no probe table. Configuration, data,
@@ -83,6 +88,18 @@ type FrameReleaser interface {
 	Release(frame []byte)
 }
 
+// BatchReceiver is the batched extension of Transport's receive side
+// (the recvmmsg analogue, mirroring BatchTransport on the send side).
+// RecvBatch moves up to len(dst) already-queued frames into dst without
+// blocking and returns how many it delivered; the engine blocks on Recv
+// for the first frame of a train and drains the rest through RecvBatch,
+// amortizing the per-wakeup costs (clock reads, channel operations)
+// across the whole train. Transports that do not implement it still
+// work: the engine falls back to draining Recv without blocking.
+type BatchReceiver interface {
+	RecvBatch(dst [][]byte) int
+}
+
 // sendFrames pushes a batch through the transport, natively when it
 // implements BatchTransport and frame-by-frame otherwise, with the
 // BatchTransport return contract either way.
@@ -129,6 +146,15 @@ type Config struct {
 	// ProbesPerTarget are raised to it so a target's probes never split
 	// across batches.
 	BatchSize int
+
+	// RecvWorkers is how many sharded receive workers process inbound
+	// frames. 0 means the default of 1 — the classic single receive
+	// thread; values round up to a power of two (the flow-hash fanout
+	// masks, not mods) and are capped at 64. The worker count is an
+	// execution detail, not a scan parameter: it is absent from the
+	// checkpoint fingerprint, and a scan may resume with a different
+	// value — dedup state re-partitions by flow hash on restore.
+	RecvWorkers int
 
 	// ProbesPerTarget sends each probe k times (ZMap --probes).
 	ProbesPerTarget int
@@ -353,6 +379,12 @@ func (c *Config) setDefaults() {
 	} else if c.BatchSize < 1 {
 		c.BatchSize = 1
 	}
+	if c.RecvWorkers < 1 {
+		c.RecvWorkers = 1
+	} else if c.RecvWorkers > 64 {
+		c.RecvWorkers = 64
+	}
+	c.RecvWorkers = ceilPow2(c.RecvWorkers)
 }
 
 // Validate reports configuration errors.
@@ -416,12 +448,14 @@ type Scanner struct {
 	probeErrs   atomic.Uint64
 	phaseNow    atomic.Value // string; read by the checkpoint goroutine
 
-	// Scan health: the closed-loop controller (nil when disabled),
-	// the durably-flushed result count that rides checkpoints, and the
-	// mutex serializing result writes against checkpoint-time flushes.
+	// Scan health: the closed-loop controller (nil when disabled), and
+	// the mutex serializing result writes against checkpoint-time
+	// flushes. recvPipe is the sharded receive pipeline (see recv.go),
+	// built in New so checkpoint restore can partition dedup keys into
+	// its shards, started by recvLoop.
 	health         *health.Controller
-	resultsWritten atomic.Uint64
 	resultsMu      sync.Mutex
+	recvPipe       *recvPipeline
 	cooldownActual time.Duration // set by the Run goroutine after cooldown
 
 	// Graceful shutdown: Stop closes stopCh (once), which cancels the
@@ -437,10 +471,10 @@ type Scanner struct {
 	rateCapBits atomic.Uint64
 
 	// Flight recorder (always on, bounded): sender thread t writes ring
-	// shard t, the receive loop writes shard Threads (traceRecv), and
-	// the controller/lifecycle paths write the decision journal.
-	trace     *trace.Recorder
-	traceRecv *trace.Shard
+	// shard t, receive worker w writes shard Threads+w, the transport
+	// fault bridge writes shard Threads+RecvWorkers, and the
+	// controller/lifecycle paths write the decision journal.
+	trace *trace.Recorder
 
 	// Instrumentation (see Config.Metrics). Histograms are sharded per
 	// sender thread so hot-path records never contend.
@@ -525,13 +559,23 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 	validator := validate.New(key)
 	genDur := time.Since(genStart)
 
+	// Dedup state. The default sliding window is partitioned into one
+	// shard per receive worker — the flow-hash fanout guarantees every
+	// response of one (IP, port) lands on the same worker, so each shard
+	// is single-goroutine and lock-free. A custom Deduper cannot be
+	// partitioned and stays shared (workers serialize on dedupMu).
 	deduper := cfg.Deduper
+	var dedupShards []*dedup.Window
 	if deduper == nil && cfg.DedupWindow >= 0 {
 		size := cfg.DedupWindow
 		if size == 0 {
 			size = dedup.DefaultWindowSize
 		}
-		deduper = dedup.NewWindow(size)
+		per := (size + cfg.RecvWorkers - 1) / cfg.RecvWorkers
+		dedupShards = make([]*dedup.Window, cfg.RecvWorkers)
+		for i := range dedupShards {
+			dedupShards[i] = dedup.NewWindow(per)
+		}
 	}
 
 	// The fingerprint pins every input that decides which (IP, port) the
@@ -561,7 +605,13 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		}
 		cfg.ResumeProgress = append([]uint64(nil), cfg.Resume.Progress...)
 		if d := cfg.Resume.Dedup; d != nil {
-			if w, ok := deduper.(*dedup.Window); ok {
+			if dedupShards != nil {
+				keys, err := checkpoint.DecodeKeys(d.Keys)
+				if err != nil {
+					return nil, err
+				}
+				restoreDedupShards(dedupShards, keys)
+			} else if w, ok := deduper.(*dedup.Window); ok {
 				keys, err := checkpoint.DecodeKeys(d.Keys)
 				if err != nil {
 					return nil, err
@@ -601,17 +651,17 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 			TimestampValue:  uint32(seed),
 		},
 	}
-	// Flight recorder: one ring shard per sender thread, one for the
-	// receive loop, and one reserved for the transport/netsim fault
+	// Flight recorder: one ring shard per sender thread, one per
+	// receive worker, and one reserved for the transport/netsim fault
 	// bridge (see TraceFaultShard). Always on — its memory is bounded by
 	// construction and its hot path is cheap enough to leave enabled
-	// (see internal/trace).
+	// (see internal/trace). With RecvWorkers=1 the layout is exactly the
+	// historical Threads+2.
 	s.trace = trace.New(trace.Config{
-		Shards:      cfg.Threads + 2,
+		Shards:      cfg.Threads + cfg.RecvWorkers + 1,
 		RingSize:    cfg.TraceRingSize,
 		SampleEvery: cfg.TraceSampleEvery,
 	})
-	s.traceRecv = s.trace.Shard(cfg.Threads)
 	s.phases = append(s.phases, output.PhaseTiming{
 		Phase:        "generation",
 		Start:        genStart,
@@ -653,6 +703,7 @@ func New(cfg Config, transport Transport) (*Scanner, error) {
 		}
 	}
 	s.initMetrics(validator)
+	s.recvPipe = newRecvPipeline(s, dedupShards)
 	return s, nil
 }
 
@@ -673,7 +724,7 @@ func (s *Scanner) initMetrics(validator *validate.Validator) {
 	s.backoffLat = reg.Histogram("zmapgo_send_backoff_seconds",
 		"Backoff delay before re-sending after a transient transport error.", threads)
 	s.recvLat = reg.Histogram("zmapgo_recv_validate_seconds",
-		"Latency from frame receipt to parse+validate completion.", 1)
+		"Latency from frame receipt to parse+validate completion.", s.cfg.RecvWorkers)
 	s.rlWait = reg.Histogram("zmapgo_ratelimit_wait_seconds",
 		"Time sender threads spent blocked in the rate limiter.", threads)
 	s.dedupHits = reg.Counter("zmapgo_dedup_hits_total",
@@ -779,7 +830,9 @@ func (s *Scanner) Trace() *trace.Recorder { return s.trace }
 // fault events (netsim scenario drops and the like). The single-writer
 // contract applies: a bridge feeding it from concurrent transport
 // goroutines must serialize its own Record calls.
-func (s *Scanner) TraceFaultShard() *trace.Shard { return s.trace.Shard(s.cfg.Threads + 1) }
+func (s *Scanner) TraceFaultShard() *trace.Shard {
+	return s.trace.Shard(s.cfg.Threads + s.cfg.RecvWorkers)
+}
 
 // WriteTrace snapshots the flight recorder and writes a dump: "jsonl"
 // (default) or "chrome" (trace-event JSON for Perfetto/about:tracing).
@@ -1086,6 +1139,10 @@ func (s *Scanner) runCooldown(ctx context.Context) time.Duration {
 // checkpoint interval.
 func (s *Scanner) writeCheckpoint(final bool) {
 	s.resultsMu.Lock()
+	// Push the workers' buffered results into the stream first, so the
+	// flush covers everything classified before this point and the
+	// counted floor includes it.
+	s.drainResultsLocked()
 	ferr := output.Flush(s.cfg.Results)
 	n := output.Written(s.cfg.Results)
 	s.resultsMu.Unlock()
@@ -1147,7 +1204,11 @@ func (s *Scanner) snapshot(final bool) *checkpoint.Snapshot {
 		CumulativeSecs: s.prevSecs + time.Since(s.start).Seconds(),
 		PacketsSent:    s.counters.Snapshot().Sent,
 	}
-	if w, ok := s.deduper.(*dedup.Window); ok {
+	if ds := s.recvPipe.dedupSnapshot(); ds != nil {
+		snap.Dedup = ds
+	} else if w, ok := s.deduper.(*dedup.Window); ok {
+		// Custom Window passed via Config.Deduper: shared across workers
+		// under dedupMu, serialized here the same way.
 		s.dedupMu.Lock()
 		snap.Dedup = &checkpoint.DedupState{Size: w.Size(), Keys: checkpoint.EncodeKeys(w.Keys())}
 		s.dedupMu.Unlock()
@@ -1194,6 +1255,13 @@ func (s *Scanner) statusExtra() func(st *monitor.Status, dt time.Duration) {
 		st.SendLatencyP50 = snap.Quantile(0.50).Seconds()
 		st.SendLatencyP90 = snap.Quantile(0.90).Seconds()
 		st.SendLatencyP99 = snap.Quantile(0.99).Seconds()
+		// Receive-side quantiles merge every worker's histogram shard,
+		// so the stream reports one distribution however many workers
+		// are configured.
+		rsnap := s.recvLat.Snapshot()
+		st.RecvLatencyP50 = rsnap.Quantile(0.50).Seconds()
+		st.RecvLatencyP90 = rsnap.Quantile(0.90).Seconds()
+		st.RecvLatencyP99 = rsnap.Quantile(0.99).Seconds()
 		// One journal heartbeat per status tick puts the scan's coarse
 		// trajectory on the same timeline as the controller decisions.
 		s.trace.Journal(trace.JEntry{Kind: trace.JStatus,
@@ -1699,122 +1767,48 @@ func (s *Scanner) retryFrame(ctx context.Context, frame []byte, key uint64, tsh 
 	}
 }
 
-// recvLoop parses, validates, deduplicates, and writes responses until
-// stop closes (end of cooldown) or the context dies.
+// recvLoop is the receive-side dispatcher: it blocks on the transport
+// for the first frame of a train, drains the rest of the train in one
+// non-blocking batch (RecvBatch when the transport implements it), and
+// fans the frames out to the pipeline workers by flow hash. It runs
+// until stop closes (end of cooldown) or the context dies; the deferred
+// shutdown flushes the workers and the merge writer, so every frame
+// read before return is fully processed and written.
 func (s *Scanner) recvLoop(ctx context.Context, stop <-chan struct{}, cooldownAt *atomic.Int64) {
-	recvLat := s.recvLat.Shard(0) // single receiver goroutine
-	// When the transport pools its receive buffers, hand each frame back
-	// once handled. Nothing parsed from the frame outlives the handler:
-	// packet.Parse yields views into the buffer, and everything written
-	// to results is copied out by then.
-	rel, _ := s.transport.(FrameReleaser)
+	p := s.recvPipe
+	p.start(cooldownAt)
+	defer p.shutdown()
+	br, _ := s.transport.(BatchReceiver)
+	recvCh := s.transport.Recv()
+	scratch := make([][]byte, recvBatchFrames)
+	fills := make([]*recvBatch, len(p.workers))
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-stop:
 			return
-		case frame := <-s.transport.Recv():
+		case frame := <-recvCh:
+			// One clock read per train, shared by every frame in it.
 			t0 := time.Now()
-			s.handleFrame(frame, recvLat, cooldownAt, t0)
-			if rel != nil {
-				rel.Release(frame)
+			scratch[0] = frame
+			n := 1
+			if br != nil {
+				n += br.RecvBatch(scratch[1:])
+			} else {
+			drain:
+				for n < len(scratch) {
+					select {
+					case f := <-recvCh:
+						scratch[n] = f
+						n++
+					default:
+						break drain
+					}
+				}
 			}
+			s.fanout(scratch[:n], fills, t0)
 		}
-	}
-}
-
-func (s *Scanner) handleFrame(frame []byte, recvLat *metrics.HistShard, cooldownAt *atomic.Int64, t0 time.Time) {
-	cfg := &s.cfg
-	s.counters.Recv()
-	f, err := packet.Parse(frame)
-	if err != nil {
-		// Parser taxonomy: truncated frames and unsupported
-		// protocols are counted separately so a hostile or lossy
-		// path shows up with the right shape in the status stream.
-		if errors.Is(err, packet.ErrTruncated) {
-			s.counters.RecvTruncated()
-		} else {
-			s.counters.RecvUnsupported()
-		}
-		cfg.Logger.Debug("unparseable frame", "err", err)
-		return
-	}
-	if !packet.VerifyChecksums(frame) {
-		// Parsed but corrupt: a flipped bit anywhere in the IP
-		// header or transport segment lands here, never in results.
-		s.counters.RecvChecksum()
-		return
-	}
-	if s.health != nil && f.ICMP != nil && f.ICMP.Type == packet.ICMPDestUnreach &&
-		f.IP.Dst == s.probeCtx.SrcIP {
-		// Congestion telemetry: an unreachable quoting one of our probes
-		// (quoted source must be the scanner — the quote bytes are
-		// attacker-controlled, and spoofed unreachables must not be able
-		// to talk the rate down). This runs for every probe module: a
-		// TCP scan's unreachables never reach Classify, but they are
-		// exactly the signal ICMP rate-limiting at a congested edge emits.
-		if q, ok := probe.ParseUnreachQuote(f.Payload); ok && q.Src == s.probeCtx.SrcIP {
-			s.health.NoteUnreach(q.Dst)
-		}
-	}
-	res, ok := s.module.Classify(s.probeCtx, f)
-	recvLat.Record(time.Since(t0))
-	if !ok {
-		// Well-formed but unvalidatable: spoofed or unsolicited
-		// traffic that carries no proof it answers our probe.
-		s.counters.RecvInvalid()
-		return
-	}
-	s.counters.Valid()
-	// Flight recorder: the same stateless hash the send path used, so a
-	// sampled target's response events land on its send-side span.
-	traced := s.trace.Sampled(res.IP, res.Port)
-	if traced {
-		s.traceRecv.RecordAt(int64(t0.Sub(s.trace.Epoch())), trace.KRespReceived, res.IP, res.Port, 0)
-		s.traceRecv.Record(trace.KRespValidated, res.IP, res.Port, 0)
-	}
-	repeat := false
-	if s.deduper != nil {
-		s.dedupMu.Lock()
-		repeat = s.deduper.Seen(res.IP, res.Port)
-		s.dedupMu.Unlock()
-		if repeat {
-			s.dedupHits.Inc()
-		} else {
-			s.dedupMisses.Inc()
-		}
-	}
-	if repeat {
-		s.counters.Duplicate()
-	}
-	if traced && s.deduper != nil {
-		var dup uint64
-		if repeat {
-			dup = 1
-		}
-		s.traceRecv.Record(trace.KRespDeduped, res.IP, res.Port, dup)
-	}
-	if res.Success {
-		s.counters.Success(!repeat)
-		if s.health != nil && !repeat {
-			s.health.NoteRecv(res.IP)
-		}
-	}
-	inCooldown := cooldownAt.Load() != 0
-	rec := output.NewRecord(res.IP, res.Port, res.Class, res.Success, repeat, inCooldown, res.TTL, time.Since(s.start))
-	// The write shares a critical section with the checkpoint-time
-	// flush-then-count, so a snapshot's ResultsWritten is always a floor
-	// on the records durably in the stream.
-	s.resultsMu.Lock()
-	err = cfg.Results.Write(rec)
-	s.resultsMu.Unlock()
-	if err != nil {
-		cfg.Logger.Error("result write failed", "err", err)
-		return
-	}
-	if traced {
-		s.traceRecv.Record(trace.KRespWritten, res.IP, res.Port, 0)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. It randomly
+// drops sync.Pool items (the validator's pooled MAC state among them) to
+// expose lifetime bugs, so allocation counts are meaningless under -race.
+const raceEnabled = true

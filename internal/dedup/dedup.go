@@ -17,8 +17,11 @@
 //     identically, so that is what backs Window here. A ring buffer
 //     provides FIFO expiry.
 //
-// Deduplicators are not safe for concurrent use; ZMap dedupes on the
-// single receive thread.
+// Deduplicators are not safe for concurrent use. ZMap dedupes on a
+// single receive thread; the sharded receive path keeps that invariant
+// per shard by giving each worker its own Window over a disjoint slice
+// of the key space — ShardOf decides which worker owns a key, so Seen
+// needs no mutex.
 package dedup
 
 // Deduper records (IP, port) response keys and reports repeats.
@@ -107,6 +110,27 @@ func NewWindow(size int) *Window {
 }
 
 func key(ip uint32, port uint16) uint64 { return uint64(ip)<<16 | uint64(port) }
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer, so
+// adjacent (IP, port) keys — scans walk dense ranges — spread uniformly
+// across shards instead of striping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf maps a response flow to its owning shard: mix64 over the same
+// packed 48-bit key Window stores, masked to the shard count (mask must
+// be 2^n - 1). The mapping depends only on the key, never on shard
+// count history, so checkpointed keys re-partition cleanly when a scan
+// resumes with a different number of receive workers.
+func ShardOf(ip uint32, port uint16, mask uint32) uint32 {
+	return uint32(mix64(key(ip, port))) & mask
+}
 
 // Seen implements Deduper over the 48-bit key space.
 func (w *Window) Seen(ip uint32, port uint16) bool {

@@ -419,8 +419,10 @@ func (c *Controller) NoteSent(ip uint32, n uint64) {
 	c.sentTotal.Add(n)
 }
 
-// NoteRecv records one unique successful response from ip. Called from
-// the receive goroutine.
+// NoteRecv records one unique successful response from ip. Called
+// concurrently from every receive worker (the sharded receive path runs
+// N classification goroutines); the per-prefix and total counters are
+// atomics, so no worker coordination is required.
 func (c *Controller) NoteRecv(ip uint32) {
 	c.prefixRecv[ip>>16].Add(1)
 	c.recvTotal.Add(1)
@@ -429,6 +431,7 @@ func (c *Controller) NoteRecv(ip uint32) {
 // NoteUnreach records one validated ICMP destination-unreachable whose
 // quoted probe targeted ip. The caller has already checked the quoted
 // source address, so spoofed unreachables cannot drive the rate down.
+// Like NoteRecv it is called concurrently from all receive workers.
 func (c *Controller) NoteUnreach(ip uint32) {
 	_ = ip // per-prefix unreach attribution is not used by the policy yet
 	c.unreachTotal.Add(1)

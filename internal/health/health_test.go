@@ -1,6 +1,7 @@
 package health
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -306,5 +307,40 @@ func TestNoteHotPathsConcurrent(t *testing.T) {
 	st := c.Snapshot()
 	if st.Unreach == 0 {
 		t.Fatal("unreach counter never advanced")
+	}
+}
+
+// TestNoteRecvSamePrefixConcurrent hammers NoteRecv and NoteUnreach
+// from several goroutines into the SAME /16 — the exact shape the
+// sharded receive path produces when one prefix's responses spread
+// across workers (fanout is per-host, not per-prefix) — and requires
+// the counts to be exact, not merely race-free: a lost increment would
+// skew the windowed response rate that drives quarantine decisions.
+func TestNoteRecvSamePrefixConcurrent(t *testing.T) {
+	c := NewController(Config{ConfiguredRate: 1000})
+	const workers, perWorker = 8, 5000
+	const prefix = uint32(0x0A0A) << 16
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.NoteRecv(prefix | uint32(g*perWorker+i))
+				if i%5 == 0 {
+					c.NoteUnreach(prefix | uint32(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := uint64(workers * perWorker); c.recvTotal.Load() != want {
+		t.Errorf("recv total = %d, want %d (lost increments under contention)", c.recvTotal.Load(), want)
+	}
+	if want := uint64(workers * perWorker); c.prefixRecv[prefix>>16].Load() != want {
+		t.Errorf("prefix recv = %d, want %d", c.prefixRecv[prefix>>16].Load(), want)
+	}
+	if want := uint64(workers * (perWorker / 5)); c.Snapshot().Unreach != want {
+		t.Errorf("unreach total = %d, want %d", c.Snapshot().Unreach, want)
 	}
 }

@@ -236,6 +236,12 @@ type Status struct {
 	SendLatencyP50 float64   `json:"send_latency_p50_secs"`
 	SendLatencyP90 float64   `json:"send_latency_p90_secs"`
 	SendLatencyP99 float64   `json:"send_latency_p99_secs"`
+	// Receive-path latency (frame receipt to parse+validate), merged
+	// across all receive-worker histogram shards. JSON-only, like the
+	// send quantiles: csvColumns is pinned for parser compatibility.
+	RecvLatencyP50 float64 `json:"recv_latency_p50_secs"`
+	RecvLatencyP90 float64 `json:"recv_latency_p90_secs"`
+	RecvLatencyP99 float64 `json:"recv_latency_p99_secs"`
 }
 
 // csvColumns pins the CSV column order. Appending a column is fine;

@@ -166,6 +166,10 @@ type releaser interface {
 	Release(frame []byte)
 }
 
+type batchReceiver interface {
+	RecvBatch(dst [][]byte) int
+}
+
 // SendBatch applies the fault schedule frame by frame, so a batch
 // observes exactly the faults the same frames would see through Send:
 // per-frame schedules (FailFirstN), attempt-ordinal schedules
@@ -191,6 +195,16 @@ func (f *FaultyTransport) Release(frame []byte) {
 
 // Recv passes through to the wrapped transport.
 func (f *FaultyTransport) Recv() <-chan []byte { return f.inner.Recv() }
+
+// RecvBatch passes through to the wrapped transport's batch receive
+// when it has one; otherwise it reports zero frames queued, which
+// degrades the caller to per-frame Recv with unchanged semantics.
+func (f *FaultyTransport) RecvBatch(dst [][]byte) int {
+	if br, ok := f.inner.(batchReceiver); ok {
+		return br.RecvBatch(dst)
+	}
+	return 0
+}
 
 // Stats passes through to the wrapped transport; injected failures never
 // reach the inner link, so its sent count reflects real deliveries.

@@ -145,6 +145,24 @@ func (t *RecvFaultTransport) Release(frame []byte) {
 // Recv returns the fault-injected response stream.
 func (t *RecvFaultTransport) Recv() <-chan []byte { return t.out }
 
+// RecvBatch drains up to len(dst) queued fault-injected frames without
+// blocking, mirroring Link.RecvBatch. Fault decisions were already made
+// at emit time, so batching changes delivery granularity, not the
+// schedule.
+func (t *RecvFaultTransport) RecvBatch(dst [][]byte) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case frame := <-t.out:
+			dst[n] = frame
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // Stats passes through to the wrapped transport.
 func (t *RecvFaultTransport) Stats() (sent, received, dropped uint64) {
 	return t.inner.Stats()

@@ -424,6 +424,25 @@ func (l *Link) deliver(frame []byte) {
 // stop by their own timeout (the scan cooldown), as a raw socket would.
 func (l *Link) Recv() <-chan []byte { return l.recv }
 
+// RecvBatch moves up to len(dst) already-delivered frames from the
+// receive ring into dst without blocking and returns the count — the
+// recvmmsg analogue of SendBatch. The engine's receive path blocks on
+// Recv for the first frame of a batch and fills the rest from here, so
+// an idle link costs nothing extra.
+func (l *Link) RecvBatch(dst [][]byte) int {
+	n := 0
+	for n < len(dst) {
+		select {
+		case frame := <-l.recv:
+			dst[n] = frame
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // Drain blocks until all scheduled deliveries have fired, then returns.
 // Useful in tests; a real scan just waits out its cooldown.
 func (l *Link) Drain() { l.pending.Wait() }

@@ -239,11 +239,24 @@ type Frame struct {
 	Payload        []byte // transport payload (after options), aliased into input
 }
 
-// Parse errors. Errors wrap ErrTruncated or ErrUnsupported so callers can
-// distinguish garbage from merely-uninteresting traffic.
+// Parse errors. Errors wrap ErrTruncated, ErrUnsupported, or ErrChecksum
+// so callers can distinguish garbage from merely-uninteresting traffic
+// from bit corruption.
 var (
 	ErrTruncated   = errors.New("packet: truncated")
 	ErrUnsupported = errors.New("packet: unsupported")
+	// ErrChecksum reports a frame that parsed structurally but whose IP
+	// header or transport checksum does not verify (ParseVerified only;
+	// plain Parse never checks). Structural faults always win: a frame
+	// that is both truncated and corrupt reports ErrTruncated.
+	ErrChecksum = errors.New("packet: checksum mismatch")
+)
+
+// Checksum rejections are pre-wrapped: the receive hot path rejects
+// corrupt frames without allocating an error per frame.
+var (
+	errIPChecksum        = fmt.Errorf("%w: ip header", ErrChecksum)
+	errTransportChecksum = fmt.Errorf("%w: transport segment", ErrChecksum)
 )
 
 // Parse decodes an Ethernet frame containing IPv4 and a supported
@@ -252,17 +265,8 @@ var (
 // total-length fields, and data offsets are all validated against the
 // actual buffer.
 func Parse(data []byte) (*Frame, error) {
-	if len(data) < EthernetHeaderLen {
-		return nil, fmt.Errorf("%w: frame %d bytes", ErrTruncated, len(data))
-	}
 	var f Frame
-	copy(f.EthDst[:], data[0:6])
-	copy(f.EthSrc[:], data[6:12])
-	etherType := binary.BigEndian.Uint16(data[12:14])
-	if etherType != EtherTypeIPv4 {
-		return nil, fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, etherType)
-	}
-	if err := parseIPv4(&f, data[EthernetHeaderLen:]); err != nil {
+	if err := parseInto(&f, nil, data, false); err != nil {
 		// Never hand back a half-populated frame: a caller that misses
 		// the error must get a nil dereference, not silently read
 		// whichever headers happened to parse before the fault.
@@ -271,7 +275,58 @@ func Parse(data []byte) (*Frame, error) {
 	return &f, nil
 }
 
-func parseIPv4(f *Frame, data []byte) error {
+// ParseVerified is Parse with checksum verification folded into the same
+// pass: after the structural walk validates every offset, the IP header
+// and transport checksums are summed over the already-bounded slices
+// instead of re-walking the frame from scratch (the old Parse-then-
+// VerifyChecksums shape). Rejection taxonomy: structural faults return
+// ErrTruncated/ErrUnsupported exactly as Parse would; a frame Parse
+// accepts that VerifyChecksums would refuse returns ErrChecksum.
+func ParseVerified(data []byte) (*Frame, error) {
+	var f Frame
+	if err := parseInto(&f, nil, data, true); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// FrameScratch is reusable parse state for a zero-allocation receive
+// path: the transport-header structs Parse heap-allocates per call live
+// in the scratch instead and are re-pointed into the Frame each parse.
+// A scratch is single-owner — one per receive worker, never shared.
+type FrameScratch struct {
+	frame Frame
+	tcp   TCP
+	udp   UDP
+	icmp  ICMP
+}
+
+// ParseVerified parses and checksum-verifies data into the scratch with
+// the same semantics as the package-level ParseVerified, without its
+// allocations. The returned Frame (and everything it points to) is
+// valid only until the next call on this scratch.
+func (s *FrameScratch) ParseVerified(data []byte) (*Frame, error) {
+	s.frame = Frame{}
+	if err := parseInto(&s.frame, s, data, true); err != nil {
+		return nil, err
+	}
+	return &s.frame, nil
+}
+
+func parseInto(f *Frame, sc *FrameScratch, data []byte, verify bool) error {
+	if len(data) < EthernetHeaderLen {
+		return fmt.Errorf("%w: frame %d bytes", ErrTruncated, len(data))
+	}
+	copy(f.EthDst[:], data[0:6])
+	copy(f.EthSrc[:], data[6:12])
+	etherType := binary.BigEndian.Uint16(data[12:14])
+	if etherType != EtherTypeIPv4 {
+		return fmt.Errorf("%w: ethertype 0x%04x", ErrUnsupported, etherType)
+	}
+	return parseIPv4(f, sc, data[EthernetHeaderLen:], verify)
+}
+
+func parseIPv4(f *Frame, sc *FrameScratch, data []byte, verify bool) error {
 	if len(data) < IPv4HeaderLen {
 		return fmt.Errorf("%w: ip header %d bytes", ErrTruncated, len(data))
 	}
@@ -309,19 +364,68 @@ func parseIPv4(f *Frame, data []byte) error {
 		Dst:      binary.BigEndian.Uint32(data[16:20]),
 	}
 	payload := data[ihl:total]
+	var err error
 	switch f.IP.Protocol {
 	case ProtocolTCP:
-		return parseTCP(f, payload)
+		var t *TCP
+		if sc != nil {
+			t = &sc.tcp
+		} else {
+			t = new(TCP)
+		}
+		err = parseTCP(f, t, payload)
 	case ProtocolUDP:
-		return parseUDP(f, payload)
+		var u *UDP
+		if sc != nil {
+			u = &sc.udp
+		} else {
+			u = new(UDP)
+		}
+		err = parseUDP(f, u, payload)
 	case ProtocolICMP:
-		return parseICMP(f, payload)
+		var ic *ICMP
+		if sc != nil {
+			ic = &sc.icmp
+		} else {
+			ic = new(ICMP)
+		}
+		err = parseICMP(f, ic, payload)
 	default:
 		return fmt.Errorf("%w: ip protocol %d", ErrUnsupported, f.IP.Protocol)
 	}
+	if err != nil || !verify {
+		return err
+	}
+	// Single-pass verification: the structural walk above already
+	// validated ihl and total against the buffer, so the checksum sums
+	// run over pre-bounded slices. Ordering matters for the rejection
+	// taxonomy — no checksum verdict is reached unless the whole frame
+	// parsed, matching the historical Parse-then-VerifyChecksums shape.
+	if Checksum(data[:ihl], 0) != 0 {
+		return errIPChecksum
+	}
+	seg := data[ihl:total]
+	switch f.IP.Protocol {
+	case ProtocolTCP:
+		if Checksum(seg, pseudoHeaderSum(f.IP.Src, f.IP.Dst, ProtocolTCP, len(seg))) != 0 {
+			return errTransportChecksum
+		}
+	case ProtocolUDP:
+		// A zero UDP checksum means the sender elected not to checksum
+		// (RFC 768); accept it, as VerifyChecksums always has.
+		if f.UDP.Checksum != 0 &&
+			Checksum(seg, pseudoHeaderSum(f.IP.Src, f.IP.Dst, ProtocolUDP, len(seg))) != 0 {
+			return errTransportChecksum
+		}
+	case ProtocolICMP:
+		if Checksum(seg, 0) != 0 {
+			return errTransportChecksum
+		}
+	}
+	return nil
 }
 
-func parseTCP(f *Frame, data []byte) error {
+func parseTCP(f *Frame, t *TCP, data []byte) error {
 	if len(data) < TCPHeaderLen {
 		return fmt.Errorf("%w: tcp header %d bytes", ErrTruncated, len(data))
 	}
@@ -332,7 +436,7 @@ func parseTCP(f *Frame, data []byte) error {
 	if offset > len(data) {
 		return fmt.Errorf("%w: tcp offset %d, have %d", ErrTruncated, offset, len(data))
 	}
-	f.TCP = &TCP{
+	*t = TCP{
 		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
 		DstPort:  binary.BigEndian.Uint16(data[2:4]),
 		Seq:      binary.BigEndian.Uint32(data[4:8]),
@@ -343,11 +447,12 @@ func parseTCP(f *Frame, data []byte) error {
 		Urgent:   binary.BigEndian.Uint16(data[18:20]),
 		Options:  data[TCPHeaderLen:offset],
 	}
+	f.TCP = t
 	f.Payload = data[offset:]
 	return nil
 }
 
-func parseUDP(f *Frame, data []byte) error {
+func parseUDP(f *Frame, u *UDP, data []byte) error {
 	if len(data) < UDPHeaderLen {
 		return fmt.Errorf("%w: udp header %d bytes", ErrTruncated, len(data))
 	}
@@ -358,29 +463,84 @@ func parseUDP(f *Frame, data []byte) error {
 	if length > len(data) {
 		return fmt.Errorf("%w: udp length %d, have %d", ErrTruncated, length, len(data))
 	}
-	f.UDP = &UDP{
+	*u = UDP{
 		SrcPort:  binary.BigEndian.Uint16(data[0:2]),
 		DstPort:  binary.BigEndian.Uint16(data[2:4]),
 		Length:   uint16(length),
 		Checksum: binary.BigEndian.Uint16(data[6:8]),
 	}
+	f.UDP = u
 	f.Payload = data[UDPHeaderLen:length]
 	return nil
 }
 
-func parseICMP(f *Frame, data []byte) error {
+func parseICMP(f *Frame, ic *ICMP, data []byte) error {
 	if len(data) < ICMPHeaderLen {
 		return fmt.Errorf("%w: icmp header %d bytes", ErrTruncated, len(data))
 	}
-	f.ICMP = &ICMP{
+	*ic = ICMP{
 		Type:     data[0],
 		Code:     data[1],
 		Checksum: binary.BigEndian.Uint16(data[2:4]),
 		ID:       binary.BigEndian.Uint16(data[4:6]),
 		Seq:      binary.BigEndian.Uint16(data[6:8]),
 	}
+	f.ICMP = ic
 	f.Payload = data[ICMPHeaderLen:]
 	return nil
+}
+
+// FlowKey extracts the flow identity a response will be classified
+// under — the (responder IP, scanned port) pair every probe module keys
+// its Result by: the source address and source port for TCP and UDP
+// replies, (source, 0) for ICMP, except destination-unreachable errors,
+// which are keyed by the quoted probe's destination so a UDP reply and
+// the port-unreachable for the same target agree. A sharded receive
+// path fans frames out by this key so every response for one target
+// lands on the same worker and its dedup shard.
+//
+// FlowKey reads only the fixed offsets it needs, bounds-checked and
+// allocation-free. Frames too short or non-IPv4 return (0, 0); the
+// value for any frame the parser would reject is irrelevant (rejected
+// frames never reach dedup), it only must be deterministic.
+func FlowKey(data []byte) (ip uint32, port uint16) {
+	if len(data) < EthernetHeaderLen+IPv4HeaderLen {
+		return 0, 0
+	}
+	b := data[EthernetHeaderLen:]
+	if b[0]>>4 != 4 {
+		return 0, 0
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl+4 {
+		return 0, 0
+	}
+	src := binary.BigEndian.Uint32(b[12:16])
+	switch b[9] {
+	case ProtocolTCP, ProtocolUDP:
+		return src, binary.BigEndian.Uint16(b[ihl : ihl+2])
+	case ProtocolICMP:
+		if b[ihl] != ICMPDestUnreach || len(b) < ihl+ICMPHeaderLen+IPv4HeaderLen+8 {
+			return src, 0
+		}
+		// Same quote layout ParseUnreachQuote validates: the ports are
+		// only meaningful for TCP/UDP quotes, which is exactly when a
+		// classifier would use them.
+		q := b[ihl+ICMPHeaderLen:]
+		if q[0]>>4 != 4 {
+			return src, 0
+		}
+		qihl := int(q[0]&0x0F) * 4
+		if qihl < IPv4HeaderLen || len(q) < qihl+4 {
+			return src, 0
+		}
+		switch q[9] {
+		case ProtocolTCP, ProtocolUDP:
+			return binary.BigEndian.Uint32(q[16:20]), binary.BigEndian.Uint16(q[qihl+2 : qihl+4])
+		}
+		return src, 0
+	}
+	return src, 0
 }
 
 // VerifyIPv4Checksum reports whether the IPv4 header checksum in an

@@ -1,0 +1,224 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// buildUDPReply builds a checksummed UDP frame (a DNS-ish response).
+func buildUDPReply(payload []byte) []byte {
+	buf := AppendEthernet(nil, srcMAC, dstMAC, EtherTypeIPv4)
+	buf = AppendIPv4(buf, IPv4{TTL: 64, Protocol: ProtocolUDP, Src: 0x05060708, Dst: 0x01020304}, UDPHeaderLen+len(payload))
+	return AppendUDP(buf, 53, 54321, 0x05060708, 0x01020304, payload)
+}
+
+// buildEchoReply builds a checksummed ICMP echo reply frame.
+func buildEchoReply() []byte {
+	buf := AppendEthernet(nil, srcMAC, dstMAC, EtherTypeIPv4)
+	buf = AppendIPv4(buf, IPv4{TTL: 64, Protocol: ProtocolICMP, Src: 0x05060708, Dst: 0x01020304}, ICMPHeaderLen+4)
+	return AppendICMPEcho(buf, ICMPEchoReply, 777, 42, []byte{1, 2, 3, 4})
+}
+
+// buildUnreach builds a checksummed ICMP destination-unreachable frame
+// from a router, quoting a UDP probe from quotedSrc to quotedDst.
+func buildUnreach(router, quotedSrc, quotedDst uint32, qSrcPort, qDstPort uint16) []byte {
+	quote := AppendIPv4(nil, IPv4{TTL: 64, Protocol: ProtocolUDP, Src: quotedSrc, Dst: quotedDst}, UDPHeaderLen)
+	quote = AppendUDP(quote, qSrcPort, qDstPort, quotedSrc, quotedDst, nil)
+	seg := make([]byte, ICMPHeaderLen, ICMPHeaderLen+len(quote))
+	seg[0] = ICMPDestUnreach
+	seg[1] = 3 // port unreachable
+	seg = append(seg, quote...)
+	binary.BigEndian.PutUint16(seg[2:4], Checksum(seg, 0))
+	buf := AppendEthernet(nil, srcMAC, dstMAC, EtherTypeIPv4)
+	buf = AppendIPv4(buf, IPv4{TTL: 64, Protocol: ProtocolICMP, Src: router, Dst: 0x01020304}, len(seg))
+	return append(buf, seg...)
+}
+
+// twoPass is the reference receive-path shape ParseVerified replaced:
+// structural Parse, then a second full walk for checksums. It returns
+// the frame plus the error class the old path would act on.
+func twoPass(data []byte) (*Frame, error) {
+	f, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if !VerifyChecksums(data) {
+		return nil, ErrChecksum
+	}
+	return f, nil
+}
+
+// errClass buckets a parse error into the receive path's rejection
+// taxonomy: the counter a frame increments depends only on this class.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrTruncated):
+		return "recv_truncated"
+	case errors.Is(err, ErrChecksum):
+		return "recv_checksum_fail"
+	case errors.Is(err, ErrUnsupported):
+		return "recv_unsupported"
+	default:
+		return "other"
+	}
+}
+
+// TestParseVerifiedTaxonomy pins the single-pass parser's rejection
+// taxonomy on hand-built cases across every header class the receive
+// path distinguishes.
+func TestParseVerifiedTaxonomy(t *testing.T) {
+	synack := buildSYN(t, LayoutMSS)
+	udp := buildUDPReply([]byte("answer"))
+	zeroCk := buildUDPReply([]byte("unchecksummed"))
+	// RFC 768: a transmitted checksum of zero means "not computed".
+	zeroCk[EthernetHeaderLen+IPv4HeaderLen+6] = 0
+	zeroCk[EthernetHeaderLen+IPv4HeaderLen+7] = 0
+
+	cases := []struct {
+		name  string
+		frame []byte
+		want  string
+	}{
+		{"tcp-good", synack, "ok"},
+		{"udp-good", udp, "ok"},
+		{"udp-zero-checksum", zeroCk, "ok"},
+		{"icmp-echo-good", buildEchoReply(), "ok"},
+		{"icmp-unreach-good", buildUnreach(9, 0x01020304, 0x05060708, 54321, 53), "ok"},
+		{"empty", nil, "recv_truncated"},
+		{"runt-ethernet", synack[:10], "recv_truncated"},
+		{"runt-ip", synack[:EthernetHeaderLen+8], "recv_truncated"},
+		{"runt-tcp", synack[:EthernetHeaderLen+IPv4HeaderLen+4], "recv_truncated"},
+		{"bad-ethertype", mutate(synack, 12, 0x86), "recv_unsupported"},
+		{"bad-protocol", reflagProtocol(synack, 47), "recv_unsupported"},
+		{"ip-checksum-flipped", mutate(synack, EthernetHeaderLen+10, synack[EthernetHeaderLen+10]^0xFF), "recv_checksum_fail"},
+		{"tcp-payload-corrupt", mutate(synack, len(synack)-1, synack[len(synack)-1]^0x01), "recv_checksum_fail"},
+		{"udp-checksum-corrupt", mutate(udp, len(udp)-1, udp[len(udp)-1]^0x01), "recv_checksum_fail"},
+		{"icmp-checksum-corrupt", mutate(buildEchoReply(), EthernetHeaderLen+IPv4HeaderLen+2, 0xAA), "recv_checksum_fail"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseVerified(tc.frame)
+			if got := errClass(err); got != tc.want {
+				t.Errorf("ParseVerified class = %s (err %v), want %s", got, err, tc.want)
+			}
+			_, refErr := twoPass(tc.frame)
+			if got, ref := errClass(err), errClass(refErr); got != ref {
+				t.Errorf("single-pass class %s disagrees with two-pass reference %s", got, ref)
+			}
+		})
+	}
+}
+
+// reflagProtocol rewrites the IP protocol field and repairs the header
+// checksum so only the protocol is at fault.
+func reflagProtocol(src []byte, proto byte) []byte {
+	out := append([]byte(nil), src...)
+	ip := out[EthernetHeaderLen:]
+	ip[9] = proto
+	ip[10], ip[11] = 0, 0
+	ihl := int(ip[0]&0x0F) * 4
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:ihl], 0))
+	return out
+}
+
+// TestParseVerifiedEquivalentToTwoPass sweeps every single-byte
+// mutation and every truncation of each good frame class and asserts
+// the folded single-pass parser lands in exactly the same taxonomy
+// bucket as the old Parse-then-VerifyChecksums composition — and
+// returns an identical Frame whenever both accept.
+func TestParseVerifiedEquivalentToTwoPass(t *testing.T) {
+	seeds := map[string][]byte{
+		"tcp":     buildSYN(t, LayoutLinux),
+		"udp":     buildUDPReply([]byte("payload")),
+		"icmp":    buildEchoReply(),
+		"unreach": buildUnreach(9, 0x01020304, 0x05060708, 54321, 53),
+	}
+	for name, seed := range seeds {
+		t.Run(name, func(t *testing.T) {
+			check := func(frame []byte, what string) {
+				t.Helper()
+				got, gotErr := ParseVerified(frame)
+				ref, refErr := twoPass(frame)
+				if g, r := errClass(gotErr), errClass(refErr); g != r {
+					t.Fatalf("%s: single-pass %s (%v), two-pass %s (%v)", what, g, gotErr, r, refErr)
+				}
+				if gotErr == nil && !reflect.DeepEqual(got, ref) {
+					t.Fatalf("%s: accepted frames differ:\n single %+v\n two    %+v", what, got, ref)
+				}
+			}
+			check(seed, "pristine")
+			for n := 0; n < len(seed); n++ {
+				check(seed[:n], "truncated")
+			}
+			for i := range seed {
+				for _, delta := range []byte{0x01, 0x80, 0xFF} {
+					check(mutate(seed, i, seed[i]^delta), "mutated")
+				}
+			}
+		})
+	}
+}
+
+// TestFrameScratchMatchesParseVerified proves the zero-alloc scratch
+// parser is observationally identical to the allocating one, including
+// across reuse (no state bleeding from the previous frame).
+func TestFrameScratchMatchesParseVerified(t *testing.T) {
+	frames := [][]byte{
+		buildSYN(t, LayoutMSS),
+		buildUDPReply([]byte("a")),
+		buildEchoReply(),
+		buildUnreach(9, 0x01020304, 0x05060708, 1, 2),
+		buildSYN(t, LayoutWindows),
+		{0xde, 0xad}, // rejected; must not corrupt the next parse
+		buildSYN(t, LayoutNone),
+	}
+	var sc FrameScratch
+	for i, frame := range frames {
+		got, gotErr := sc.ParseVerified(frame)
+		want, wantErr := ParseVerified(frame)
+		if errClass(gotErr) != errClass(wantErr) {
+			t.Fatalf("frame %d: scratch err %v, package err %v", i, gotErr, wantErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: scratch parse differs:\n scratch %+v\n package %+v", i, got, want)
+		}
+	}
+}
+
+// TestFlowKeyMatchesClassifyIdentity pins the fanout key to the flow
+// identity each response class is deduplicated under: (src, sport) for
+// TCP/UDP, (src, 0) for ICMP echo, and the QUOTED (dst, dstport) for
+// destination-unreachable so the error lands on the same shard as a
+// positive reply from that target would.
+func TestFlowKeyMatchesClassifyIdentity(t *testing.T) {
+	syn := buildSYN(t, LayoutMSS)
+	cases := []struct {
+		name     string
+		frame    []byte
+		wantIP   uint32
+		wantPort uint16
+	}{
+		{"tcp", syn, 0x01020304, 54321},
+		{"udp", buildUDPReply(nil), 0x05060708, 53},
+		{"icmp-echo", buildEchoReply(), 0x05060708, 0},
+		{"icmp-unreach-quoted", buildUnreach(9, 0x01020304, 0x05060708, 54321, 53), 0x05060708, 53},
+		{"short", syn[:12], 0, 0},
+		{"non-ipv4", mutate(syn, EthernetHeaderLen, 0x60), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ip, port := FlowKey(tc.frame)
+			if ip != tc.wantIP || port != tc.wantPort {
+				t.Errorf("FlowKey = (%08x, %d), want (%08x, %d)", ip, port, tc.wantIP, tc.wantPort)
+			}
+		})
+	}
+	// FlowKey must be total: no slice of a valid frame may panic it.
+	for n := 0; n <= len(syn); n++ {
+		FlowKey(syn[:n])
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package validate
+
+const raceEnabled = false

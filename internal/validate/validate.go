@@ -18,6 +18,8 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
+	"sync"
 )
 
 // KeySize is the size of the per-scan validation key in bytes.
@@ -30,9 +32,45 @@ type ComputeCounter interface {
 }
 
 // Validator computes per-target validation words for one scan.
+//
+// Compute sits on both hot paths — once per rendered probe and twice per
+// classified response — so the keyed HMAC state is pooled and reused
+// rather than rebuilt per call: after warm-up a Compute performs no heap
+// allocation, which the receive path's zero-alloc contract depends on.
+// The pool makes the Validator safe for concurrent use by sender threads
+// and receive workers.
 type Validator struct {
 	key      [KeySize]byte
 	computes ComputeCounter
+	macs     sync.Pool // *macScratch
+}
+
+// macScratch is one reusable keyed-MAC evaluation context. The sum
+// buffer is sized so hmac's append-style Sum never grows it, and the
+// tuple buffer lives here (not on the caller's stack) because slices
+// passed through the hash.Hash interface escape.
+type macScratch struct {
+	mac   hash.Hash
+	sum   [sha256.Size]byte
+	tuple [34]byte
+}
+
+// getMAC fetches a pooled scratch, creating one on first use per P.
+func (v *Validator) getMAC() *macScratch {
+	if s, ok := v.macs.Get().(*macScratch); ok {
+		s.mac.Reset()
+		return s
+	}
+	return &macScratch{mac: hmac.New(sha256.New, v.key[:])}
+}
+
+// finish extracts the truncated validation word and returns the scratch
+// to the pool.
+func (v *Validator) finish(s *macScratch) uint64 {
+	out := s.mac.Sum(s.sum[:0])
+	w := binary.BigEndian.Uint64(out[:8])
+	v.macs.Put(s)
+	return w
 }
 
 // Instrument attaches a counter incremented once per validation-word
@@ -67,14 +105,12 @@ func (v *Validator) Compute(srcIP, dstIP uint32, dstPort uint16) uint64 {
 	if v.computes != nil {
 		v.computes.Add(1)
 	}
-	mac := hmac.New(sha256.New, v.key[:])
-	var tuple [10]byte
-	binary.BigEndian.PutUint32(tuple[0:4], srcIP)
-	binary.BigEndian.PutUint32(tuple[4:8], dstIP)
-	binary.BigEndian.PutUint16(tuple[8:10], dstPort)
-	mac.Write(tuple[:])
-	sum := mac.Sum(nil)
-	return binary.BigEndian.Uint64(sum[:8])
+	s := v.getMAC()
+	binary.BigEndian.PutUint32(s.tuple[0:4], srcIP)
+	binary.BigEndian.PutUint32(s.tuple[4:8], dstIP)
+	binary.BigEndian.PutUint16(s.tuple[8:10], dstPort)
+	s.mac.Write(s.tuple[:10])
+	return v.finish(s)
 }
 
 // TCPSeq returns the 32-bit sequence number to place in a SYN probe for
@@ -107,14 +143,12 @@ func (v *Validator) Compute6(src, dst [16]byte, dstPort uint16) uint64 {
 	if v.computes != nil {
 		v.computes.Add(1)
 	}
-	mac := hmac.New(sha256.New, v.key[:])
-	var tuple [34]byte
-	copy(tuple[0:16], src[:])
-	copy(tuple[16:32], dst[:])
-	binary.BigEndian.PutUint16(tuple[32:34], dstPort)
-	mac.Write(tuple[:])
-	sum := mac.Sum(nil)
-	return binary.BigEndian.Uint64(sum[:8])
+	s := v.getMAC()
+	copy(s.tuple[0:16], src[:])
+	copy(s.tuple[16:32], dst[:])
+	binary.BigEndian.PutUint16(s.tuple[32:34], dstPort)
+	s.mac.Write(s.tuple[:34])
+	return v.finish(s)
 }
 
 // TCPSeq6 derives the SYN sequence number for a v6 flow.

@@ -33,6 +33,12 @@ go test -race -count=1 -run 'TestCLISigintCheckpointResume|TestCheckpointResumeE
 echo "==> batched send loop vs faulty transport (batch-size sweep)"
 go test -race -count=1 -run 'TestScanBatchedFaultyTransport' ./internal/core
 
+echo "==> sharded receive parity: byte-equal output across worker counts, per-shard dedup resume"
+go test -race -count=1 \
+    -run 'TestShardedRecvEquivalence|TestShardedRecvResumeExactlyOnce' ./internal/core
+go test -count=1 -run 'TestShardedRecvZeroAllocs|TestComputeZeroAlloc' \
+    ./internal/core ./internal/validate
+
 echo "==> scan health: congestion knee + dark-subnet quarantine scenarios"
 go test -race -count=1 \
     -run 'TestAdaptiveRateRecoversThroughCongestionKnee|TestDarkSubnetQuarantined|TestQuarantineSurvivesResume' \

@@ -128,6 +128,7 @@ func TestScanMetricsAgreeWithSummary(t *testing.T) {
 	for _, key := range []string{
 		"sent", "recv", "hit_rate", "thread_pps",
 		"send_latency_p50_secs", "send_latency_p90_secs", "send_latency_p99_secs",
+		"recv_latency_p50_secs", "recv_latency_p90_secs", "recv_latency_p99_secs",
 	} {
 		if _, ok := last[key]; !ok {
 			t.Errorf("status line missing %q: %v", key, last)
@@ -138,6 +139,18 @@ func TestScanMetricsAgreeWithSummary(t *testing.T) {
 	p99, _ := last["send_latency_p99_secs"].(float64)
 	if !(p50 <= p90 && p90 <= p99) {
 		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// Receive-side quantiles merge every worker's histogram shard; they
+	// must be present, monotone, and non-zero once responses have been
+	// validated (the scan above guarantees validated traffic).
+	r50, _ := last["recv_latency_p50_secs"].(float64)
+	r90, _ := last["recv_latency_p90_secs"].(float64)
+	r99, _ := last["recv_latency_p99_secs"].(float64)
+	if !(r50 <= r90 && r90 <= r99) {
+		t.Errorf("recv quantiles not monotone: p50=%v p90=%v p99=%v", r50, r90, r99)
+	}
+	if r99 <= 0 {
+		t.Errorf("recv_latency_p99_secs = %v, want > 0 after validated traffic", r99)
 	}
 	if threads, ok := last["thread_pps"].([]any); !ok || len(threads) != 2 {
 		t.Errorf("thread_pps = %v, want 2 entries", last["thread_pps"])

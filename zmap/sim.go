@@ -301,6 +301,16 @@ func (l *Link) Recv() <-chan []byte {
 	return l.inner.Recv()
 }
 
+// RecvBatch implements the engine's BatchReceiver extension, draining
+// whichever stream Recv serves — the fault injector's output when one
+// is attached, the raw link otherwise.
+func (l *Link) RecvBatch(dst [][]byte) int {
+	if l.recv != nil {
+		return l.recv.RecvBatch(dst)
+	}
+	return l.inner.RecvBatch(dst)
+}
+
 // Stats implements Transport.
 func (l *Link) Stats() (sent, received, dropped uint64) { return l.inner.Stats() }
 

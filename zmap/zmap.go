@@ -120,6 +120,13 @@ type Options struct {
 	// rate accounting stay exact at any size.
 	BatchSize int
 
+	// RecvWorkers is how many sharded receive workers parse, validate,
+	// and deduplicate responses (0 = default 1, the classic single
+	// receive thread; values round up to a power of two). Responses fan
+	// out by flow hash, so every response for one target lands on the
+	// same worker and output stays equivalent at any worker count.
+	RecvWorkers int
+
 	// Seed fixes the target permutation; 0 derives one from the clock.
 	Seed int64
 
@@ -352,6 +359,7 @@ func (o Options) Compile(transport Transport) (*Scanner, error) {
 		ShardMode:           mode,
 		Rate:                rate,
 		BatchSize:           o.BatchSize,
+		RecvWorkers:         o.RecvWorkers,
 		ProbesPerTarget:     o.ProbesPerTarget,
 		MaxTargets:          o.MaxTargets,
 		Cooldown:            o.Cooldown,
