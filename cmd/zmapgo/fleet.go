@@ -47,6 +47,10 @@ func runFleet(args []string) int {
 		faultSeed   = fs.Uint64("fault-seed", 0, "derive a random fault plan from this seed instead of --fault-plan")
 		faultCount  = fs.Int("fault-count", 3, "faults in the derived plan (with --fault-seed)")
 		faultWindow = fs.Duration("fault-window", 2*time.Second, "window the derived faults spread over (with --fault-seed)")
+		listen      = fs.String("listen", "", "serve the control plane over HTTP on this host:port instead of the shared filesystem (port 0 = pick)")
+		advertise   = fs.String("advertise", "", "control-plane URL published to workers (default http://<bound address>)")
+		joinToken   = fs.String("join-token", "", "shared token required on every worker RPC (with --listen)")
+		remote      = fs.Bool("remote-workers", false, "do not spawn local workers; offer grants to `zmapgo fleet-worker --join` processes (requires --listen)")
 		simSeed     = fs.Uint64("sim-seed", 1, "simulated-Internet population seed (identical in every worker)")
 		simLossless = fs.Bool("sim-lossless", false, "disable simulated packet loss")
 		timeScale   = fs.Float64("sim-time-scale", 1e-3, "RTT compression factor for the simulated links")
@@ -57,6 +61,10 @@ func runFleet(args []string) int {
 	}
 	if *seed == 0 {
 		fmt.Fprintln(os.Stderr, "zmapgo fleet: --seed is required and must be non-zero (workers share the permutation it derives)")
+		return 2
+	}
+	if *remote && *listen == "" {
+		fmt.Fprintln(os.Stderr, "zmapgo fleet: --remote-workers requires --listen")
 		return 2
 	}
 
@@ -83,6 +91,10 @@ func runFleet(args []string) int {
 		CheckpointInterval: *ckptEvery,
 		MaxRespawns:        *maxRespawns,
 		RespawnBackoff:     *backoff,
+		Listen:             *listen,
+		Advertise:          *advertise,
+		JoinToken:          *joinToken,
+		RemoteWorkers:      *remote,
 		MergedOutput:       *outFile,
 		MetadataPath:       *metaFile,
 		TracePath:          *traceFile,
@@ -101,6 +113,15 @@ func runFleet(args []string) int {
 	} else if *faultSeed != 0 {
 		opts.Faults = zmap.RandomFleetFaults(*faultSeed, *workers, *faultCount, *faultWindow, *faultWindow/4)
 		fmt.Fprintf(os.Stderr, "zmapgo fleet: derived fault plan %q\n", opts.Faults.String())
+	}
+	if *listen != "" {
+		opts.OnListen = func(bound string) {
+			join := bound
+			if *advertise != "" {
+				join = *advertise
+			}
+			fmt.Fprintf(os.Stderr, "zmapgo fleet: control plane at %s (workers: zmapgo fleet-worker --join %s)\n", bound, join)
+		}
 	}
 	level := slog.LevelInfo
 	if *verbose {

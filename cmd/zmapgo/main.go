@@ -39,6 +39,9 @@ func main() {
 	if len(args) > 0 && args[0] == "fleet" {
 		os.Exit(runFleet(args[1:]))
 	}
+	if len(args) > 0 && args[0] == "fleet-worker" {
+		os.Exit(runFleetWorkerCmd(args[1:]))
+	}
 	os.Exit(run(args))
 }
 

@@ -86,6 +86,18 @@ type Config struct {
 	// the running fleet (kill/hang/slow, see FaultPlan).
 	Faults *FaultPlan
 
+	// Plane is the coordinator↔worker control plane (nil = the
+	// filesystem plane, byte-compatible with pre-network fleet dirs).
+	// The network plane lives in internal/fleetnet and is wired in by
+	// zmap.RunFleet when a listen address is configured.
+	Plane ControlPlane
+
+	// RemoteWorkers disables local worker spawning: each grant is
+	// offered through the plane (which must implement RemotePlane) and
+	// executed by a joined `fleet-worker` process, supervised through
+	// its lease renewals alone.
+	RemoteWorkers bool
+
 	// MergedOutput is the merged result path (default
 	// <Dir>/merged.<ext>). MetadataPath receives the fleet-level
 	// summary document (default <Dir>/fleet-metadata.json). TracePath
@@ -183,6 +195,7 @@ type coordinator struct {
 	cfg     Config
 	log     *slog.Logger
 	jr      *trace.Recorder
+	plane   ControlPlane
 	start   time.Time
 	fleetID string
 	fps     []checkpoint.Fingerprint
@@ -249,6 +262,14 @@ func (c *Config) applyDefaults() error {
 	if c.RespawnBackoffMax <= 0 {
 		c.RespawnBackoffMax = 2 * time.Second
 	}
+	if c.Plane == nil {
+		c.Plane = NewFSControlPlane()
+	}
+	if c.RemoteWorkers {
+		if _, ok := c.Plane.(RemotePlane); !ok {
+			return fmt.Errorf("fleet: RemoteWorkers requires a remote-capable control plane, have %q", c.Plane.Name())
+		}
+	}
 	if c.MergedOutput == "" {
 		c.MergedOutput = filepath.Join(c.Dir, "merged."+outputExt(c.Scan.Format))
 	}
@@ -293,6 +314,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		cfg:     cfg,
 		log:     logger,
 		jr:      trace.New(trace.Config{Shards: 1, SampleEvery: -1}),
+		plane:   cfg.Plane,
 		start:   time.Now(),
 		fleetID: fmt.Sprintf("fleet-%d-%d", os.Getpid(), time.Now().UnixNano()),
 		fps:     fps,
@@ -317,9 +339,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	c.journal(trace.JEntry{Kind: trace.JFleetStart, Name: c.fleetID,
-		Detail: fmt.Sprintf("workers=%d seed=%d budget=%.0fpps ttl=%s",
-			cfg.Workers, cfg.Scan.Seed, cfg.RateBudget, cfg.LeaseTTL)})
+		Detail: fmt.Sprintf("workers=%d seed=%d budget=%.0fpps ttl=%s plane=%s",
+			cfg.Workers, cfg.Scan.Seed, cfg.RateBudget, cfg.LeaseTTL, c.plane.Name())})
 	defer c.dumpTrace()
+
+	if err := c.plane.Start(PlaneInfo{
+		Dir:      cfg.Dir,
+		Workers:  cfg.Workers,
+		Format:   cfg.Scan.Format,
+		FleetID:  c.fleetID,
+		LeaseTTL: cfg.LeaseTTL,
+		Journal:  c.journal,
+		Metrics:  reg,
+		Logger:   logger,
+	}); err != nil {
+		return nil, fmt.Errorf("fleet: control plane start: %w", err)
+	}
+	defer c.plane.Close()
 
 	// Initial rate allocation: everyone is presumed live until their
 	// supervisor reports otherwise, so workers start at budget/N.
@@ -501,12 +537,39 @@ func (c *coordinator) reallocateLocked(reason string) (share float64, alive int)
 		}
 		c.rateAlloc[i].Set(share)
 		path := PathsFor(c.cfg.Dir, i, 1, c.cfg.Scan.Format).Rate
-		if err := writeRateFile(path, share); err != nil {
-			c.log.Warn("rate file write failed", "shard", i, "err", err)
+		if err := writeRateFileRetry(path, share); err != nil {
+			// A silently lost write here would strand part of the fleet
+			// budget: a dead worker's slice never reaches the survivors
+			// (or a respawn keeps an inflated share). Journal it as a
+			// first-class decision so the loss is attributable, and keep
+			// the gauge at the intended value — the next realloc retries.
+			c.log.Warn("rate file write failed after retries", "shard", i, "err", err)
+			c.journal(trace.JEntry{Kind: trace.JFleetRateLost, Index: i,
+				Reason: reason, RatePPS: share,
+				Detail: fmt.Sprintf("attempts=%d err=%v", rateWriteAttempts, err)})
 		}
 	}
 	c.log.Debug("rate reallocated", "reason", reason, "alive", alive, "share", share)
 	return share, alive
+}
+
+// rateWriteAttempts bounds the per-shard retry of a failed rate-file
+// publication (transient ENOSPC/EACCES flaps on network filesystems).
+const rateWriteAttempts = 4
+
+// writeRateFileRetry publishes a rate cap with a short bounded backoff;
+// the caller journals the final failure.
+func writeRateFileRetry(path string, pps float64) error {
+	backoff := 2 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < rateWriteAttempts; attempt++ {
+		if err = writeRateFile(path, pps); err == nil {
+			return nil
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return err
 }
 
 // writeRateFile publishes a rate cap atomically (tiny advisory file;
@@ -612,13 +675,20 @@ func (s *supervisor) run(ctx context.Context) error {
 		epoch = l.Epoch
 		donePaths := PathsFor(c.cfg.Dir, s.shard, l.Epoch, c.cfg.Scan.Format)
 		switch {
-		case l.State == checkpoint.LeaseDone && fileExists(donePaths.Metadata):
-			// Shard finished under a previous coordinator.
+		case fileExists(donePaths.Metadata):
+			// Shard finished under a previous coordinator. The metadata
+			// file is the one commit record; the lease's done-mark is
+			// only an optimization, and a worker whose done-mark write
+			// failed must still be adopted as finished, never re-scanned.
+			detail := ""
+			if l.State != checkpoint.LeaseDone {
+				detail = fmt.Sprintf("commit record present, lease state %q (done-mark lost)", l.State)
+			}
 			s.res.Epochs = epoch
 			s.res.Summary = loadShardSummary(donePaths.Metadata)
 			c.setAlive(s.shard, false, "already_done")
 			c.journal(trace.JEntry{Kind: trace.JFleetAdopt, Index: s.shard,
-				Name: l.WorkerID, Reason: "already_done"})
+				Name: l.WorkerID, Reason: "already_done", Detail: detail})
 			return nil
 		case pidAlive(l.OwnerPID) && !l.Expired(time.Now()):
 			// A live worker from a previous coordinator still holds
@@ -729,15 +799,14 @@ func (s *supervisor) runEpoch(ctx context.Context, epoch int, resume bool) (outc
 		RatePPS:            c.cfg.RateBudget,
 		Resume:             resume,
 		Paths:              paths,
+		LeaseTTL:           c.cfg.LeaseTTL,
 		CheckpointInterval: c.cfg.CheckpointInterval,
 		HeartbeatInterval:  c.cfg.HeartbeatInterval,
 		RatePollInterval:   c.cfg.RatePollInterval,
 	}
-	if err := SaveWorkerSpec(paths.Spec, spec); err != nil {
-		return outCrash, err
-	}
-	// Grant: bump the epoch on disk before the worker exists, so a
-	// fenced straggler from the previous epoch can never renew again.
+	// Grant: bump the epoch (durably, through the plane) before the
+	// worker exists, so a fenced straggler from the previous epoch can
+	// never renew again. The plane writes the spec before the lease.
 	now := time.Now()
 	lease := &checkpoint.Lease{
 		FleetID:     c.fleetID,
@@ -750,8 +819,12 @@ func (s *supervisor) runEpoch(ctx context.Context, epoch int, resume bool) (outc
 		TTLSecs:     c.cfg.LeaseTTL.Seconds(),
 		Fingerprint: c.fps[s.shard],
 	}
-	if err := checkpoint.SaveLease(paths.Lease, lease); err != nil {
+	if err := c.plane.Grant(spec, lease); err != nil {
 		return outCrash, err
+	}
+
+	if c.cfg.RemoteWorkers {
+		return s.runRemoteEpoch(ctx, spec, paths), nil
 	}
 
 	logf, err := os.OpenFile(filepath.Join(paths.Dir, "worker.log"),
@@ -760,7 +833,7 @@ func (s *supervisor) runEpoch(ctx context.Context, epoch int, resume bool) (outc
 		return outCrash, err
 	}
 	cmd := exec.Command(c.cfg.Binary, c.cfg.Args...)
-	cmd.Env = append(os.Environ(), WorkerSpecEnv+"="+paths.Spec)
+	cmd.Env = append(os.Environ(), c.plane.WorkerEnv(spec)...)
 	cmd.Stdout, cmd.Stderr = logf, logf
 	if err := cmd.Start(); err != nil {
 		logf.Close()
@@ -785,6 +858,75 @@ func (s *supervisor) runEpoch(ctx context.Context, epoch int, resume bool) (outc
 	s.pid.Store(0)
 	c.setAlive(s.shard, false, out.String())
 	return out, nil
+}
+
+// runRemoteEpoch supervises a grant executed by a worker process this
+// coordinator did not spawn (`fleet-worker --join`): the grant is
+// offered through the plane's acquire queue and the shard is judged
+// entirely on durable protocol state — lease renewals arriving over the
+// control plane, the epoch's commit record, and best-effort exit
+// reports. There is no pid to kill: reclaim is pure fencing (the next
+// grant bumps the epoch server-side, so every late RPC from the old
+// worker is rejected, and a partitioned worker self-fences once it
+// cannot renew within one lease TTL).
+func (s *supervisor) runRemoteEpoch(ctx context.Context, spec *WorkerSpec, paths WorkerPaths) outcome {
+	c := s.c
+	rp := c.plane.(RemotePlane) // validated in applyDefaults
+	rp.Offer(spec)
+	c.setAlive(s.shard, true, "offer")
+	c.journal(trace.JEntry{Kind: trace.JFleetOffer, Index: s.shard, Name: spec.WorkerID(),
+		Reason: "grant", Detail: fmt.Sprintf("epoch=%d resume=%t", spec.Epoch, spec.Resume)})
+
+	interval := c.cfg.LeaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	reofferAfter := 5 * c.cfg.LeaseTTL
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	offered := time.Now()
+	out := func() outcome {
+		for {
+			select {
+			case <-ctx.Done():
+				return outCanceled
+			case <-tick.C:
+				if fileExists(paths.Metadata) {
+					s.res.Summary = loadShardSummary(paths.Metadata)
+					c.journal(trace.JEntry{Kind: trace.JFleetWorkerDone, Index: s.shard,
+						Name: spec.WorkerID(), Reason: "remote"})
+					return outDone
+				}
+				if code, ok := rp.TakeExit(s.shard, spec.Epoch); ok {
+					return s.classifyExitCode(code, nil, paths)
+				}
+				l, err := checkpoint.LoadLease(paths.Lease)
+				if err != nil || l.Epoch != spec.Epoch {
+					continue
+				}
+				switch {
+				case l.State == checkpoint.LeaseRunning && l.Expired(time.Now()):
+					c.journal(trace.JEntry{Kind: trace.JFleetLeaseExpired, Index: s.shard,
+						Name: l.WorkerID, Reason: "heartbeat_stale_remote",
+						Detail: fmt.Sprintf("stale=%s ttl=%s",
+							time.Since(l.RenewedAt).Round(time.Millisecond), l.TTL())})
+					return outHang
+				case l.State == checkpoint.LeaseGranted && time.Since(offered) > reofferAfter:
+					// Nobody adopted the grant: either no worker has
+					// joined yet, or the acquirer died before its first
+					// renewal. Re-offering the same epoch is idempotent —
+					// worst case two workers race to adopt one epoch,
+					// both may scan, and the merge dedups the overlap.
+					rp.Offer(spec)
+					offered = time.Now()
+					c.journal(trace.JEntry{Kind: trace.JFleetOffer, Index: s.shard,
+						Name: spec.WorkerID(), Reason: "reoffer"})
+				}
+			}
+		}
+	}()
+	c.setAlive(s.shard, false, out.String())
+	return out
 }
 
 // monitorSpawned watches one spawned worker: its process exit and its
@@ -842,8 +984,10 @@ func (s *supervisor) monitorAdopted(ctx context.Context, l *checkpoint.Lease, pa
 		select {
 		case <-tick.C:
 			if !pidAlive(pid) {
-				if cur, err := checkpoint.LoadLease(paths.Lease); err == nil &&
-					cur.State == checkpoint.LeaseDone && fileExists(paths.Metadata) {
+				// Judged on the commit record alone: a worker that died
+				// after its metadata rename but before (or during) the
+				// lease done-mark still finished.
+				if fileExists(paths.Metadata) {
 					c.journal(trace.JEntry{Kind: trace.JFleetWorkerDone, Index: s.shard,
 						Name: l.WorkerID, Reason: "adopted"})
 					return outDone
@@ -870,7 +1014,6 @@ func (s *supervisor) monitorAdopted(ctx context.Context, l *checkpoint.Lease, pa
 // Completion is judged by the metadata file, not the exit code alone:
 // its atomic write is the worker's commit record.
 func (s *supervisor) classifyExit(waitErr error, paths WorkerPaths) outcome {
-	c := s.c
 	code := 0
 	if waitErr != nil {
 		var ee *exec.ExitError
@@ -880,6 +1023,14 @@ func (s *supervisor) classifyExit(waitErr error, paths WorkerPaths) outcome {
 			code = -1
 		}
 	}
+	return s.classifyExitCode(code, waitErr, paths)
+}
+
+// classifyExitCode is the shared exit-status judgment for spawned
+// workers (status from Wait) and remote joined workers (status from a
+// best-effort exit-report RPC).
+func (s *supervisor) classifyExitCode(code int, waitErr error, paths WorkerPaths) outcome {
+	c := s.c
 	switch code {
 	case ExitOK:
 		if fileExists(paths.Metadata) {
@@ -897,6 +1048,15 @@ func (s *supervisor) classifyExit(waitErr error, paths WorkerPaths) outcome {
 		c.journal(trace.JEntry{Kind: trace.JFleetWorkerExit, Index: s.shard, Reason: "fingerprint"})
 		return outFingerprint
 	case ExitFenced:
+		// Distinguish the two fencing causes in the journal: a lease
+		// superseded by a re-grant stays freshly renewed by its new
+		// owner, while a worker that self-fenced behind a partition
+		// leaves its own lease stale.
+		if l, err := checkpoint.LoadLease(paths.Lease); err == nil && l.Expired(time.Now()) {
+			c.journal(trace.JEntry{Kind: trace.JFleetSelfFence, Index: s.shard,
+				Name: l.WorkerID, Reason: "renewals_stale",
+				Detail: fmt.Sprintf("last renewal %s", l.RenewedAt.Format(time.RFC3339))})
+		}
 		c.journal(trace.JEntry{Kind: trace.JFleetWorkerExit, Index: s.shard, Reason: "fenced"})
 		return outFenced
 	default:

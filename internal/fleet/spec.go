@@ -228,6 +228,12 @@ type WorkerSpec struct {
 
 	Paths WorkerPaths `json:"paths"`
 
+	// LeaseTTL is the coordinator's reclaim horizon. A worker whose
+	// renewals have failed for longer than this self-fences — aborts
+	// with a final checkpoint and exits uncommitted — because the
+	// coordinator must be presumed to have re-granted the shard.
+	LeaseTTL time.Duration `json:"lease_ttl,omitempty"`
+
 	CheckpointInterval time.Duration `json:"checkpoint_interval,omitempty"`
 	HeartbeatInterval  time.Duration `json:"heartbeat_interval,omitempty"`
 	RatePollInterval   time.Duration `json:"rate_poll_interval,omitempty"`

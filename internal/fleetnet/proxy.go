@@ -1,0 +1,254 @@
+package fleetnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosProxy sits between workers and the coordinator and subjects
+// every RPC to a scripted, seeded fault timeline — the netsim
+// equivalent for the control plane. Faults are decided by the pure
+// function Decide over (seed, phase index, RPC arrival index), so a
+// given (seed, timeline, RPC sequence) misbehaves identically on every
+// run; nothing is drawn from wall clock or global randomness.
+//
+// Fault semantics:
+//   - drop / full partition: the connection is severed before the
+//     request reaches the coordinator — the worker sees a transport
+//     error, the server nothing;
+//   - oneway partition: the request IS forwarded (the server acts on
+//     it) but the response is severed — the worker must retry an
+//     already-applied RPC, which is exactly the idempotency gauntlet;
+//   - dup: the request is forwarded twice back-to-back, second
+//     response discarded;
+//   - delay / jitter / reorder hold: the forward is held, letting later
+//     RPCs overtake;
+//   - slow: the response body drips back in 4 KiB chunks.
+type ChaosProxy struct {
+	seed uint64
+	tl   *Timeline
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	backend *url.URL
+	start   time.Time
+
+	ln  net.Listener
+	srv *http.Server
+	hc  *http.Client
+	n   atomic.Uint64
+
+	// Stats (atomic; read via Stats).
+	forwarded   atomic.Uint64
+	dropped     atomic.Uint64
+	duplicated  atomic.Uint64
+	delayed     atomic.Uint64
+	partitioned atomic.Uint64
+	oneway      atomic.Uint64
+	slowBodies  atomic.Uint64
+}
+
+// ProxyStats is a snapshot of what the proxy did.
+type ProxyStats struct {
+	Forwarded   uint64
+	Dropped     uint64
+	Duplicated  uint64
+	Delayed     uint64
+	Partitioned uint64
+	OneWay      uint64
+	SlowBodies  uint64
+}
+
+// NewChaosProxy builds a proxy for the given seed and timeline; point
+// it at the coordinator with SetBackend, then Start it.
+func NewChaosProxy(seed uint64, tl *Timeline, logger *slog.Logger) *ChaosProxy {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	if tl == nil {
+		tl = &Timeline{}
+	}
+	return &ChaosProxy{
+		seed: seed,
+		tl:   tl,
+		log:  logger,
+		hc: &http.Client{
+			Timeout: 60 * time.Second,
+			// Each logical RPC must be its own decision; connection
+			// reuse would let one severed response kill a later,
+			// pass-verdict RPC sharing the socket.
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	}
+}
+
+// SetBackend points the proxy at the coordinator's base URL. Safe to
+// call after Start (the acceptance test learns the coordinator's bound
+// port from OnListen, after the proxy already exists).
+func (p *ChaosProxy) SetBackend(baseURL string) error {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return fmt.Errorf("fleetnet: proxy backend %q: %w", baseURL, err)
+	}
+	p.mu.Lock()
+	p.backend = u
+	p.mu.Unlock()
+	return nil
+}
+
+// Start binds the proxy and returns the URL workers should join
+// through. The timeline clock starts now.
+func (p *ChaosProxy) Start(listen string) (string, error) {
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", fmt.Errorf("fleetnet: proxy listen %s: %w", listen, err)
+	}
+	p.ln = ln
+	p.mu.Lock()
+	p.start = time.Now()
+	p.mu.Unlock()
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.serve)}
+	go p.srv.Serve(ln)
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Close stops the listener and in-flight handling.
+func (p *ChaosProxy) Close() error {
+	if p.srv != nil {
+		return p.srv.Close()
+	}
+	return nil
+}
+
+// Stats snapshots the proxy's fault counters.
+func (p *ChaosProxy) Stats() ProxyStats {
+	return ProxyStats{
+		Forwarded:   p.forwarded.Load(),
+		Dropped:     p.dropped.Load(),
+		Duplicated:  p.duplicated.Load(),
+		Delayed:     p.delayed.Load(),
+		Partitioned: p.partitioned.Load(),
+		OneWay:      p.oneway.Load(),
+		SlowBodies:  p.slowBodies.Load(),
+	}
+}
+
+// sever aborts the exchange without writing a response: net/http
+// recovers http.ErrAbortHandler quietly and resets the connection, so
+// the client observes a transport error — indistinguishable from a
+// real partition.
+func sever() { panic(http.ErrAbortHandler) }
+
+func (p *ChaosProxy) serve(w http.ResponseWriter, r *http.Request) {
+	n := p.n.Add(1) - 1
+	p.mu.Lock()
+	backend := p.backend
+	elapsed := time.Since(p.start)
+	p.mu.Unlock()
+	if backend == nil {
+		sever()
+	}
+
+	shard := -1
+	if v := r.Header.Get(headerShard); v != "" {
+		if s, err := strconv.Atoi(v); err == nil {
+			shard = s
+		}
+	}
+	ph, phaseIdx := p.tl.At(elapsed)
+	d := Decide(p.seed, phaseIdx, n, ph, shard)
+
+	switch {
+	case d.FullPartition:
+		p.partitioned.Add(1)
+		sever()
+	case d.Drop:
+		p.dropped.Add(1)
+		sever()
+	}
+	if d.Delay > 0 {
+		p.delayed.Add(1)
+		time.Sleep(d.Delay)
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCheckpoint+1))
+	if err != nil {
+		sever()
+	}
+
+	resp, err := p.forward(r, backend, body)
+	if d.Dup {
+		// Forward the same bytes again; the duplicate's response is
+		// discarded. The server must treat the replay as a no-op.
+		p.duplicated.Add(1)
+		if dupResp, dupErr := p.forward(r, backend, body); dupErr == nil {
+			io.Copy(io.Discard, dupResp.Body)
+			dupResp.Body.Close()
+		}
+	}
+	if err != nil {
+		sever()
+	}
+	defer resp.Body.Close()
+	p.forwarded.Add(1)
+
+	if d.OneWay {
+		// The backend acted; the worker never hears about it.
+		p.oneway.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		sever()
+	}
+
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if d.SlowBody > 0 {
+		p.slowBodies.Add(1)
+		buf := make([]byte, 4096)
+		flusher, _ := w.(http.Flusher)
+		for {
+			nn, rerr := resp.Body.Read(buf)
+			if nn > 0 {
+				if _, werr := w.Write(buf[:nn]); werr != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				time.Sleep(d.SlowBody)
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}
+	io.Copy(w, resp.Body)
+}
+
+// forward replays the inbound RPC against the backend.
+func (p *ChaosProxy) forward(r *http.Request, backend *url.URL, body []byte) (*http.Response, error) {
+	u := *backend
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequest(r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return p.hc.Do(req)
+}

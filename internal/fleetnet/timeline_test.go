@@ -1,0 +1,179 @@
+package fleetnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimelineParseCanonical: the DSL parses, renders canonically, and
+// the canonical form round-trips exactly (the property the chaos suite
+// leans on to record a timeline in a failure message and replay it).
+func TestTimelineParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"0:pass", "0s:pass"},
+		{"0:pass;300ms:drop=0.25,dup=0.25,delay=10ms;1s:partition=full@1;1.8s:pass",
+			"0s:pass;300ms:drop=0.25,dup=0.25,delay=10ms;1s:partition=full@1;1.8s:pass"},
+		{"500ms:partition=oneway", "500ms:partition=oneway"},
+		{"0:reorder=0.3/40ms,slow=2ms,jitter=5ms", "0s:jitter=5ms,reorder=0.3/40ms,slow=2ms"},
+		// Phases given out of order sort by activation offset.
+		{"1s:drop=1;0:pass", "0s:pass;1s:drop=1"},
+	}
+	for _, c := range cases {
+		tl, err := ParseTimeline(c.in)
+		if err != nil {
+			t.Fatalf("ParseTimeline(%q): %v", c.in, err)
+		}
+		got := tl.String()
+		if got != c.want {
+			t.Errorf("ParseTimeline(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		again, err := ParseTimeline(got)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got, err)
+		}
+		if again.String() != got {
+			t.Errorf("canonical form %q does not round-trip (got %q)", got, again.String())
+		}
+	}
+}
+
+func TestTimelineParseRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"nonsense",
+		"0:drop=1.5",
+		"0:drop=-0.1",
+		"0:partition=sideways",
+		"0:partition=full@-2",
+		"-1s:pass",
+		"0:reorder=0.5",
+		"0:wobble=3",
+	} {
+		if _, err := ParseTimeline(in); err == nil {
+			t.Errorf("ParseTimeline(%q) accepted garbage", in)
+		}
+	}
+}
+
+func TestTimelineAt(t *testing.T) {
+	tl, err := ParseTimeline("100ms:drop=0.5;1s:partition=full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph, idx := tl.At(50 * time.Millisecond); idx != -1 || ph.Drop != 0 {
+		t.Fatalf("before first phase: idx=%d drop=%v", idx, ph.Drop)
+	}
+	if ph, idx := tl.At(500 * time.Millisecond); idx != 0 || ph.Drop != 0.5 {
+		t.Fatalf("mid first phase: idx=%d drop=%v", idx, ph.Drop)
+	}
+	// The last phase holds forever.
+	if ph, idx := tl.At(time.Hour); idx != 1 || ph.Partition != "full" {
+		t.Fatalf("last phase: idx=%d partition=%q", idx, ph.Partition)
+	}
+}
+
+// TestDecideDeterministic: Decide is a pure function — the same
+// (seed, phase, index, shard) always yields the same Decision, and a
+// different seed yields a different fault pattern.
+func TestDecideDeterministic(t *testing.T) {
+	ph := Phase{Drop: 0.3, Dup: 0.3, Delay: time.Millisecond,
+		Jitter: time.Millisecond, ReorderFrac: 0.2, ReorderHold: 5 * time.Millisecond,
+		PartitionShard: -1}
+	var diff int
+	for n := uint64(0); n < 512; n++ {
+		a := Decide(7, 1, n, ph, 0)
+		b := Decide(7, 1, n, ph, 0)
+		if a != b {
+			t.Fatalf("Decide not deterministic at n=%d: %+v vs %+v", n, a, b)
+		}
+		if c := Decide(8, 1, n, ph, 0); c != a {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed never changed a decision; the seed is dead")
+	}
+}
+
+// TestDecideFrequencies: drawn fault rates track the configured
+// probabilities (loose statistical bounds; the draws are deterministic,
+// so this can never flake).
+func TestDecideFrequencies(t *testing.T) {
+	ph := Phase{Drop: 0.25, Dup: 0.5, PartitionShard: -1}
+	const N = 4000
+	var drops, dups int
+	for n := uint64(0); n < N; n++ {
+		d := Decide(1234, 0, n, ph, 0)
+		if d.Drop {
+			drops++
+		}
+		if d.Dup {
+			dups++
+		}
+	}
+	if drops < N/5 || drops > N/3 {
+		t.Fatalf("drop rate %d/%d far from 0.25", drops, N)
+	}
+	// Dup is drawn only for RPCs that survived the drop draw.
+	survivors := N - drops
+	if dups < survivors/3 || dups > 2*survivors/3 {
+		t.Fatalf("dup rate %d/%d far from 0.5", dups, survivors)
+	}
+}
+
+// TestDecidePartitionScope: a shard-scoped partition hits only that
+// shard's RPCs; unscoped RPCs (no X-Fleet-Shard, shard -1) pass.
+func TestDecidePartitionScope(t *testing.T) {
+	full := Phase{Partition: "full", PartitionShard: 1}
+	if d := Decide(1, 0, 0, full, 1); !d.FullPartition {
+		t.Fatal("scoped full partition missed its shard")
+	}
+	if d := Decide(1, 0, 0, full, 0); d.FullPartition {
+		t.Fatal("scoped full partition hit the wrong shard")
+	}
+	if d := Decide(1, 0, 0, full, -1); d.FullPartition {
+		t.Fatal("scoped partition hit an unscoped RPC")
+	}
+	oneway := Phase{Partition: "oneway", PartitionShard: -1}
+	if d := Decide(1, 0, 0, oneway, 3); !d.OneWay || d.FullPartition {
+		t.Fatalf("fleet-wide oneway: %+v", d)
+	}
+}
+
+// FuzzChaosTimeline: any string the parser accepts must render
+// canonically, re-parse, and re-render to the identical canonical form;
+// and decisions over the parsed timeline must be pure.
+func FuzzChaosTimeline(f *testing.F) {
+	f.Add("0:pass")
+	f.Add("0:pass;300ms:drop=0.25,dup=0.25,delay=10ms;1s:partition=full@1;1.8s:pass")
+	f.Add("250ms:reorder=0.3/40ms,slow=2ms;2s:partition=oneway@0")
+	f.Add("0:drop=1")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 || strings.ContainsAny(s, "\x00") {
+			return
+		}
+		tl, err := ParseTimeline(s)
+		if err != nil {
+			return
+		}
+		canon := tl.String()
+		again, err := ParseTimeline(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+		for _, elapsed := range []time.Duration{0, 300 * time.Millisecond, 5 * time.Second} {
+			ph, idx := tl.At(elapsed)
+			for n := uint64(0); n < 8; n++ {
+				if a, b := Decide(42, idx, n, ph, 0), Decide(42, idx, n, ph, 0); a != b {
+					t.Fatalf("Decide impure for timeline %q", canon)
+				}
+			}
+		}
+	})
+}

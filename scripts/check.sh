@@ -67,6 +67,14 @@ go test -count=1 \
 echo "==> fleet chaos: SIGKILL each of 3 workers mid-scan, exactly-once merge"
 go test -race -count=1 -run 'TestFleetChaosExactlyOnce|TestFleetSlowWorkerNotReclaimed' ./zmap
 
+echo "==> fleet-netchaos: networked workers through a partition-and-heal gauntlet"
+go test -race -count=1 \
+    -run 'TestFleetNetPartitionExactlyOnce|TestFleetWorkerSelfFencesPastTTL|TestFleetNetRemoteWorkersJoin|TestFleetRerunAdoptsLostDoneMark' \
+    ./zmap
+go test -race -count=1 \
+    -run 'TestServerResultIdempotentAppend|TestServerFencesStaleEpoch|TestDecideDeterministic|TestTimelineParseCanonical' \
+    ./internal/fleetnet
+
 echo "==> trace-dump smoke: scan with --trace-file, analyze with zanalyze trace"
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT

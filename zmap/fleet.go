@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zmapgo/internal/fleet"
+	"zmapgo/internal/fleetnet"
 )
 
 // FleetResult is the fleet-level scan summary: per-shard supervision
@@ -99,6 +100,31 @@ type FleetOptions struct {
 	// Faults optionally injects a chaos schedule into the run.
 	Faults *FleetFaultPlan
 
+	// Listen switches the coordinator onto the network control plane:
+	// it serves the coordinator↔worker protocol over HTTP/JSON on this
+	// address (host:port; port 0 picks a free one) and workers join
+	// over TCP instead of sharing the fleet directory. The durable
+	// state still lives in Dir — the server is a fencing facade over
+	// the same files, so merge, resume, and the journal are identical
+	// across planes.
+	Listen string
+	// Advertise overrides the URL published to workers (useful when
+	// workers reach the coordinator through a different address, e.g. a
+	// proxy or NAT). Default: http://<bound address>.
+	Advertise string
+	// JoinToken, when non-empty, is required on every worker RPC.
+	JoinToken string
+	// RemoteWorkers stops the coordinator from spawning local worker
+	// processes: grants are offered over the network and remote
+	// `zmapgo fleet-worker --join` processes acquire and run them.
+	// Requires Listen.
+	RemoteWorkers bool
+	// OnListen, when set, receives the control plane's directly-bound
+	// URL (http://<listen address>) once the listener is up, before any
+	// worker is granted. Workers join via the Advertise URL when set;
+	// the bound one is what a front proxy or health check targets.
+	OnListen func(url string)
+
 	// MergedOutput receives the deduplicated union of every shard's
 	// results (default <Dir>/merged.<ext>). MetadataPath receives the
 	// fleet summary document; TracePath the coordinator's decision
@@ -132,10 +158,20 @@ func RunFleet(ctx context.Context, o FleetOptions) (*FleetResult, error) {
 			return nil, err
 		}
 	}
+	var plane fleet.ControlPlane
+	if o.Listen != "" || o.RemoteWorkers || o.OnListen != nil {
+		plane = fleetnet.NewServer(fleetnet.ServerOptions{
+			Listen:    o.Listen,
+			Advertise: o.Advertise,
+			Token:     o.JoinToken,
+			OnListen:  o.OnListen,
+		})
+	}
 	cfg := fleet.Config{
 		Workers: o.Workers,
 		Dir:     dir,
 		Binary:  o.Binary,
+		Plane:   plane,
 		Scan: fleet.ScanSpec{
 			Ranges:             o.Ranges,
 			Blocklist:          o.Blocklist,
@@ -165,6 +201,7 @@ func RunFleet(ctx context.Context, o FleetOptions) (*FleetResult, error) {
 		RespawnBackoff:     o.RespawnBackoff,
 		RespawnBackoffMax:  o.RespawnBackoffMax,
 		Faults:             o.Faults,
+		RemoteWorkers:      o.RemoteWorkers,
 		MergedOutput:       o.MergedOutput,
 		MetadataPath:       o.MetadataPath,
 		TracePath:          o.TracePath,
